@@ -1,0 +1,49 @@
+"""E5 -- Figure 9: hardware overhead of Base vs GLIFT vs Caisson vs Sapper.
+
+Regenerates the paper's headline comparison from one Sapper source put
+through all four flows.  We do not expect the paper's absolute numbers
+(different processor size, different synthesis stack), but the *shape*
+must hold: GLIFT >> Caisson > Sapper ~ 1x in area and power, no Sapper
+delay overhead, and memory overheads of 2x / 2x / ~3%.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.eval.figures import fig9_overhead, format_fig9
+from repro.hdl import synthesize
+from repro.lattice import two_level
+from repro.proc.machine import compile_processor
+
+
+@pytest.fixture(scope="module")
+def overhead_rows():
+    return fig9_overhead(two_level())
+
+
+def test_fig9_overhead_table(benchmark, overhead_rows, artifact_dir):
+    # benchmark the synthesis step on the secure design (the heavy part)
+    design = compile_processor(two_level(), secure=True)
+    benchmark.pedantic(synthesize, args=(design.module,), rounds=2, iterations=1)
+    save_artifact("fig9_overhead.txt", format_fig9(overhead_rows))
+
+    base = overhead_rows["Base Processor"]
+    glift = overhead_rows["GLIFT"].normalized(base)
+    caisson = overhead_rows["Caisson"].normalized(base)
+    sapper = overhead_rows["Sapper"].normalized(base)
+
+    # area ordering and magnitudes (paper: 7.6x / 2x / 1.04x)
+    assert glift["area"] > 3.0
+    assert 1.5 < caisson["area"] < 3.0
+    assert sapper["area"] < 1.5
+    assert glift["area"] > caisson["area"] > sapper["area"]
+    # delay: Sapper and Caisson incur no clock penalty; GLIFT does
+    assert sapper["delay"] < 1.05
+    assert caisson["delay"] < 1.10
+    assert glift["delay"] > 1.5
+    # power follows area
+    assert glift["power"] > caisson["power"] > sapper["power"]
+    # memory: duplication vs tag store (paper: 2x / 2x / ~3%)
+    assert glift["memory"] == 2.0
+    assert caisson["memory"] == 2.0
+    assert 1.0 < sapper["memory"] < 1.05

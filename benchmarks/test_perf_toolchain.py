@@ -1,0 +1,83 @@
+"""Toolchain performance benchmarks (not a paper figure).
+
+Tracks the speed of the pieces a user iterates on: the Sapper compiler,
+the HDL simulator (cycles/second on the full processor), the reference
+interpreter, the assembler, and GLIFT netlist augmentation.
+"""
+
+import pytest
+
+from repro.hdl import Simulator, synthesize
+from repro.hdl.netlist import bit_blast
+from repro.glift import glift_transform
+from repro.lattice import two_level
+from repro.mips.assembler import assemble
+from repro.proc.design import generate_design
+from repro.proc.machine import compile_processor
+from repro.sapper import samples
+from repro.sapper.analysis import analyze
+from repro.sapper.compiler import compile_program
+from repro.sapper.parser import parse_program
+from repro.sapper.semantics import Interpreter
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_compile_tdma(benchmark):
+    lat = two_level()
+    benchmark(lambda: compile_program(samples.TDMA, lat, name="tdma"))
+
+
+def test_parse_processor_source(benchmark):
+    src = generate_design()
+    benchmark(lambda: parse_program(src, "proc"))
+
+
+def test_compile_processor_full(benchmark):
+    src = generate_design()
+    lat = two_level()
+    info = analyze(parse_program(src, "proc"), lat)
+    benchmark.pedantic(
+        lambda: compile_program(info, lat, name="proc"), rounds=2, iterations=1
+    )
+
+
+def test_hdl_simulation_speed(benchmark):
+    design = compile_processor(two_level(), secure=True)
+    sim = Simulator(design.module)
+
+    def run_500():
+        for _ in range(500):
+            sim.step({})
+        return sim.cycles
+
+    benchmark.pedantic(run_500, rounds=3, iterations=1)
+
+
+def test_interpreter_speed_tdma(benchmark):
+    lat = two_level()
+    info = analyze(parse_program(samples.TDMA, "tdma"), lat)
+
+    def run_interp():
+        it = Interpreter(info, lat)
+        it.run(200)
+        return it.delta
+
+    benchmark(run_interp)
+
+
+def test_assembler_speed(benchmark):
+    src = ALL_WORKLOADS["sha"].source
+    benchmark(lambda: assemble(src))
+
+
+def test_glift_augmentation_speed(benchmark):
+    lat = two_level()
+    design = compile_program(samples.ADDER_TRACK, lat, secure=False, name="adder")
+    netlist = bit_blast(design.module)
+    benchmark(lambda: glift_transform(netlist))
+
+
+def test_synthesis_speed_tdma(benchmark):
+    lat = two_level()
+    design = compile_program(samples.TDMA, lat, name="tdma")
+    benchmark(lambda: synthesize(design.module))

@@ -1,0 +1,54 @@
+"""E6 -- section 4.3: functional validation.
+
+Every workload runs on the secure processor and on the reference
+machine; outputs must agree with the golden model exactly (the paper's
+cross-comparison against a real machine).
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.eval import format_table
+from repro.eval.figures import sec43_functional_validation
+from repro.mips.assembler import assemble
+from repro.proc.machine import SapperMachine
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return sec43_functional_validation(run_hw=True)
+
+
+def test_sec43_all_workloads(benchmark, validation, artifact_dir):
+    # benchmark the fastest workload end-to-end on the hardware simulator
+    wl = ALL_WORKLOADS["specrand"]
+    exe = assemble(wl.source)
+
+    def run_hw():
+        machine = SapperMachine()
+        machine.load(exe)
+        return machine.run(wl.max_cycles)
+
+    benchmark.pedantic(run_hw, rounds=2, iterations=1)
+
+    rows = []
+    for entry in validation:
+        rows.append(
+            [
+                entry["workload"],
+                str(entry["iss_instructions"]),
+                str(entry["hw_cycles"]),
+                "yes" if entry["iss_matches"] else "NO",
+                "yes" if entry["hw_matches"] else "NO",
+                str(entry["hw_violations"]),
+            ]
+        )
+    table = format_table(
+        ["Workload", "Instructions", "HW cycles", "ISS == golden", "HW == golden", "Violations"],
+        rows,
+    )
+    save_artifact("sec43_functional.txt", table)
+    assert all(e["iss_matches"] for e in validation)
+    assert all(e["hw_matches"] for e in validation)
+    assert all(e["hw_violations"] == 0 for e in validation)

@@ -1,0 +1,22 @@
+"""E7 -- section 4.4: security validation with the micro-kernel.
+
+Two full-system runs (kernel + L process + H process) differing only in
+the high process's data: the low-observable output trace and the total
+cycle count must be identical (timing-sensitive noninterference), while
+the high results differ.
+"""
+
+from conftest import save_artifact
+
+from repro.eval.figures import sec44_security_validation
+
+
+def test_sec44_kernel_noninterference(benchmark, artifact_dir):
+    result = benchmark.pedantic(sec44_security_validation, rounds=1, iterations=1)
+    lines = [f"{k}: {v}" for k, v in result.items()]
+    save_artifact("sec44_security.txt", "\n".join(lines))
+    assert result["halted"]
+    assert result["low_traces_equal"]
+    assert result["timing_equal"]
+    assert result["l_results_equal"]
+    assert result["h_results_differ"]

@@ -1,0 +1,26 @@
+"""E8 -- section 4.6: the diamond lattice.
+
+Supporting the four-point diamond costs Sapper only a few percent more
+than the two-level lattice (one extra tag bit), while Caisson must
+duplicate all resources into four pieces.
+"""
+
+from conftest import save_artifact
+
+from repro.eval.figures import sec46_diamond_overhead
+
+
+def test_sec46_diamond(benchmark, artifact_dir):
+    result = benchmark.pedantic(sec46_diamond_overhead, rounds=1, iterations=1)
+    lines = [f"{k}: {v:.4f}" if isinstance(v, float) else f"{k}: {v}" for k, v in result.items()]
+    save_artifact("sec46_diamond.txt", "\n".join(lines))
+
+    assert result["two_level_tag_bits"] == 1
+    assert result["diamond_tag_bits"] == 2          # "one more bit for each tag"
+    # a few percent extra area (paper: ~3% more)
+    assert 0.0 < result["extra_overhead"] < 0.15
+    # memory tag store: 1/32 -> 2/32
+    assert abs(result["two_level_memory_ratio"] - 1.03125) < 1e-6
+    assert abs(result["diamond_memory_ratio"] - 1.0625) < 1e-6
+    # Caisson needs ~4 copies for the diamond
+    assert result["caisson_diamond_area_ratio"] > 3.0

@@ -1,0 +1,37 @@
+"""Quickstart: compile and run the 8-bit design of the paper's Figure 3.
+
+Shows the whole Sapper flow in ~40 lines: write a design with an
+enforced register, compile it (the compiler inserts the dynamic check),
+look at the generated Verilog, and watch the check fire at run time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.hdl import Simulator, emit_verilog
+from repro.lattice import two_level
+from repro.sapper import samples
+from repro.sapper.compiler import compile_program
+
+lattice = two_level()
+
+# Figure 3, CHECK variant: register `a` is enforced tagged at L, so the
+# assignment `a := b & c` is guarded by a noninterference check.
+design = compile_program(samples.ADDER_CHECK, lattice, name="adder_check")
+
+print("=== generated Verilog (excerpt) ===")
+verilog = emit_verilog(design.module)
+print("\n".join(verilog.splitlines()[:12]), "\n...\n")
+
+sim = Simulator(design.module)
+
+# Drive the dynamic inputs with tags: 0 encodes L, 1 encodes H.
+print("=== execution ===")
+low = sim.step({"in_b": 0xF0, "in_b__tag": 0, "in_c": 0x3C, "in_c__tag": 0})
+print(f"low inputs : a := b & c executes,  out={low['out']:#04x}, violation={low['violation']}")
+
+high = sim.step({"in_b": 0xFF, "in_b__tag": 1, "in_c": 0x3C, "in_c__tag": 0})
+print(f"high input : check fails, write suppressed, violation={high['violation']}")
+print(f"             register a still holds {sim.regs['a']:#04x} (the last legal value)")
+
+assert low["violation"] == 0 and high["violation"] == 1
+print("\nThe compiler inserted the CHECK of Figure 3 automatically.")

@@ -1,0 +1,53 @@
+"""Run a real program on the Sapper-compiled MIPS processor.
+
+Assembles a SHA-1 computation, runs it on (a) the golden reference
+machine and (b) the secure pipelined processor compiled from Sapper
+source, and cross-compares the outputs -- the functional validation of
+the paper's section 4.3.  Then demonstrates enforcement: the same
+processor blocks a high process from contaminating low memory.
+
+Run:  python examples/secure_processor.py      (~10 s: full RTL simulation)
+"""
+
+from repro.mips.assembler import assemble
+from repro.proc.machine import SapperMachine, run_on_iss
+from repro.workloads import ALL_WORKLOADS
+
+wl = ALL_WORKLOADS["sha"]
+print(f"workload: {wl.description}")
+
+exe = assemble(wl.source)
+iss = run_on_iss(exe)
+print(f"reference machine: {iss.instret} instructions, digest words:")
+print("  " + " ".join(f"{w:08x}" for w in iss.outputs))
+
+machine = SapperMachine()
+machine.load(assemble(wl.source))
+result = machine.run(wl.max_cycles)
+print(f"sapper processor : {result.cycles} cycles, {result.violations} violations")
+print("  " + " ".join(f"{w:08x}" for w in result.outputs))
+assert tuple(result.outputs) == tuple(iss.outputs) == wl.expected
+print("outputs identical -- and hashlib agrees.\n")
+
+print("=== enforcement demo: high code attacks low memory ===")
+attack = """
+.org 0x400
+    la   $t0, hcode
+    jr   $t0
+.org 0x2000
+hcode:                       # this region is tagged H below
+    li   $t1, 0x10000        # low-tagged memory
+    li   $t2, 0xBAD
+    sw   $t2, 0($t1)         # blocked by the inserted check
+spin:
+    b    spin
+"""
+m2 = SapperMachine()
+m2.load(assemble(attack))
+m2.tag_region(0x2000, 0x2100, "H")
+for _ in range(2500):
+    m2.step()
+print(f"low word after attack: {m2.read_word(0x10000):#x} (unchanged)")
+print(f"dynamic checks fired : {m2.violations}")
+assert m2.read_word(0x10000) == 0 and m2.violations > 0
+print("the hardware itself refused the flow -- no kernel involved.")

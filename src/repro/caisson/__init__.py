@@ -1,0 +1,22 @@
+"""Caisson baseline: static partitioning by duplication (Li et al., PLDI'11).
+
+Caisson enforces noninterference with a purely static type system: no
+labels exist at run time, so every stateful resource must be physically
+partitioned per security level and selected by the current security
+context.  The paper (section 2.2) summarizes the consequence: "all
+registers must be duplicated for different security levels and
+multiplexers are used to choose the corresponding register" -- a 2x area
+overhead on the evaluated processor, and "supporting [the diamond]
+lattice in Caisson would require duplicating all resources into four
+pieces" (section 4.6).
+
+:func:`caisson_transform` reproduces exactly that cost mechanism as an
+HDL-to-HDL transform on the insecure base design: K copies of all
+state and logic, a context input selecting the active partition, write
+gating per partition, and context-muxed outputs.  The result is a real,
+simulatable module put through the same synthesis flow as the others.
+"""
+
+from repro.caisson.transform import caisson_transform
+
+__all__ = ["caisson_transform"]

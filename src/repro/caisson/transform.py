@@ -1,0 +1,88 @@
+"""The Caisson duplication transform (see package docstring)."""
+
+from __future__ import annotations
+
+from repro.hdl.ir import ArrayWrite, HConst, HExpr, HOp, HRef, Module
+from repro.lattice import Lattice
+
+
+def _suffix(name: str, k: int) -> str:
+    return f"{name}__p{k}"
+
+
+class _Renamer:
+    """Rewrite an expression for partition *k*: every register, wire and
+    array reference moves to that partition's copy; inputs stay shared."""
+
+    def __init__(self, module: Module, k: int):
+        self.module = module
+        self.k = k
+
+    def expr(self, e: HExpr) -> HExpr:
+        if isinstance(e, HConst):
+            return e
+        if isinstance(e, HRef):
+            if e.name in self.module.inputs:
+                return e
+            return HRef(_suffix(e.name, self.k), e.width)
+        assert isinstance(e, HOp)
+        args = tuple(self.expr(a) for a in e.args)
+        array = _suffix(e.array, self.k) if e.op == "read" else e.array
+        return HOp(e.op, args, e.width, hi=e.hi, lo=e.lo, array=array)
+
+
+def caisson_transform(base: Module, lattice: Lattice, name: str | None = None) -> Module:
+    """Partition *base* into one copy per lattice level.
+
+    A new ``ctx`` input (the current security context, supplied by the
+    environment exactly as a Caisson design's typed context is) selects
+    which partition's registers advance and which partition drives the
+    outputs.  Inactive partitions hold their state -- the hard
+    partitioning that lets a purely static type system work.
+    """
+    levels = len(lattice)
+    ctx_width = max(1, (levels - 1).bit_length())
+    out = Module(name or base.name + "_caisson")
+    ctx = out.add_input("ctx", ctx_width)
+    for port, width in base.inputs.items():
+        out.add_input(port, width)
+
+    for k in range(levels):
+        for reg in base.regs.values():
+            out.add_reg(_suffix(reg.name, k), reg.width, reg.init)
+        for arr in base.arrays.values():
+            out.add_array(_suffix(arr.name, k), arr.width, arr.size, arr.default)
+
+    for k in range(levels):
+        renamer = _Renamer(base, k)
+        active = out.fresh(HOp("eq", (ctx, HConst(k, ctx_width)), 1), f"act{k}")
+        for sig, expr in base.comb:
+            out.assign(_suffix(sig, k), renamer.expr(expr))
+        for reg, sig in base.reg_next.items():
+            copy = _suffix(reg, k)
+            nxt = out.fresh(
+                HOp(
+                    "mux",
+                    (active, HRef(_suffix(sig, k), out.width_of(_suffix(sig, k))),
+                     HRef(copy, base.regs[reg].width)),
+                    base.regs[reg].width,
+                ),
+                f"nx_{copy}",
+            )
+            out.set_reg_next(copy, nxt)
+        for wr in base.array_writes:
+            enable = out.fresh(HOp("land", (renamer.expr(wr.enable), active), 1), f"we{k}")
+            out.write_array(_suffix(wr.array, k), renamer.expr(wr.addr), renamer.expr(wr.data), enable)
+
+    # context-muxed outputs: "multiplexers ... choose the corresponding
+    # register based on the current security context"
+    for port, sig in base.outputs.items():
+        width = base.width_of(sig)
+        value: HExpr = HRef(_suffix(sig, 0), width)
+        for k in range(1, levels):
+            sel = HOp("eq", (ctx, HConst(k, ctx_width)), 1)
+            value = HOp("mux", (sel, HRef(_suffix(sig, k), width), value), width)
+        out.set_output(port, out.fresh(value, f"o_{port}"))
+
+    out.validate()
+    return out

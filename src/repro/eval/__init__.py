@@ -1,0 +1,28 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+Each ``figN_*`` / ``secN_*`` function returns plain data structures and
+has a ``format_*`` companion producing the table text the benchmarks
+print.  See DESIGN.md section 2 for the experiment index.
+"""
+
+from repro.eval.figures import (
+    fig3_adder_verilog,
+    fig7_isa_table,
+    fig8_loc_table,
+    fig9_overhead,
+    format_table,
+    sec43_functional_validation,
+    sec44_security_validation,
+    sec46_diamond_overhead,
+)
+
+__all__ = [
+    "fig3_adder_verilog",
+    "fig7_isa_table",
+    "fig8_loc_table",
+    "fig9_overhead",
+    "sec43_functional_validation",
+    "sec44_security_validation",
+    "sec46_diamond_overhead",
+    "format_table",
+]

@@ -1,0 +1,26 @@
+"""GLIFT: Gate-Level Information Flow Tracking (Tiwari et al., ASPLOS'09).
+
+The first-generation baseline the paper compares against.  Every gate in
+a design gets *shadow logic* computing the taint of its output from the
+taints **and values** of its inputs (precise tracking: an AND gate with
+a low 0 input produces a low 0 regardless of the other input).
+
+Two implementations:
+
+* :mod:`repro.glift.shadow` -- an executable netlist transform: takes a
+  gate-level netlist (see :mod:`repro.hdl.netlist`) and inserts real
+  shadow gates, so GLIFT tracking can be simulated and verified on
+  small designs.
+* :mod:`repro.glift.analytical` -- the processor-scale path: augments a
+  synthesis gate census with the same per-gate shadow costs without
+  materializing millions of gates (the ratios are identical by
+  construction).
+
+Note GLIFT provides *tracking only*, no enforcement (the paper makes the
+same caveat when comparing overheads).
+"""
+
+from repro.glift.shadow import glift_transform, GliftSimulator
+from repro.glift.analytical import glift_augment, GLIFT_SHADOW_COST
+
+__all__ = ["glift_transform", "GliftSimulator", "glift_augment", "GLIFT_SHADOW_COST"]

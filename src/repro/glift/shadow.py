@@ -1,0 +1,106 @@
+"""Executable GLIFT: insert precise shadow-tracking gates into a netlist.
+
+For each gate with inputs ``a, b`` carrying taints ``at, bt`` the shadow
+output taint is (Tiwari et al.):
+
+* AND:  ``(at & bt) | (at & b) | (bt & a)`` -- a tainted input only
+  taints the output if the *other* input does not force the output
+  (i.e. is not a controlling 0);
+* OR:   ``(at & bt) | (at & ~b) | (bt & ~a)`` (dually, controlling 1);
+* XOR:  ``at | bt`` (no controlling values);
+* INV / wire: taint passes through;
+* DFF:  a shadow flip-flop carries the taint across the clock edge.
+
+The transform returns a *new* netlist containing the original gates plus
+the shadow network, with a ``<port>__taint`` input per original input
+and a ``<port>__taint`` output per original output.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.netlist import AND, CONST0, CONST1, DFF, INPUT, INV, OR, XOR, Gate, Netlist, NetlistSimulator
+
+
+def glift_transform(base: Netlist) -> Netlist:
+    """Return a copy of *base* augmented with precise shadow logic."""
+    out = Netlist(base.name + "_glift")
+    # 1. copy original gates verbatim (ids preserved)
+    for gate in base.gates:
+        out.gates.append(Gate(gate.kind, gate.a, gate.b, init=gate.init, name=gate.name))
+    out.inputs = {name: list(nets) for name, nets in base.inputs.items()}
+    out.outputs = {name: list(nets) for name, nets in base.outputs.items()}
+    out.dff_d = dict(base.dff_d)
+    out._const0 = base._const0
+    out._const1 = base._const1
+
+    shadow: dict[int, int] = {}
+
+    # 2. taint inputs
+    for name, nets in base.inputs.items():
+        taint_nets = [out.new(INPUT, name=f"{name}__taint") for _ in nets]
+        out.inputs[f"{name}__taint"] = taint_nets
+        for net, taint in zip(nets, taint_nets):
+            shadow[net] = taint
+
+    # 3. shadow DFFs first (their outputs are sources, like the originals)
+    for i, gate in enumerate(base.gates):
+        if gate.kind == DFF:
+            shadow[i] = out.new(DFF, init=0)
+
+    # 4. shadow combinational logic, in original topological order
+    for i, gate in enumerate(base.gates):
+        if gate.kind in (CONST0, CONST1):
+            shadow[i] = out.const(0)
+        elif gate.kind == INPUT or gate.kind == DFF:
+            continue  # already done
+        elif gate.kind == INV:
+            shadow[i] = shadow[gate.a]
+        elif gate.kind == XOR:
+            shadow[i] = out.g_or(shadow[gate.a], shadow[gate.b])
+        elif gate.kind == AND:
+            at, bt = shadow[gate.a], shadow[gate.b]
+            both = out.g_and(at, bt)
+            a_leaks = out.g_and(at, gate.b)
+            b_leaks = out.g_and(bt, gate.a)
+            shadow[i] = out.g_or(both, out.g_or(a_leaks, b_leaks))
+        elif gate.kind == OR:
+            at, bt = shadow[gate.a], shadow[gate.b]
+            both = out.g_and(at, bt)
+            a_leaks = out.g_and(at, out.g_inv(gate.b))
+            b_leaks = out.g_and(bt, out.g_inv(gate.a))
+            shadow[i] = out.g_or(both, out.g_or(a_leaks, b_leaks))
+        else:
+            raise ValueError(f"unknown gate kind {gate.kind!r}")
+
+    # 5. shadow DFF data inputs
+    for dff, d in base.dff_d.items():
+        out.dff_d[shadow[dff]] = shadow[d]
+
+    # 6. taint outputs
+    for name, nets in base.outputs.items():
+        out.outputs[f"{name}__taint"] = [shadow[n] for n in nets]
+    return out
+
+
+class GliftSimulator(NetlistSimulator):
+    """Convenience wrapper: drives value and taint inputs together.
+
+    ``step(inputs, taints)`` takes per-port integer values and per-port
+    taint masks; returns ``(outputs, output_taints)``.
+    """
+
+    def __init__(self, base: Netlist):
+        super().__init__(glift_transform(base))
+
+    def step_tainted(
+        self, inputs: dict[str, int], taints: dict[str, int] | None = None
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        stimulus = dict(inputs)
+        for name, mask in (taints or {}).items():
+            stimulus[f"{name}__taint"] = mask
+        raw = self.step(stimulus)
+        values = {k: v for k, v in raw.items() if not k.endswith("__taint")}
+        out_taints = {
+            k[: -len("__taint")]: v for k, v in raw.items() if k.endswith("__taint")
+        }
+        return values, out_taints

@@ -1,0 +1,36 @@
+"""Hardware substrate: a synthesizable-Verilog-subset IR plus tooling.
+
+The Sapper compiler targets this IR; the baselines (GLIFT, Caisson)
+transform it.  Tooling:
+
+* :mod:`repro.hdl.ir` -- the dataflow IR (SSA combinational assigns,
+  synchronous register update, sequential array write ports).
+* :mod:`repro.hdl.sim` -- cycle-accurate simulator; generates a
+  specialized Python step function per module (our ModelSim substitute).
+* :mod:`repro.hdl.verilog` -- synthesizable Verilog text emission.
+* :mod:`repro.hdl.synth` / :mod:`repro.hdl.techlib` -- structural
+  lowering to gate counts with a 90 nm-style cell library; area, critical
+  path and power reports (our Design Compiler substitute).
+* :mod:`repro.hdl.netlist` -- an exact gate-level netlist + simulator for
+  small designs (used to demonstrate GLIFT executably).
+"""
+
+from repro.hdl.ir import ArrayDef, ArrayWrite, HExpr, HOp, HRef, HConst, Module, RegDef
+from repro.hdl.sim import Simulator
+from repro.hdl.synth import CostReport, synthesize
+from repro.hdl.verilog import emit_verilog
+
+__all__ = [
+    "Module",
+    "RegDef",
+    "ArrayDef",
+    "ArrayWrite",
+    "HExpr",
+    "HConst",
+    "HRef",
+    "HOp",
+    "Simulator",
+    "synthesize",
+    "CostReport",
+    "emit_verilog",
+]

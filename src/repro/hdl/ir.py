@@ -1,0 +1,218 @@
+"""Dataflow hardware IR (a synthesizable Verilog subset).
+
+A :class:`Module` consists of:
+
+* input and output ports;
+* registers (D flip-flops with an init value), each updated *every*
+  clock edge from a designated combinational signal (hold behaviour is
+  expressed with an explicit mux, which is what synthesis produces
+  anyway);
+* register arrays (memories) with combinational read (expression op
+  ``read``) and any number of guarded sequential write ports applied in
+  order at the clock edge;
+* an ordered list of SSA combinational assignments ``name := expr``.
+
+Expressions are trees of :class:`HConst`, :class:`HRef` (a named signal:
+a previous assignment, a register's current value, or an input) and
+:class:`HOp`.  Every node carries its result width; values are unsigned
+bit vectors and operators with signed semantics are explicit (``lts``,
+``asr``, ...).  Division by zero yields all-ones and remainder by zero
+the dividend, mirroring the Sapper semantics so that compiled designs
+are bit-exact with the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: Operator -> arity (None = variadic).
+OPS: dict[str, Optional[int]] = {
+    "add": 2, "sub": 2, "mul": 2, "div": 2, "mod": 2,
+    "and": 2, "or": 2, "xor": 2,
+    "shl": 2, "shr": 2, "asr": 2,
+    "eq": 2, "ne": 2, "lt": 2, "le": 2, "gt": 2, "ge": 2,
+    "lts": 2, "les": 2, "gts": 2, "ges": 2,
+    "land": 2, "lor": 2,
+    "not": 1, "lnot": 1, "neg": 1,
+    "mux": 3,           # mux(sel, if_true, if_false)
+    "cat": None,        # parts, most significant first
+    "slice": 1,         # attrs hi, lo
+    "zext": 1, "sext": 1,
+    "read": 1,          # attrs array;  child = address
+}
+
+BOOL_OUT = frozenset(["eq", "ne", "lt", "le", "gt", "ge", "lts", "les", "gts", "ges", "land", "lor", "lnot"])
+
+
+@dataclass(frozen=True)
+class HExpr:
+    """Base class for IR expressions."""
+
+    def children(self) -> tuple["HExpr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["HExpr"]:
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+
+@dataclass(frozen=True)
+class HConst(HExpr):
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("constant width must be positive")
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+
+@dataclass(frozen=True)
+class HRef(HExpr):
+    """Reference to a named signal (wire, register, or input)."""
+
+    name: str
+    width: int
+
+
+@dataclass(frozen=True)
+class HOp(HExpr):
+    op: str
+    args: tuple[HExpr, ...]
+    width: int
+    hi: int = 0          # slice upper bound
+    lo: int = 0          # slice lower bound
+    array: str = ""      # array name for 'read'
+
+    def __post_init__(self) -> None:
+        arity = OPS.get(self.op)
+        if self.op not in OPS:
+            raise ValueError(f"unknown IR op {self.op!r}")
+        if arity is not None and len(self.args) != arity:
+            raise ValueError(f"op {self.op!r} expects {arity} args, got {len(self.args)}")
+        if self.width <= 0:
+            raise ValueError(f"op {self.op!r} has bad width {self.width}")
+
+    def children(self) -> tuple[HExpr, ...]:
+        return self.args
+
+
+@dataclass
+class RegDef:
+    name: str
+    width: int
+    init: int = 0
+
+
+@dataclass
+class ArrayDef:
+    name: str
+    width: int
+    size: int
+    #: Value returned for never-written elements (used for tag stores
+    #: whose declared label does not encode to zero).
+    default: int = 0
+    #: Arrays at least this large synthesize as SRAM macros (excluded
+    #: from gate-level area, like the paper's memory; see techlib).
+    SRAM_THRESHOLD = 2048
+
+    @property
+    def is_sram(self) -> bool:
+        return self.size >= self.SRAM_THRESHOLD
+
+
+@dataclass
+class ArrayWrite:
+    """Guarded sequential write port, applied at the clock edge."""
+
+    array: str
+    addr: HExpr
+    data: HExpr
+    enable: HExpr
+
+
+@dataclass
+class Module:
+    """A complete synchronous hardware module."""
+
+    name: str
+    inputs: dict[str, int] = field(default_factory=dict)     # name -> width
+    outputs: dict[str, str] = field(default_factory=dict)    # port -> driving signal
+    regs: dict[str, RegDef] = field(default_factory=dict)
+    arrays: dict[str, ArrayDef] = field(default_factory=dict)
+    comb: list[tuple[str, HExpr]] = field(default_factory=list)
+    reg_next: dict[str, str] = field(default_factory=dict)   # reg -> signal loaded each edge
+    array_writes: list[ArrayWrite] = field(default_factory=list)
+
+    _widths: dict[str, int] = field(default_factory=dict, repr=False)
+    _counter: int = field(default=0, repr=False)
+
+    # -- construction helpers ---------------------------------------------------
+
+    def add_input(self, name: str, width: int) -> HRef:
+        self.inputs[name] = width
+        self._widths[name] = width
+        return HRef(name, width)
+
+    def add_reg(self, name: str, width: int, init: int = 0) -> HRef:
+        self.regs[name] = RegDef(name, width, init & ((1 << width) - 1))
+        self._widths[name] = width
+        return HRef(name, width)
+
+    def add_array(self, name: str, width: int, size: int, default: int = 0) -> ArrayDef:
+        self.arrays[name] = ArrayDef(name, width, size, default)
+        return self.arrays[name]
+
+    def assign(self, name: str, expr: HExpr) -> HRef:
+        """Define the SSA wire *name* := *expr*; returns a reference."""
+        if name in self._widths:
+            raise ValueError(f"signal {name!r} defined twice")
+        self.comb.append((name, expr))
+        self._widths[name] = expr.width
+        return HRef(name, expr.width)
+
+    def fresh(self, expr: HExpr, hint: str = "t") -> HRef:
+        """Assign *expr* to a fresh wire and return the reference."""
+        self._counter += 1
+        return self.assign(f"{hint}_{self._counter}", expr)
+
+    def set_output(self, port: str, signal: HRef) -> None:
+        self.outputs[port] = signal.name
+        self._widths.setdefault(signal.name, signal.width)
+
+    def set_reg_next(self, reg: str, signal: HRef) -> None:
+        if reg not in self.regs:
+            raise ValueError(f"unknown register {reg!r}")
+        self.reg_next[reg] = signal.name
+
+    def write_array(self, array: str, addr: HExpr, data: HExpr, enable: HExpr) -> None:
+        if array not in self.arrays:
+            raise ValueError(f"unknown array {array!r}")
+        self.array_writes.append(ArrayWrite(array, addr, data, enable))
+
+    def width_of(self, signal: str) -> int:
+        return self._widths[signal]
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check SSA discipline, reference order and widths."""
+        defined = set(self.inputs) | set(self.regs)
+        for name, expr in self.comb:
+            for node in expr.walk():
+                if isinstance(node, HRef) and node.name not in defined:
+                    raise ValueError(f"{self.name}: signal {name!r} reads undefined {node.name!r}")
+                if isinstance(node, HOp) and node.op == "read" and node.array not in self.arrays:
+                    raise ValueError(f"{self.name}: read of unknown array {node.array!r}")
+            defined.add(name)
+        for reg, sig in self.reg_next.items():
+            if sig not in defined:
+                raise ValueError(f"{self.name}: reg {reg!r} loads undefined signal {sig!r}")
+        for port, sig in self.outputs.items():
+            if sig not in defined:
+                raise ValueError(f"{self.name}: output {port!r} driven by undefined {sig!r}")
+        for reg in self.regs:
+            if reg not in self.reg_next:
+                raise ValueError(f"{self.name}: register {reg!r} has no next-value signal")

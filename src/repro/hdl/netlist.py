@@ -1,0 +1,297 @@
+"""Exact gate-level netlists for small designs.
+
+Bit-blasts an HDL module into AND/OR/XOR/INV/DFF primitives -- the same
+flow the paper uses for GLIFT ("the base processor is first synthesized
+... targeting its and_or.db library which contains only gate primitives
+... and flip-flops").  A gate-level simulator executes netlists so that
+GLIFT's shadow logic can be demonstrated running, not just counted.
+
+Only the operators needed by the small evaluation designs are supported
+(arithmetic via ripple structures, bitwise logic, muxes, comparisons,
+constant shifts, slicing).  Arrays and wide multipliers/dividers are
+deliberately unsupported here -- processor-scale GLIFT costs use the
+analytical path in :mod:`repro.glift.analytical`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
+
+AND, OR, XOR, INV, DFF, CONST0, CONST1, INPUT = (
+    "and", "or", "xor", "inv", "dff", "const0", "const1", "input",
+)
+
+
+@dataclass
+class Gate:
+    kind: str
+    a: int = -1
+    b: int = -1
+    init: int = 0        # DFF reset value
+    name: str = ""       # for inputs
+
+
+class NetlistError(ValueError):
+    """Raised when a module uses constructs the bit-blaster cannot lower."""
+
+
+class Netlist:
+    """A flat gate network with single-bit nets."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.gates: list[Gate] = []
+        self.inputs: dict[str, list[int]] = {}     # port -> net ids (LSB first)
+        self.outputs: dict[str, list[int]] = {}
+        self.dff_d: dict[int, int] = {}            # dff net -> data net
+        self._const0: Optional[int] = None
+        self._const1: Optional[int] = None
+
+    # -- construction -------------------------------------------------------
+
+    def new(self, kind: str, a: int = -1, b: int = -1, **kw) -> int:
+        self.gates.append(Gate(kind, a, b, **kw))
+        return len(self.gates) - 1
+
+    def const(self, bit: int) -> int:
+        if bit:
+            if self._const1 is None:
+                self._const1 = self.new(CONST1)
+            return self._const1
+        if self._const0 is None:
+            self._const0 = self.new(CONST0)
+        return self._const0
+
+    def g_and(self, a: int, b: int) -> int:
+        return self.new(AND, a, b)
+
+    def g_or(self, a: int, b: int) -> int:
+        return self.new(OR, a, b)
+
+    def g_xor(self, a: int, b: int) -> int:
+        return self.new(XOR, a, b)
+
+    def g_inv(self, a: int) -> int:
+        return self.new(INV, a)
+
+    def g_mux(self, sel: int, a: int, b: int) -> int:
+        """sel ? a : b"""
+        ns = self.g_inv(sel)
+        return self.g_or(self.g_and(sel, a), self.g_and(ns, b))
+
+    def or_tree(self, bits: list[int]) -> int:
+        if not bits:
+            return self.const(0)
+        while len(bits) > 1:
+            nxt = [self.g_or(bits[i], bits[i + 1]) for i in range(0, len(bits) - 1, 2)]
+            if len(bits) % 2:
+                nxt.append(bits[-1])
+            bits = nxt
+        return bits[0]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for g in self.gates:
+            out[g.kind] = out.get(g.kind, 0) + 1
+        return out
+
+
+class NetlistSimulator:
+    """Event-free two-phase simulator: full evaluation each cycle."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.state: dict[int, int] = {}
+        for i, g in enumerate(netlist.gates):
+            if g.kind == DFF:
+                self.state[i] = g.init
+
+    def step(self, inputs: dict[str, int]) -> dict[str, int]:
+        nl = self.netlist
+        value: list[int] = [0] * len(nl.gates)
+        # inputs
+        for name, nets in nl.inputs.items():
+            v = inputs.get(name, 0)
+            for bit, net in enumerate(nets):
+                value[net] = (v >> bit) & 1
+        # combinational evaluation; gate list is topologically ordered by
+        # construction (DFF outputs behave as sources)
+        for i, g in enumerate(nl.gates):
+            if g.kind == AND:
+                value[i] = value[g.a] & value[g.b]
+            elif g.kind == OR:
+                value[i] = value[g.a] | value[g.b]
+            elif g.kind == XOR:
+                value[i] = value[g.a] ^ value[g.b]
+            elif g.kind == INV:
+                value[i] = 1 - value[g.a]
+            elif g.kind == DFF:
+                value[i] = self.state[i]
+            elif g.kind == CONST0:
+                value[i] = 0
+            elif g.kind == CONST1:
+                value[i] = 1
+        # second pass so DFF data nets defined after the DFF are seen
+        for i, g in enumerate(nl.gates):
+            if g.kind == AND:
+                value[i] = value[g.a] & value[g.b]
+            elif g.kind == OR:
+                value[i] = value[g.a] | value[g.b]
+            elif g.kind == XOR:
+                value[i] = value[g.a] ^ value[g.b]
+            elif g.kind == INV:
+                value[i] = 1 - value[g.a]
+        outs = {
+            name: sum(value[net] << bit for bit, net in enumerate(nets))
+            for name, nets in nl.outputs.items()
+        }
+        for dff, d in nl.dff_d.items():
+            self.state[dff] = value[d]
+        return outs
+
+
+class _Blaster:
+    def __init__(self, module: Module):
+        self.module = module
+        self.nl = Netlist(module.name)
+        self.signals: dict[str, list[int]] = {}
+
+    def build(self) -> Netlist:
+        m = self.module
+        if m.arrays:
+            raise NetlistError("gate-level netlists do not support arrays")
+        for name, width in m.inputs.items():
+            nets = [self.nl.new(INPUT, name=name) for _ in range(width)]
+            self.nl.inputs[name] = nets
+            self.signals[name] = nets
+        dff_nets: dict[str, list[int]] = {}
+        for reg in m.regs.values():
+            nets = [
+                self.nl.new(DFF, init=(reg.init >> bit) & 1) for bit in range(reg.width)
+            ]
+            dff_nets[reg.name] = nets
+            self.signals[reg.name] = nets
+        for name, expr in m.comb:
+            self.signals[name] = self.bits(expr)
+        for reg, sig in m.reg_next.items():
+            for q, d in zip(dff_nets[reg], self.signals[sig]):
+                self.nl.dff_d[q] = d
+        for port, sig in m.outputs.items():
+            self.nl.outputs[port] = self.signals[sig]
+        return self.nl
+
+    # -- expression lowering ----------------------------------------------------
+
+    def bits(self, e: HExpr) -> list[int]:
+        nl = self.nl
+        if isinstance(e, HConst):
+            return [nl.const((e.value >> bit) & 1) for bit in range(e.width)]
+        if isinstance(e, HRef):
+            return list(self.signals[e.name])
+        assert isinstance(e, HOp)
+        op = e.op
+        if op in ("add", "sub"):
+            a = self.bits(e.args[0])
+            b = self.bits(e.args[1])
+            return self._addsub(a, b, e.width, subtract=op == "sub")
+        if op == "neg":
+            zero = [nl.const(0)] * e.width
+            return self._addsub(zero, self.bits(e.args[0]), e.width, subtract=True)
+        if op in ("and", "or", "xor"):
+            a = self._fit(self.bits(e.args[0]), e.width)
+            b = self._fit(self.bits(e.args[1]), e.width)
+            fn = {"and": nl.g_and, "or": nl.g_or, "xor": nl.g_xor}[op]
+            return [fn(x, y) for x, y in zip(a, b)]
+        if op == "not":
+            return [nl.g_inv(x) for x in self._fit(self.bits(e.args[0]), e.width)]
+        if op == "mux":
+            sel = self.or_reduce(self.bits(e.args[0]))
+            a = self._fit(self.bits(e.args[1]), e.width)
+            b = self._fit(self.bits(e.args[2]), e.width)
+            return [nl.g_mux(sel, x, y) for x, y in zip(a, b)]
+        if op in ("eq", "ne"):
+            w = max(a.width for a in e.args)
+            a = self._fit(self.bits(e.args[0]), w)
+            b = self._fit(self.bits(e.args[1]), w)
+            diff = nl.or_tree([nl.g_xor(x, y) for x, y in zip(a, b)])
+            return [diff if op == "ne" else nl.g_inv(diff)]
+        if op in ("lt", "ge", "gt", "le"):
+            w = max(a.width for a in e.args)
+            a = self._fit(self.bits(e.args[0]), w)
+            b = self._fit(self.bits(e.args[1]), w)
+            if op in ("gt", "le"):
+                a, b = b, a
+            borrow = self._borrow(a, b)
+            return [borrow if op in ("lt", "gt") else nl.g_inv(borrow)]
+        if op in ("land", "lor", "lnot"):
+            reduced = [self.or_reduce(self.bits(arg)) for arg in e.args]
+            if op == "land":
+                return [nl.g_and(reduced[0], reduced[1])]
+            if op == "lor":
+                return [nl.g_or(reduced[0], reduced[1])]
+            return [nl.g_inv(reduced[0])]
+        if op in ("shl", "shr"):
+            if not isinstance(e.args[1], HConst):
+                raise NetlistError("netlist shifts must have constant amounts")
+            amt = e.args[1].value
+            a = self.bits(e.args[0])
+            if op == "shl":
+                shifted = [nl.const(0)] * amt + a
+            else:
+                shifted = a[amt:] or [nl.const(0)]
+            return self._fit(shifted, e.width)
+        if op == "slice":
+            a = self.bits(e.args[0])
+            return self._fit(a[e.lo : e.hi + 1], e.width)
+        if op == "cat":
+            out: list[int] = []
+            for part in reversed(e.args):
+                out.extend(self.bits(part))
+            return self._fit(out, e.width)
+        if op == "zext":
+            return self._fit(self.bits(e.args[0]), e.width)
+        if op == "sext":
+            a = self.bits(e.args[0])
+            return (a + [a[-1]] * e.width)[: e.width]
+        raise NetlistError(f"netlist lowering does not support op {op!r}")
+
+    def or_reduce(self, bits: list[int]) -> int:
+        return self.nl.or_tree(bits)
+
+    def _fit(self, bits: list[int], width: int) -> list[int]:
+        if len(bits) >= width:
+            return bits[:width]
+        return bits + [self.nl.const(0)] * (width - len(bits))
+
+    def _addsub(self, a: list[int], b: list[int], width: int, subtract: bool) -> list[int]:
+        nl = self.nl
+        a = self._fit(a, width)
+        b = self._fit(b, width)
+        if subtract:
+            b = [nl.g_inv(x) for x in b]
+        carry = nl.const(1 if subtract else 0)
+        out = []
+        for x, y in zip(a, b):
+            axy = nl.g_xor(x, y)
+            out.append(nl.g_xor(axy, carry))
+            carry = nl.g_or(nl.g_and(x, y), nl.g_and(carry, axy))
+        return out
+
+    def _borrow(self, a: list[int], b: list[int]) -> int:
+        """Borrow-out of a - b, i.e. the a < b predicate (unsigned)."""
+        nl = self.nl
+        b_inv = [nl.g_inv(x) for x in b]
+        carry = nl.const(1)
+        for x, y in zip(a, b_inv):
+            axy = nl.g_xor(x, y)
+            carry = nl.g_or(nl.g_and(x, y), nl.g_and(carry, axy))
+        return nl.g_inv(carry)
+
+
+def bit_blast(module: Module) -> Netlist:
+    """Lower *module* to a gate-level netlist (small designs only)."""
+    module.validate()
+    return _Blaster(module).build()

@@ -1,0 +1,114 @@
+"""A 90 nm-style standard-cell library cost model.
+
+Substitute for the Synopsys 90 nm generic library + Design Compiler used
+in the paper's section 4.5.  All numbers are representative of a 90 nm
+process; the evaluation only relies on *relative* costs across the four
+processor variants, which a consistent model preserves.
+
+Units: area in um^2, delay in ns per logic level, energy in pJ per
+switching event, leakage in uW per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    name: str
+    area: float      # um^2
+    delay: float     # ns
+    leakage: float   # uW
+    energy: float    # pJ per output toggle
+
+
+#: The five primitive cell types every design is decomposed into.
+CELLS: dict[str, Cell] = {
+    "and2": Cell("and2", 5.5, 0.040, 0.012, 0.0021),
+    "or2": Cell("or2", 5.5, 0.042, 0.012, 0.0021),
+    "xor2": Cell("xor2", 8.8, 0.055, 0.020, 0.0034),
+    "inv": Cell("inv", 3.3, 0.020, 0.006, 0.0010),
+    "dff": Cell("dff", 22.0, 0.120, 0.080, 0.0090),
+}
+
+#: SRAM macro density (bits are cheaper than flops but are reported
+#: separately, mirroring the paper's exclusion of memory from synthesis).
+SRAM_UM2_PER_BIT = 1.2
+
+#: Default switching-activity factor for dynamic power estimation.
+ACTIVITY = 0.15
+
+#: Assumed clock frequency for power estimation (MHz).
+CLOCK_MHZ = 200.0
+
+
+@dataclass
+class GateCounts:
+    """Primitive-cell census of a synthesized design."""
+
+    and2: int = 0
+    or2: int = 0
+    xor2: int = 0
+    inv: int = 0
+    dff: int = 0
+    sram_bits: int = 0
+
+    def add(self, other: "GateCounts", times: int = 1) -> None:
+        self.and2 += other.and2 * times
+        self.or2 += other.or2 * times
+        self.xor2 += other.xor2 * times
+        self.inv += other.inv * times
+        self.dff += other.dff * times
+        self.sram_bits += other.sram_bits * times
+
+    def total_gates(self) -> int:
+        return self.and2 + self.or2 + self.xor2 + self.inv + self.dff
+
+    def area_um2(self) -> float:
+        return (
+            self.and2 * CELLS["and2"].area
+            + self.or2 * CELLS["or2"].area
+            + self.xor2 * CELLS["xor2"].area
+            + self.inv * CELLS["inv"].area
+            + self.dff * CELLS["dff"].area
+        )
+
+    def sram_area_um2(self) -> float:
+        return self.sram_bits * SRAM_UM2_PER_BIT
+
+    def leakage_uw(self) -> float:
+        return (
+            self.and2 * CELLS["and2"].leakage
+            + self.or2 * CELLS["or2"].leakage
+            + self.xor2 * CELLS["xor2"].leakage
+            + self.inv * CELLS["inv"].leakage
+            + self.dff * CELLS["dff"].leakage
+        )
+
+    def dynamic_uw(self, activity: float = ACTIVITY, clock_mhz: float = CLOCK_MHZ) -> float:
+        # uW = pJ * MHz * activity
+        energy = (
+            self.and2 * CELLS["and2"].energy
+            + self.or2 * CELLS["or2"].energy
+            + self.xor2 * CELLS["xor2"].energy
+            + self.inv * CELLS["inv"].energy
+            + self.dff * CELLS["dff"].energy
+        )
+        return energy * clock_mhz * activity
+
+    def power_uw(self) -> float:
+        return self.leakage_uw() + self.dynamic_uw()
+
+
+#: Average combinational level delay used by the depth-based critical
+#: path estimate (ns); a blend of the cell delays plus wire RC.
+LEVEL_DELAY_NS = 0.048
+
+#: Fixed sequential overhead per cycle: clock->Q plus setup (ns).
+SEQUENTIAL_OVERHEAD_NS = 0.30
+
+
+def critical_path_ns(levels: int) -> float:
+    """Clock-period estimate from a logic-level count."""
+    return SEQUENTIAL_OVERHEAD_NS + levels * LEVEL_DELAY_NS

@@ -1,0 +1,98 @@
+"""Synthesizable Verilog emission from the HDL IR.
+
+Mirrors the paper's Figure 3: the Sapper compiler's output is plain
+Verilog with the tracking/checking logic materialized as assigns.  The
+emitted text targets the same subset Design Compiler accepts; division
+is guarded so simulation matches the IR's division-by-zero convention.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
+
+_INFIX = {
+    "add": "+", "sub": "-", "mul": "*",
+    "and": "&", "or": "|", "xor": "^",
+    "shl": "<<", "shr": ">>",
+    "eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+    "land": "&&", "lor": "||",
+}
+
+
+def _emit(e: HExpr) -> str:
+    if isinstance(e, HConst):
+        return f"{e.width}'d{e.value}"
+    if isinstance(e, HRef):
+        return e.name
+    assert isinstance(e, HOp)
+    a = [_emit(c) for c in e.args]
+    op = e.op
+    if op in _INFIX:
+        return f"({a[0]} {_INFIX[op]} {a[1]})"
+    if op == "div":
+        return f"(({a[1]} == 0) ? {{{e.width}{{1'b1}}}} : ({a[0]} / {a[1]}))"
+    if op == "mod":
+        return f"(({a[1]} == 0) ? {a[0]} : ({a[0]} % {a[1]}))"
+    if op == "asr":
+        return f"($signed({a[0]}) >>> {a[1]})"
+    if op in ("lts", "les", "gts", "ges"):
+        sym = {"lts": "<", "les": "<=", "gts": ">", "ges": ">="}[op]
+        return f"($signed({a[0]}) {sym} $signed({a[1]}))"
+    if op == "not":
+        return f"(~{a[0]})"
+    if op == "lnot":
+        return f"(!{a[0]})"
+    if op == "neg":
+        return f"(-{a[0]})"
+    if op == "mux":
+        return f"({a[0]} ? {a[1]} : {a[2]})"
+    if op == "cat":
+        return "{" + ", ".join(a) + "}"
+    if op == "slice":
+        mask = (1 << e.width) - 1
+        return f"(({a[0]} >> {e.lo}) & {e.width}'h{mask:x})"
+    if op == "zext":
+        return a[0]
+    if op == "sext":
+        return f"$signed({a[0]})"
+    if op == "read":
+        return f"{e.array}[{a[0]}]"
+    raise ValueError(f"cannot emit Verilog for op {op!r}")
+
+
+def emit_verilog(module: Module) -> str:
+    """Emit *module* as a single synthesizable Verilog module."""
+    lines: list[str] = []
+    ports = ["clk"] + list(module.inputs) + list(module.outputs)
+    lines.append(f"module {module.name}({', '.join(ports)});")
+    lines.append("  input clk;")
+    for name, width in module.inputs.items():
+        vec = f"[{width - 1}:0] " if width > 1 else ""
+        lines.append(f"  input {vec}{name};")
+    for port, sig in module.outputs.items():
+        width = module.width_of(sig)
+        vec = f"[{width - 1}:0] " if width > 1 else ""
+        lines.append(f"  output {vec}{port};")
+    for reg in module.regs.values():
+        vec = f"[{reg.width - 1}:0] " if reg.width > 1 else ""
+        lines.append(f"  reg {vec}{reg.name};")
+    for arr in module.arrays.values():
+        vec = f"[{arr.width - 1}:0] " if arr.width > 1 else ""
+        lines.append(f"  reg {vec}{arr.name} [0:{arr.size - 1}];")
+    lines.append("")
+    for name, expr in module.comb:
+        width = module.width_of(name)
+        vec = f"[{width - 1}:0] " if width > 1 else ""
+        lines.append(f"  wire {vec}{name} = {_emit(expr)};")
+    lines.append("")
+    lines.append("  always @(posedge clk) begin")
+    for reg, sig in module.reg_next.items():
+        lines.append(f"    {reg} <= {sig};")
+    for wr in module.array_writes:
+        lines.append(f"    if ({_emit(wr.enable)}) {wr.array}[{_emit(wr.addr)}] <= {_emit(wr.data)};")
+    lines.append("  end")
+    lines.append("")
+    for port, sig in module.outputs.items():
+        lines.append(f"  assign {port} = {sig};")
+    lines.append("endmodule")
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""The micro-kernel of section 4.4.
+
+A simplified kernel in MIPS assembly that demonstrates the paper's
+security-validation setup: it schedules two processes at different
+security levels (round-robin, fixed quanta), saves/restores their
+registers on every context switch, labels the high process's memory with
+``set-tag`` at boot, and arms the trusted timer with ``set-timer``
+before every dispatch so that untrusted code is always preempted.  The
+kernel provides *no* security enforcement itself -- all enforcement is
+the processor's (exactly the paper's point).
+
+Conventions: processes own the saved register subset (``$s0-$s3``,
+``$t0-$t3``, ``$v0``, ``$ra``) plus ``pc``; ``$k0/$k1`` are
+kernel-reserved and ``$at`` is assembler-reserved.  Memory is statically
+allocated (the paper modified its benchmarks the same way).
+"""
+
+from repro.kernel.image import KernelImage, build_kernel_image
+
+__all__ = ["KernelImage", "build_kernel_image"]

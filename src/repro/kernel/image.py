@@ -1,0 +1,181 @@
+"""Kernel + two-process system image builder (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mips.assembler import Executable, assemble
+
+#: memory map
+KERNEL_TEXT = 0x400
+LPROC_TEXT = 0x1000
+HPROC_TEXT = 0x3000
+KDATA = 0x10000          # qcount, cur_proc, save-pointer table
+LSAVE = 0x10100          # L process save area (11 words)
+LDATA = 0x10200          # l_result
+HSAVE = 0x20000          # H process save area
+HDATA = 0x200C0          # h_seed, h_result
+H_REGION = (0x20000, 0x20100)
+H_CODE_REGION = (0x3000, 0x3100)
+
+QUANTUM = 250
+MAX_QUANTA = 6
+
+#: save-area slot offsets: pc, s0-s3, t0-t3, v0, ra
+_SLOTS = ["pc", "s0", "s1", "s2", "s3", "t0", "t1", "t2", "t3", "v0", "ra"]
+
+
+@dataclass
+class KernelImage:
+    executable: Executable
+    tag_regions: list[tuple[int, int, str]] = field(default_factory=list)
+    l_result_addr: int = LDATA
+    h_result_addr: int = HDATA + 4
+
+
+def _save_block(base_reg: str) -> str:
+    lines = []
+    for i, slot in enumerate(_SLOTS[1:], start=1):
+        lines.append(f"    sw   ${slot}, {i * 4}({base_reg})")
+    return "\n".join(lines)
+
+
+def _restore_block(base_reg: str) -> str:
+    lines = []
+    for i, slot in enumerate(_SLOTS[1:], start=1):
+        lines.append(f"    lw   ${slot}, {i * 4}({base_reg})")
+    return "\n".join(lines)
+
+
+def kernel_source(h_seed: int) -> str:
+    """Full system assembly: kernel, L process, H process, data."""
+    return f"""
+# ==================== micro-kernel (runs at L) ====================
+.org {KERNEL_TEXT:#x}
+kentry:
+    # Only $k0/$k1 may be touched before the save: all other registers
+    # still belong to the preempted process.
+    la   $k0, qcount
+    lw   $k1, 0($k0)
+    addiu $k1, $k1, 1
+    sw   $k1, 0($k0)
+    addiu $k1, $k1, -1
+    beq  $k1, $zero, boot_init        # first entry: nothing to save
+    # ---- save the current process's context ----
+    la   $k0, cur_ptr
+    lw   $k0, 0($k0)                  # save-area base
+{_save_block("$k0")}
+    li   $k1, 0x40000008              # MMIO: epc of the preempted code
+    lw   $k1, 0($k1)
+    sw   $k1, 0($k0)                  # pc slot
+    b    pick_next
+
+boot_init:
+    # label the high process's memory and code with set-tag (section 4.2:
+    # "the set-tag instruction allows software to explicitly modify the
+    # security tag of a word in memory")
+    li   $t0, {H_REGION[0]:#x}
+    li   $t1, {H_REGION[1]:#x}
+    li   $t2, 1                       # encoding of H in the 2-level lattice
+tagloop1:
+    setrtag $t0, $t2
+    addiu $t0, $t0, 4
+    blt  $t0, $t1, tagloop1
+    li   $t0, {H_CODE_REGION[0]:#x}
+    li   $t1, {H_CODE_REGION[1]:#x}
+tagloop2:
+    setrtag $t0, $t2
+    addiu $t0, $t0, 4
+    blt  $t0, $t1, tagloop2
+    la   $t0, cur_proc                # start so that L runs first
+    li   $t1, 1
+    sw   $t1, 0($t0)
+
+pick_next:
+    la   $t0, cur_proc
+    lw   $t1, 0($t0)
+    li   $t2, 1
+    subu $t1, $t2, $t1                # next = 1 - cur
+    sw   $t1, 0($t0)
+    la   $t3, ptr_table
+    sll  $t4, $t1, 2
+    addu $t3, $t3, $t4
+    lw   $t5, 0($t3)                  # next save-area base
+    la   $t6, cur_ptr
+    sw   $t5, 0($t6)
+    # stop after the quanta budget
+    la   $t0, qcount
+    lw   $t1, 0($t0)
+    li   $t2, {MAX_QUANTA}
+    bgt  $t1, $t2, shutdown
+    # ---- restore and dispatch ----
+    move $k0, $t5
+{_restore_block("$k0")}
+    lw   $k1, 0($k0)                  # pc
+    li   $at, {QUANTUM}
+    setrtimer $at
+    jr   $k1
+
+shutdown:
+    li   $t9, 0x40000004
+    sw   $zero, 0($t9)
+
+# ==================== L process: trusted computation ====================
+.org {LPROC_TEXT:#x}
+lproc:
+    li   $t0, 30
+    li   $s0, 0
+    li   $s1, 1
+lloop:
+    add  $s0, $s0, $s1
+    addiu $s1, $s1, 1
+    ble  $s1, $t0, lloop
+    la   $t1, l_result
+    sw   $s0, 0($t1)
+    li   $t2, 0x40000000              # low-observable output port
+    sw   $s0, 0($t2)
+lspin:
+    b    lspin
+
+# ==================== H process: untrusted computation ====================
+.org {HPROC_TEXT:#x}
+hproc:
+    la   $t0, hdata
+    lw   $s0, 0($t0)                  # h_seed (H-tagged)
+    li   $s1, 1103515245
+hloop:
+    mult $s0, $s1
+    mflo $s0
+    addiu $s0, $s0, 12345
+    sw   $s0, 4($t0)                  # h_result (H-tagged cell)
+    b    hloop
+
+# ==================== data ====================
+.org {KDATA:#x}
+qcount:   .word 0
+cur_proc: .word 0
+cur_ptr:  .word 0
+ptr_table: .word {LSAVE:#x}, {HSAVE:#x}
+
+.org {LSAVE:#x}
+lsave: .word {LPROC_TEXT:#x}, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+.org {LDATA:#x}
+l_result: .word 0
+
+.org {HSAVE:#x}
+hsave: .word {HPROC_TEXT:#x}, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+.org {HDATA:#x}
+hdata: .word {h_seed:#x}, 0
+"""
+
+
+def build_kernel_image(h_seed: int = 0x1234) -> KernelImage:
+    """Assemble the full system image.
+
+    The kernel itself tags the H regions with ``set-tag`` at boot, so no
+    harness-side tagging is strictly required; the returned
+    ``tag_regions`` list is empty by default and exists for experiments
+    that want to pre-tag additional regions.
+    """
+    exe = assemble(kernel_source(h_seed))
+    return KernelImage(executable=exe)

@@ -1,0 +1,39 @@
+"""Finite security lattices and their hardware encodings.
+
+A security policy in Sapper is an arbitrary finite lattice of labels
+(paper, section 2.1).  This subpackage provides:
+
+* :class:`~repro.lattice.core.Lattice` -- validated finite lattices with
+  join/meet, plus the standard constructions used in the paper (the
+  two-level low/high lattice and the four-point "diamond" of section 4.6).
+* :mod:`repro.lattice.encoding` -- bit-level encodings used by the
+  compiler: the Birkhoff down-set encoding for distributive lattices
+  (join = bitwise OR, leq = subset test) and a lookup-table encoding for
+  arbitrary lattices.
+"""
+
+from repro.lattice.core import (
+    Lattice,
+    LatticeError,
+    diamond,
+    from_order,
+    powerset,
+    product,
+    total_order,
+    two_level,
+)
+from repro.lattice.encoding import BitEncoding, LutEncoding, encode
+
+__all__ = [
+    "Lattice",
+    "LatticeError",
+    "two_level",
+    "diamond",
+    "total_order",
+    "powerset",
+    "product",
+    "from_order",
+    "BitEncoding",
+    "LutEncoding",
+    "encode",
+]

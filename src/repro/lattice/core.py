@@ -1,0 +1,252 @@
+"""Finite lattices of security labels.
+
+Labels are plain strings.  A :class:`Lattice` is built from a partial
+order and validated: every pair of elements must have a unique least
+upper bound (join) and greatest lower bound (meet), and the lattice must
+have bottom and top elements.  Joins drive tag propagation (section 3.3
+of the paper); the partial order drives enforcement checks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+
+class LatticeError(ValueError):
+    """Raised when a declared order does not form a lattice."""
+
+
+class Lattice:
+    """A finite security lattice.
+
+    Parameters
+    ----------
+    elements:
+        Label names.  Order of iteration is preserved and used as the
+        canonical element order (and the default LUT encoding order).
+    leq_pairs:
+        The partial order as a set of ``(lo, hi)`` pairs meaning
+        ``lo <= hi``.  The reflexive-transitive closure is taken
+        automatically; the result is validated to be a lattice.
+    """
+
+    def __init__(self, elements: Iterable[str], leq_pairs: Iterable[tuple[str, str]]):
+        self._elements: tuple[str, ...] = tuple(elements)
+        if len(set(self._elements)) != len(self._elements):
+            raise LatticeError("duplicate lattice elements")
+        if not self._elements:
+            raise LatticeError("a lattice needs at least one element")
+        index = {e: i for i, e in enumerate(self._elements)}
+        for lo, hi in leq_pairs:
+            if lo not in index or hi not in index:
+                raise LatticeError(f"order pair ({lo!r}, {hi!r}) mentions unknown element")
+
+        self._index = index
+        self._leq = self._close({(index[a], index[b]) for a, b in leq_pairs})
+        self._join_table, self._meet_table = self._build_tables()
+        self._bot = self._find_extreme(is_bottom=True)
+        self._top = self._find_extreme(is_bottom=False)
+
+    # -- construction helpers ------------------------------------------------
+
+    def _close(self, pairs: set[tuple[int, int]]) -> list[list[bool]]:
+        n = len(self._elements)
+        leq = [[False] * n for _ in range(n)]
+        for i in range(n):
+            leq[i][i] = True
+        for a, b in pairs:
+            leq[a][b] = True
+        # Floyd-Warshall style transitive closure.
+        for k in range(n):
+            for i in range(n):
+                if leq[i][k]:
+                    row_k = leq[k]
+                    row_i = leq[i]
+                    for j in range(n):
+                        if row_k[j]:
+                            row_i[j] = True
+        for i in range(n):
+            for j in range(n):
+                if i != j and leq[i][j] and leq[j][i]:
+                    raise LatticeError(
+                        f"order is not antisymmetric: {self._elements[i]!r} and "
+                        f"{self._elements[j]!r} are mutually <="
+                    )
+        return leq
+
+    def _build_tables(self) -> tuple[list[list[int]], list[list[int]]]:
+        n = len(self._elements)
+        leq = self._leq
+        join = [[0] * n for _ in range(n)]
+        meet = [[0] * n for _ in range(n)]
+        for a in range(n):
+            for b in range(n):
+                ub = [c for c in range(n) if leq[a][c] and leq[b][c]]
+                lub = [c for c in ub if all(leq[c][d] for d in ub)]
+                if len(lub) != 1:
+                    raise LatticeError(
+                        f"no unique join for {self._elements[a]!r} and {self._elements[b]!r}"
+                    )
+                join[a][b] = lub[0]
+                lb = [c for c in range(n) if leq[c][a] and leq[c][b]]
+                glb = [c for c in lb if all(leq[d][c] for d in lb)]
+                if len(glb) != 1:
+                    raise LatticeError(
+                        f"no unique meet for {self._elements[a]!r} and {self._elements[b]!r}"
+                    )
+                meet[a][b] = glb[0]
+        return join, meet
+
+    def _find_extreme(self, is_bottom: bool) -> str:
+        n = len(self._elements)
+        for i in range(n):
+            if all(self._leq[i][j] if is_bottom else self._leq[j][i] for j in range(n)):
+                return self._elements[i]
+        raise LatticeError("lattice has no bottom element" if is_bottom else "lattice has no top element")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def elements(self) -> tuple[str, ...]:
+        """All labels, in canonical order."""
+        return self._elements
+
+    @property
+    def bottom(self) -> str:
+        """The least element (public / untrusted-from-nobody)."""
+        return self._bot
+
+    @property
+    def top(self) -> str:
+        """The greatest element."""
+        return self._top
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lattice):
+            return NotImplemented
+        return self._elements == other._elements and self._leq == other._leq
+
+    def __hash__(self) -> int:
+        return hash((self._elements, tuple(tuple(r) for r in self._leq)))
+
+    def __repr__(self) -> str:
+        return f"Lattice({list(self._elements)!r})"
+
+    def index(self, label: str) -> int:
+        """Canonical index of *label* (used by the LUT encoding)."""
+        return self._index[label]
+
+    def check(self, label: str) -> str:
+        """Return *label* unchanged, raising ``LatticeError`` if unknown."""
+        if label not in self._index:
+            raise LatticeError(f"unknown security label {label!r}; known: {list(self._elements)}")
+        return label
+
+    def leq(self, a: str, b: str) -> bool:
+        """True iff ``a <= b`` in the lattice (information may flow a -> b)."""
+        return self._leq[self._index[a]][self._index[b]]
+
+    def join(self, *labels: str) -> str:
+        """Least upper bound of the given labels (bottom if none given)."""
+        acc = self._index[self._bot]
+        for lab in labels:
+            acc = self._join_table[acc][self._index[lab]]
+        return self._elements[acc]
+
+    def meet(self, *labels: str) -> str:
+        """Greatest lower bound of the given labels (top if none given)."""
+        acc = self._index[self._top]
+        for lab in labels:
+            acc = self._meet_table[acc][self._index[lab]]
+        return self._elements[acc]
+
+    def upset(self, label: str) -> frozenset[str]:
+        """All labels >= *label* (the "H" set of the proof appendix is a complement of a downset)."""
+        i = self._index[label]
+        return frozenset(e for e in self._elements if self._leq[i][self._index[e]])
+
+    def downset(self, label: str) -> frozenset[str]:
+        """All labels <= *label* (the "L" observer set of Appendix A.2)."""
+        i = self._index[label]
+        return frozenset(e for e in self._elements if self._leq[self._index[e]][i])
+
+    def join_irreducibles(self) -> tuple[str, ...]:
+        """Elements with exactly one lower cover; the basis of the Birkhoff encoding."""
+        out = []
+        for e in self._elements:
+            i = self._index[e]
+            strictly_below = [j for j in range(len(self._elements)) if self._leq[j][i] and j != i]
+            covers = [
+                j
+                for j in strictly_below
+                if not any(self._leq[j][k] and self._leq[k][i] and k not in (i, j) for k in strictly_below)
+            ]
+            if len(covers) == 1:
+                out.append(e)
+        return tuple(out)
+
+    def is_distributive(self) -> bool:
+        """True iff the lattice is distributive (then join embeds into bitwise OR)."""
+        names = self._elements
+        for a, b, c in combinations(names, 3):
+            for x, y, z in ((a, b, c), (b, a, c), (c, a, b)):
+                if self.meet(x, self.join(y, z)) != self.join(self.meet(x, y), self.meet(x, z)):
+                    return False
+        return True
+
+
+def from_order(elements: Sequence[str], leq_pairs: Iterable[tuple[str, str]]) -> Lattice:
+    """Build and validate a lattice from covering/order pairs."""
+    return Lattice(elements, leq_pairs)
+
+
+def two_level(low: str = "L", high: str = "H") -> Lattice:
+    """The classic two-point lattice low < high used throughout the paper."""
+    return Lattice([low, high], [(low, high)])
+
+
+def diamond() -> Lattice:
+    """The four-point diamond of section 4.6: L < M1, M2 < H, M1 # M2."""
+    return Lattice(["L", "M1", "M2", "H"], [("L", "M1"), ("L", "M2"), ("M1", "H"), ("M2", "H")])
+
+
+def total_order(names: Sequence[str]) -> Lattice:
+    """A chain ``names[0] < names[1] < ...`` (e.g. unclassified < secret < topsecret)."""
+    return Lattice(names, [(a, b) for a, b in zip(names, names[1:])])
+
+
+def powerset(tags: Sequence[str]) -> Lattice:
+    """The powerset lattice over atomic *tags*, ordered by inclusion.
+
+    Element names are ``"{}"`` for the empty set and ``"{a,b}"`` style
+    strings otherwise, with tags listed in the given order.
+    """
+    subsets: list[frozenset[str]] = []
+    for mask in range(1 << len(tags)):
+        subsets.append(frozenset(t for i, t in enumerate(tags) if mask >> i & 1))
+
+    def name(s: frozenset[str]) -> str:
+        return "{" + ",".join(t for t in tags if t in s) + "}"
+
+    pairs = [(name(a), name(b)) for a in subsets for b in subsets if a <= b and a != b]
+    return Lattice([name(s) for s in subsets], pairs)
+
+
+def product(a: Lattice, b: Lattice, sep: str = "*") -> Lattice:
+    """Component-wise product lattice, e.g. confidentiality x integrity."""
+    names = [f"{x}{sep}{y}" for x in a.elements for y in b.elements]
+    pairs = []
+    for x1 in a.elements:
+        for y1 in b.elements:
+            for x2 in a.elements:
+                for y2 in b.elements:
+                    if a.leq(x1, x2) and b.leq(y1, y2):
+                        pairs.append((f"{x1}{sep}{y1}", f"{x2}{sep}{y2}"))
+    return Lattice(names, pairs)

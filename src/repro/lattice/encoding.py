@@ -1,0 +1,122 @@
+"""Hardware bit encodings of security lattices.
+
+The Sapper compiler stores an *n*-bit tag next to every register (paper,
+section 3.3: "each variable has an n-bit tag ... where n depends on the
+size of the security lattice") and needs combinational logic for two
+operations: ``join`` (tag propagation) and ``leq`` (enforcement checks).
+
+Two encodings are provided:
+
+* :class:`BitEncoding` -- the Birkhoff down-set encoding, available for
+  distributive lattices.  Each label maps to the bitmask of
+  join-irreducible elements below it, so ``join`` is bitwise OR and
+  ``a <= b`` is the subset test ``(a | b) == b``.  Both the two-level and
+  the diamond lattices of the paper are distributive, and both get the
+  natural encodings (1 bit for low/high, 2 bits for the diamond — hence
+  the "one more bit for each tag" observation of section 4.6).
+* :class:`LutEncoding` -- a dense index encoding with explicit join/leq
+  tables, sound for *any* finite lattice (e.g. the non-distributive M3
+  and N5), at the cost of table-lookup logic.
+"""
+
+from __future__ import annotations
+
+from repro.lattice.core import Lattice
+
+
+class BitEncoding:
+    """Down-set (Birkhoff) encoding of a distributive lattice."""
+
+    kind = "bitmask"
+
+    def __init__(self, lattice: Lattice):
+        if not lattice.is_distributive():
+            raise ValueError("BitEncoding requires a distributive lattice; use LutEncoding")
+        self.lattice = lattice
+        self._basis = lattice.join_irreducibles()
+        self.width = max(1, len(self._basis))
+        self._to_bits = {
+            label: sum(1 << i for i, j in enumerate(self._basis) if lattice.leq(j, label))
+            for label in lattice.elements
+        }
+        self._from_bits = {bits: label for label, bits in self._to_bits.items()}
+        if len(self._from_bits) != len(lattice):
+            raise ValueError("down-set encoding is not injective (lattice invalid?)")
+
+    def encode(self, label: str) -> int:
+        """Bit pattern of *label*."""
+        return self._to_bits[self.lattice.check(label)]
+
+    def decode(self, bits: int) -> str:
+        """Label of a bit pattern produced by :meth:`encode` or :meth:`join_bits`."""
+        return self._from_bits[bits]
+
+    def join_bits(self, a: int, b: int) -> int:
+        """Hardware join: bitwise OR."""
+        return a | b
+
+    def leq_bits(self, a: int, b: int) -> bool:
+        """Hardware flow check: subset test."""
+        return (a | b) == b
+
+    def is_closed(self, bits: int) -> bool:
+        """True iff *bits* denotes a lattice element (ORs of encodings always are)."""
+        return bits in self._from_bits
+
+    def clamp(self, bits: int) -> str:
+        """Interpret arbitrary *bits* as a label, rounding upward: the
+        join of the basis elements whose bits are set (never rounds a
+        pattern down, so clamping cannot declassify)."""
+        labels = [j for i, j in enumerate(self._basis) if bits >> i & 1]
+        return self.lattice.join(*labels)
+
+    def basis(self) -> tuple[str, ...]:
+        """The join-irreducible elements, in bit order."""
+        return self._basis
+
+
+class LutEncoding:
+    """Dense index encoding with explicit join/leq tables.
+
+    Works for every finite lattice.  The compiler lowers ``join`` and
+    ``leq`` to lookup-table logic (nested muxes) instead of OR/subset.
+    """
+
+    kind = "lut"
+
+    def __init__(self, lattice: Lattice):
+        self.lattice = lattice
+        n = len(lattice)
+        self.width = max(1, (n - 1).bit_length())
+        self._join_table = [
+            [lattice.index(lattice.join(a, b)) for b in lattice.elements] for a in lattice.elements
+        ]
+        self._leq_table = [[lattice.leq(a, b) for b in lattice.elements] for a in lattice.elements]
+
+    def encode(self, label: str) -> int:
+        return self.lattice.index(self.lattice.check(label))
+
+    def decode(self, bits: int) -> str:
+        return self.lattice.elements[bits]
+
+    def join_bits(self, a: int, b: int) -> int:
+        return self._join_table[a][b]
+
+    def leq_bits(self, a: int, b: int) -> bool:
+        return self._leq_table[a][b]
+
+    def is_closed(self, bits: int) -> bool:
+        return 0 <= bits < len(self.lattice)
+
+    def clamp(self, bits: int) -> str:
+        """Out-of-range indices round up to top (never declassify)."""
+        if 0 <= bits < len(self.lattice):
+            return self.lattice.elements[bits]
+        return self.lattice.top
+
+
+def encode(lattice: Lattice) -> BitEncoding | LutEncoding:
+    """Pick the cheapest sound encoding for *lattice*."""
+    if lattice.is_distributive():
+        return BitEncoding(lattice)
+    return LutEncoding(lattice)

@@ -1,0 +1,31 @@
+"""MIPS toolchain: the ISA of Figure 7, an assembler, and a golden ISS.
+
+* :mod:`repro.mips.isa` -- instruction encodings/decodings for every
+  instruction in the paper's Figure 7 (plus the two security
+  instructions ``setrtag`` and ``setrtimer``).
+* :mod:`repro.mips.softfloat` -- the FP32 arithmetic model shared
+  bit-for-bit by the ISS and the Sapper processor's FPU (round toward
+  zero, flush-to-zero; see module docstring).
+* :mod:`repro.mips.assembler` -- two-pass assembler with labels,
+  ``.data`` directives and the usual pseudo-instructions.
+* :mod:`repro.mips.iss` -- instruction-set simulator: the "real
+  machine" reference of section 4.3 against which processor outputs are
+  cross-compared.
+"""
+
+from repro.mips.isa import Instruction, decode, OPCODES, FIGURE7_INSTRUCTIONS
+from repro.mips.assembler import assemble, AsmError, Executable
+from repro.mips.iss import Iss, MMIO_OUT, MMIO_HALT
+
+__all__ = [
+    "Instruction",
+    "decode",
+    "OPCODES",
+    "FIGURE7_INSTRUCTIONS",
+    "assemble",
+    "AsmError",
+    "Executable",
+    "Iss",
+    "MMIO_OUT",
+    "MMIO_HALT",
+]

@@ -1,0 +1,213 @@
+"""MIPS instruction encodings for the ISA of Figure 7.
+
+Standard MIPS32 encodings are used wherever the instruction is standard
+MIPS.  The paper's ISA treats ``bgt``/``ble`` (two-register compare
+branches) as real instructions, so they get the spare opcodes 0x1C/0x1D;
+the two security instructions get opcodes 0x3A (``setrtag``) and 0x3B
+(``setrtimer``).  There are no architectural branch delay slots in this
+reproduction (both the pipeline and the ISS flush on taken branches);
+see DESIGN.md section 3.
+
+Formats::
+
+    R-type:  op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+    I-type:  op(6) rs(5) rt(5) imm(16)
+    J-type:  op(6) target(26)
+    FP R:    op=0x11(COP1) fmt(5) ft(5) fs(5) fd(5) funct(6)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+OP_SPECIAL = 0x00
+OP_REGIMM = 0x01
+OP_COP1 = 0x11
+FMT_S = 0x10
+FMT_W = 0x14
+FMT_BC = 0x08
+
+#: name -> (format, opcode, funct/rt-code)
+#: format in {"R", "I", "J", "RI" (regimm), "F" (cop1.s), "FW" (cop1.w),
+#: "FB" (bc1), "MV" (mtc1/mfc1), "SEC"}
+ENCODINGS: dict[str, tuple[str, int, int]] = {
+    # additive arithmetic
+    "add": ("R", OP_SPECIAL, 0x20), "addu": ("R", OP_SPECIAL, 0x21),
+    "addiu": ("I", 0x09, 0), "sub": ("R", OP_SPECIAL, 0x22), "subu": ("R", OP_SPECIAL, 0x23),
+    # binary arithmetic
+    "and": ("R", OP_SPECIAL, 0x24), "andi": ("I", 0x0C, 0),
+    "or": ("R", OP_SPECIAL, 0x25), "ori": ("I", 0x0D, 0),
+    "xor": ("R", OP_SPECIAL, 0x26), "xori": ("I", 0x0E, 0),
+    "nor": ("R", OP_SPECIAL, 0x27),
+    "sll": ("R", OP_SPECIAL, 0x00), "sllv": ("R", OP_SPECIAL, 0x04),
+    "sra": ("R", OP_SPECIAL, 0x03), "srav": ("R", OP_SPECIAL, 0x07),
+    "srl": ("R", OP_SPECIAL, 0x02), "srlv": ("R", OP_SPECIAL, 0x06),
+    # multiplicative arithmetic
+    "mult": ("R", OP_SPECIAL, 0x18), "multu": ("R", OP_SPECIAL, 0x19),
+    "div": ("R", OP_SPECIAL, 0x1A),
+    # FPU (single precision)
+    "add.s": ("F", OP_COP1, 0x00), "sub.s": ("F", OP_COP1, 0x01),
+    "mul.s": ("F", OP_COP1, 0x02), "div.s": ("F", OP_COP1, 0x03),
+    "abs.s": ("F", OP_COP1, 0x05), "mov.s": ("F", OP_COP1, 0x06),
+    "neg.s": ("F", OP_COP1, 0x07),
+    "cvt.s.w": ("FW", OP_COP1, 0x20), "cvt.w.s": ("F", OP_COP1, 0x24),
+    "le.s": ("F", OP_COP1, 0x3E), "lt.s": ("F", OP_COP1, 0x3C),
+    "ge.s": ("F", OP_COP1, 0x3F), "gt.s": ("F", OP_COP1, 0x3D),
+    # branches
+    "beq": ("I", 0x04, 0), "bne": ("I", 0x05, 0),
+    "bgt": ("I", 0x1C, 0), "ble": ("I", 0x1D, 0),
+    "bltz": ("RI", OP_REGIMM, 0x00), "bgez": ("RI", OP_REGIMM, 0x01),
+    "beql": ("I", 0x14, 0), "bnel": ("I", 0x15, 0),
+    "blel": ("I", 0x16, 0), "bltzl": ("RI", OP_REGIMM, 0x02),
+    "bc1t": ("FB", OP_COP1, 0x01), "bc1f": ("FB", OP_COP1, 0x00),
+    # jumps
+    "j": ("J", 0x02, 0), "jal": ("J", 0x03, 0),
+    "jr": ("R", OP_SPECIAL, 0x08), "jalr": ("R", OP_SPECIAL, 0x09),
+    # memory
+    "lb": ("I", 0x20, 0), "lbu": ("I", 0x24, 0), "lhu": ("I", 0x25, 0),
+    "lw": ("I", 0x23, 0), "sb": ("I", 0x28, 0), "sh": ("I", 0x29, 0),
+    "sw": ("I", 0x2B, 0),
+    "lwl": ("I", 0x22, 0), "lwr": ("I", 0x26, 0),
+    "swl": ("I", 0x2A, 0), "swr": ("I", 0x2E, 0),
+    "lwc1": ("I", 0x31, 0), "swc1": ("I", 0x39, 0),
+    # others
+    "slti": ("I", 0x0A, 0), "sltiu": ("I", 0x0B, 0), "lui": ("I", 0x0F, 0),
+    "slt": ("R", OP_SPECIAL, 0x2A), "sltu": ("R", OP_SPECIAL, 0x2B),
+    "mflo": ("R", OP_SPECIAL, 0x12), "mfhi": ("R", OP_SPECIAL, 0x10),
+    "mtc1": ("MV", OP_COP1, 0x04), "mfc1": ("MV", OP_COP1, 0x00),
+    # security instructions (section 4.2)
+    "setrtag": ("SEC", 0x3A, 0), "setrtimer": ("SEC", 0x3B, 0),
+}
+
+#: Exactly the instruction list of Figure 7 (classification included),
+#: used by the E3 coverage experiment.
+FIGURE7_INSTRUCTIONS: dict[str, tuple[str, ...]] = {
+    "Additive Arithmetic": ("add", "addu", "addiu", "sub", "subu"),
+    "Binary Arithmetic": (
+        "and", "andi", "or", "ori", "xor", "xori", "nor",
+        "sll", "sllv", "sra", "srav", "srl", "srlv",
+    ),
+    "Multiplicative Arithmetic": ("mult", "multu", "div"),
+    "FPU instructions": (
+        "add.s", "sub.s", "mul.s", "div.s", "neg.s", "abs.s", "mov.s",
+        "cvt.s.w", "cvt.w.s", "le.s", "lt.s", "ge.s", "gt.s",
+    ),
+    "Branch": (
+        "beq", "bgt", "ble", "bne", "bltz", "bgez",
+        "beql", "bnel", "blel", "bltzl", "bc1t",
+    ),
+    "Jump": ("j", "jr", "jal", "jalr"),
+    "Memory Operation": (
+        "lb", "lbu", "lhu", "lw", "sb", "sh", "sw",
+        "lwl", "lwr", "swl", "swr", "swc1", "lwc1",
+    ),
+    "Others": ("slti", "sltiu", "lui", "mflo", "mfhi", "mtc1", "mfc1"),
+    "Security Related": ("setrtag", "setrtimer"),
+}
+
+OPCODES = ENCODINGS  # public alias
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction (fields valid per format)."""
+
+    name: str
+    rs: int = 0
+    rt: int = 0
+    rd: int = 0
+    shamt: int = 0
+    imm: int = 0        # 16-bit immediate, unsigned representation
+    target: int = 0     # 26-bit jump target
+
+    @property
+    def simm(self) -> int:
+        """Sign-extended immediate."""
+        return self.imm - 0x10000 if self.imm & 0x8000 else self.imm
+
+
+def encode(inst: Instruction) -> int:
+    fmt, op, sub = ENCODINGS[inst.name]
+    if fmt == "R":
+        return (op << 26) | (inst.rs << 21) | (inst.rt << 16) | (inst.rd << 11) | (inst.shamt << 6) | sub
+    if fmt == "I":
+        return (op << 26) | (inst.rs << 21) | (inst.rt << 16) | (inst.imm & 0xFFFF)
+    if fmt == "J":
+        return (op << 26) | (inst.target & 0x3FFFFFF)
+    if fmt == "RI":
+        return (op << 26) | (inst.rs << 21) | (sub << 16) | (inst.imm & 0xFFFF)
+    if fmt == "F":  # fmt=S: ft=rt, fs=rs, fd=rd
+        return (op << 26) | (FMT_S << 21) | (inst.rt << 16) | (inst.rs << 11) | (inst.rd << 6) | sub
+    if fmt == "FW":  # fmt=W
+        return (op << 26) | (FMT_W << 21) | (inst.rt << 16) | (inst.rs << 11) | (inst.rd << 6) | sub
+    if fmt == "FB":  # bc1t/bc1f: fmt=BC, nd/tf bit in rt field
+        return (op << 26) | (FMT_BC << 21) | (sub << 16) | (inst.imm & 0xFFFF)
+    if fmt == "MV":  # mtc1/mfc1: sub in rs-position fmt field
+        return (op << 26) | (sub << 21) | (inst.rt << 16) | (inst.rs << 11)
+    if fmt == "SEC":
+        return (op << 26) | (inst.rs << 21) | (inst.rt << 16)
+    raise ValueError(f"bad format {fmt!r}")
+
+
+_BY_KEY: dict[tuple, str] = {}
+for _name, (_fmt, _op, _sub) in ENCODINGS.items():
+    if _fmt in ("R",):
+        _BY_KEY[("R", _op, _sub)] = _name
+    elif _fmt == "RI":
+        _BY_KEY[("RI", _op, _sub)] = _name
+    elif _fmt in ("F", "FW"):
+        _BY_KEY[("F", _op, FMT_S if _fmt == "F" else FMT_W, _sub)] = _name
+    elif _fmt == "FB":
+        _BY_KEY[("FB", _op, _sub)] = _name
+    elif _fmt == "MV":
+        _BY_KEY[("MV", _op, _sub)] = _name
+    else:
+        _BY_KEY[("O", _op)] = _name
+
+
+def decode(word: int) -> Optional[Instruction]:
+    """Decode a 32-bit word; returns None for unknown encodings."""
+    op = word >> 26 & 0x3F
+    rs = word >> 21 & 0x1F
+    rt = word >> 16 & 0x1F
+    rd = word >> 11 & 0x1F
+    shamt = word >> 6 & 0x1F
+    funct = word & 0x3F
+    imm = word & 0xFFFF
+    target = word & 0x3FFFFFF
+    if op == OP_SPECIAL:
+        name = _BY_KEY.get(("R", op, funct))
+        if name is None:
+            return None
+        return Instruction(name, rs=rs, rt=rt, rd=rd, shamt=shamt)
+    if op == OP_REGIMM:
+        name = _BY_KEY.get(("RI", op, rt))
+        if name is None:
+            return None
+        return Instruction(name, rs=rs, imm=imm)
+    if op == OP_COP1:
+        fmt_field = rs
+        if fmt_field == FMT_BC:
+            name = _BY_KEY.get(("FB", op, rt & 1))
+            if name is None:
+                return None
+            return Instruction(name, imm=imm)
+        if fmt_field in (0x00, 0x04):
+            name = _BY_KEY.get(("MV", op, fmt_field))
+            if name is None:
+                return None
+            return Instruction(name, rs=rd, rt=rt)  # fs=rd field, rt=gpr
+        name = _BY_KEY.get(("F", op, fmt_field, funct))
+        if name is None:
+            return None
+        return Instruction(name, rs=rd, rt=rt, rd=shamt)  # fs, ft, fd
+    name = _BY_KEY.get(("O", op))
+    if name is None:
+        return None
+    fmt = ENCODINGS[name][0]
+    if fmt == "J":
+        return Instruction(name, target=target)
+    if fmt == "SEC":
+        return Instruction(name, rs=rs, rt=rt)
+    return Instruction(name, rs=rs, rt=rt, imm=imm)

@@ -1,0 +1,304 @@
+"""Golden instruction-set simulator: the "real machine" of section 4.3.
+
+Executes assembled programs sequentially (no pipeline, no cache) with
+the same architectural semantics as the Sapper processor: little-endian
+byte order, no branch delay slots, the softfloat FP model, MMIO output
+at :data:`MMIO_OUT` and halt at :data:`MMIO_HALT`, ``HI``/``LO`` for
+mult/div, and the two security instructions treated as no-ops (they
+only affect tags, which the reference machine does not model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mips import softfloat as sf
+from repro.mips.assembler import Executable
+from repro.mips.isa import Instruction, decode
+
+MMIO_OUT = 0x40000000
+MMIO_HALT = 0x40000004
+
+MASK32 = 0xFFFFFFFF
+
+
+def _s32(x: int) -> int:
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+@dataclass
+class Iss:
+    """Sequential MIPS interpreter over a sparse word-addressed memory."""
+
+    memory: dict[int, int] = field(default_factory=dict)   # word addr -> word
+    pc: int = 0x400
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    fregs: list[int] = field(default_factory=lambda: [0] * 32)
+    hi: int = 0
+    lo: int = 0
+    fcc: int = 0
+    halted: bool = False
+    instret: int = 0
+    outputs: list[int] = field(default_factory=list)
+    #: tag side-effects requested via setrtag (captured for tests)
+    tag_requests: list[tuple[int, int]] = field(default_factory=list)
+    timer_requests: list[int] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, exe: Executable, entry: Optional[int] = None) -> "Iss":
+        return cls(memory=exe.as_memory(), pc=entry if entry is not None else exe.entry)
+
+    # -- memory helpers -----------------------------------------------------------
+
+    def read_word(self, addr: int) -> int:
+        return self.memory.get(addr >> 2 & (MASK32 >> 2), 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        if addr & MASK32 == MMIO_OUT:
+            self.outputs.append(value & MASK32)
+            return
+        if addr & MASK32 == MMIO_HALT:
+            self.halted = True
+            return
+        self.memory[addr >> 2 & (MASK32 >> 2)] = value & MASK32
+
+    def read_byte(self, addr: int) -> int:
+        return self.read_word(addr) >> ((addr & 3) * 8) & 0xFF
+
+    def write_byte(self, addr: int, value: int) -> None:
+        if addr & MASK32 in (MMIO_OUT, MMIO_HALT):
+            self.write_word(addr, value)
+            return
+        shift = (addr & 3) * 8
+        word = self.read_word(addr)
+        self.write_word(addr, (word & ~(0xFF << shift)) | ((value & 0xFF) << shift))
+
+    def read_half(self, addr: int) -> int:
+        return self.read_byte(addr) | (self.read_byte(addr + 1) << 8)
+
+    def write_half(self, addr: int, value: int) -> None:
+        self.write_byte(addr, value & 0xFF)
+        self.write_byte(addr + 1, value >> 8 & 0xFF)
+
+    # -- execution -------------------------------------------------------------------
+
+    def step(self) -> None:
+        if self.halted:
+            return
+        word = self.read_word(self.pc)
+        inst = decode(word)
+        self.instret += 1
+        next_pc = (self.pc + 4) & MASK32
+        if inst is None:  # unknown encodings behave as nops
+            self.pc = next_pc
+            return
+        self.pc = self._execute(inst, next_pc)
+        self.regs[0] = 0
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        steps = 0
+        while not self.halted and steps < max_steps:
+            self.step()
+            steps += 1
+        if not self.halted:
+            raise RuntimeError(f"ISS did not halt within {max_steps} steps (pc={self.pc:#x})")
+        return steps
+
+    # -- the ALU ------------------------------------------------------------------------
+
+    def _execute(self, i: Instruction, next_pc: int) -> int:
+        r, f = self.regs, self.fregs
+        name = i.name
+        branch = next_pc
+
+        def wr(idx: int, value: int) -> None:
+            if idx:
+                r[idx] = value & MASK32
+
+        if name in ("add", "addu"):
+            wr(i.rd, r[i.rs] + r[i.rt])
+        elif name == "addiu":
+            wr(i.rt, r[i.rs] + i.simm)
+        elif name in ("sub", "subu"):
+            wr(i.rd, r[i.rs] - r[i.rt])
+        elif name == "and":
+            wr(i.rd, r[i.rs] & r[i.rt])
+        elif name == "andi":
+            wr(i.rt, r[i.rs] & i.imm)
+        elif name == "or":
+            wr(i.rd, r[i.rs] | r[i.rt])
+        elif name == "ori":
+            wr(i.rt, r[i.rs] | i.imm)
+        elif name == "xor":
+            wr(i.rd, r[i.rs] ^ r[i.rt])
+        elif name == "xori":
+            wr(i.rt, r[i.rs] ^ i.imm)
+        elif name == "nor":
+            wr(i.rd, ~(r[i.rs] | r[i.rt]))
+        elif name == "sll":
+            wr(i.rd, r[i.rt] << i.shamt)
+        elif name == "srl":
+            wr(i.rd, r[i.rt] >> i.shamt)
+        elif name == "sra":
+            wr(i.rd, _s32(r[i.rt]) >> i.shamt)
+        elif name == "sllv":
+            wr(i.rd, r[i.rt] << (r[i.rs] & 31))
+        elif name == "srlv":
+            wr(i.rd, r[i.rt] >> (r[i.rs] & 31))
+        elif name == "srav":
+            wr(i.rd, _s32(r[i.rt]) >> (r[i.rs] & 31))
+        elif name == "mult":
+            product = _s32(r[i.rs]) * _s32(r[i.rt])
+            self.lo = product & MASK32
+            self.hi = product >> 32 & MASK32
+        elif name == "multu":
+            product = r[i.rs] * r[i.rt]
+            self.lo = product & MASK32
+            self.hi = product >> 32 & MASK32
+        elif name == "div":
+            a, b = _s32(r[i.rs]), _s32(r[i.rt])
+            if b == 0:
+                self.lo, self.hi = MASK32, r[i.rs]
+            else:
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                self.lo = q & MASK32
+                self.hi = (a - q * b) & MASK32
+        elif name == "mflo":
+            wr(i.rd, self.lo)
+        elif name == "mfhi":
+            wr(i.rd, self.hi)
+        elif name == "slt":
+            wr(i.rd, int(_s32(r[i.rs]) < _s32(r[i.rt])))
+        elif name == "sltu":
+            wr(i.rd, int(r[i.rs] < r[i.rt]))
+        elif name == "slti":
+            wr(i.rt, int(_s32(r[i.rs]) < i.simm))
+        elif name == "sltiu":
+            wr(i.rt, int(r[i.rs] < (i.simm & MASK32)))
+        elif name == "lui":
+            wr(i.rt, i.imm << 16)
+        # branches (no delay slots in this reproduction)
+        elif name in ("beq", "beql"):
+            if r[i.rs] == r[i.rt]:
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name in ("bne", "bnel"):
+            if r[i.rs] != r[i.rt]:
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name == "bgt":
+            if _s32(r[i.rs]) > _s32(r[i.rt]):
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name in ("ble", "blel"):
+            if _s32(r[i.rs]) <= _s32(r[i.rt]):
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name in ("bltz", "bltzl"):
+            if _s32(r[i.rs]) < 0:
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name == "bgez":
+            if _s32(r[i.rs]) >= 0:
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name == "bc1t":
+            if self.fcc:
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name == "bc1f":
+            if not self.fcc:
+                branch = (next_pc + (i.simm << 2)) & MASK32
+        elif name == "j":
+            branch = (next_pc & 0xF0000000) | (i.target << 2)
+        elif name == "jal":
+            wr(31, next_pc)
+            branch = (next_pc & 0xF0000000) | (i.target << 2)
+        elif name == "jr":
+            branch = r[i.rs]
+        elif name == "jalr":
+            wr(i.rd if i.rd else 31, next_pc)
+            branch = r[i.rs]
+        # memory
+        elif name == "lw":
+            wr(i.rt, self.read_word(r[i.rs] + i.simm))
+        elif name == "lb":
+            byte = self.read_byte(r[i.rs] + i.simm)
+            wr(i.rt, byte - 0x100 if byte & 0x80 else byte)
+        elif name == "lbu":
+            wr(i.rt, self.read_byte(r[i.rs] + i.simm))
+        elif name == "lhu":
+            wr(i.rt, self.read_half(r[i.rs] + i.simm))
+        elif name == "sw":
+            self.write_word(r[i.rs] + i.simm, r[i.rt])
+        elif name == "sb":
+            self.write_byte(r[i.rs] + i.simm, r[i.rt])
+        elif name == "sh":
+            self.write_half(r[i.rs] + i.simm, r[i.rt])
+        elif name in ("lwl", "lwr", "swl", "swr"):
+            self._unaligned(name, i)
+        elif name == "lwc1":
+            f[i.rt] = self.read_word(r[i.rs] + i.simm)
+        elif name == "swc1":
+            self.write_word(r[i.rs] + i.simm, f[i.rt])
+        # FPU
+        elif name == "add.s":
+            f[i.rd] = sf.fadd(f[i.rs], f[i.rt])
+        elif name == "sub.s":
+            f[i.rd] = sf.fsub(f[i.rs], f[i.rt])
+        elif name == "mul.s":
+            f[i.rd] = sf.fmul(f[i.rs], f[i.rt])
+        elif name == "div.s":
+            f[i.rd] = sf.fdiv(f[i.rs], f[i.rt])
+        elif name == "neg.s":
+            f[i.rd] = sf.fneg(f[i.rs])
+        elif name == "abs.s":
+            f[i.rd] = sf.fabs_(f[i.rs])
+        elif name == "mov.s":
+            f[i.rd] = f[i.rs]
+        elif name == "cvt.s.w":
+            f[i.rd] = sf.cvt_s_w(f[i.rs])
+        elif name == "cvt.w.s":
+            f[i.rd] = sf.cvt_w_s(f[i.rs])
+        elif name == "lt.s":
+            self.fcc = sf.flt(f[i.rs], f[i.rt])
+        elif name == "le.s":
+            self.fcc = sf.fle(f[i.rs], f[i.rt])
+        elif name == "gt.s":
+            self.fcc = sf.fgt(f[i.rs], f[i.rt])
+        elif name == "ge.s":
+            self.fcc = sf.fge(f[i.rs], f[i.rt])
+        elif name == "mtc1":
+            f[i.rs] = r[i.rt]
+        elif name == "mfc1":
+            wr(i.rt, f[i.rs])
+        # security instructions: architectural no-ops on the reference
+        # machine (tags are not modeled here), recorded for tests
+        elif name == "setrtag":
+            self.tag_requests.append((r[i.rs] & MASK32, r[i.rt] & MASK32))
+        elif name == "setrtimer":
+            self.timer_requests.append(r[i.rs] & MASK32)
+        return branch
+
+    def _unaligned(self, name: str, i: Instruction) -> None:
+        """lwl/lwr/swl/swr per MIPS little-endian semantics."""
+        r = self.regs
+        addr = (r[i.rs] + i.simm) & MASK32
+        word = self.read_word(addr)
+        offset = addr & 3
+        if name == "lwl":
+            shift = (3 - offset) * 8
+            mask = (MASK32 << shift) & MASK32
+            if i.rt:
+                r[i.rt] = ((word << shift) & mask) | (r[i.rt] & ~mask & MASK32)
+        elif name == "lwr":
+            shift = offset * 8
+            mask = MASK32 >> shift
+            if i.rt:
+                r[i.rt] = ((word >> shift) & mask) | (r[i.rt] & ~mask & MASK32)
+        elif name == "swl":
+            shift = (3 - offset) * 8
+            mask = MASK32 >> shift
+            new = (word & ~mask & MASK32) | (r[i.rt] >> shift)
+            self.write_word(addr, new)
+        else:  # swr
+            shift = offset * 8
+            mask = (MASK32 << shift) & MASK32
+            new = (word & ~mask & MASK32) | ((r[i.rt] << shift) & MASK32)
+            self.write_word(addr, new)

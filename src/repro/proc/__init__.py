@@ -1,0 +1,21 @@
+"""The paper's evaluation vehicle: a secure pipelined MIPS processor.
+
+* :mod:`repro.proc.design` generates the processor's Sapper source,
+  parametrized by security lattice (two-level or the diamond of section
+  4.6), with the component split of Figure 8 preserved for LOC
+  accounting.
+* :mod:`repro.proc.machine` wraps compilation + simulation into a
+  loadable machine: assemble a program, set memory tags, run to halt,
+  collect the output port trace and violation count.
+"""
+
+from repro.proc.design import generate_design, design_sections, ProcParams
+from repro.proc.machine import SapperMachine, run_on_iss
+
+__all__ = [
+    "generate_design",
+    "design_sections",
+    "ProcParams",
+    "SapperMachine",
+    "run_on_iss",
+]

@@ -1,0 +1,786 @@
+"""Generator for the secure MIPS processor's Sapper source.
+
+The processor is a 5-stage pipeline (fetch, decode+regfile, execute with
+ALU + mult/div + FPU, memory+cache, write-back) with forwarding, a
+security-partitioned direct-mapped L1 shared cache, a 64 MB tagged main
+memory, MMIO output/halt ports, and the two security instructions of
+section 4.2 (``set-tag``, ``set-timer``).
+
+State machine (mirrors Figure 4's TDMA pattern):
+
+* ``Boot`` (enforced L): walks the cache tag stores once, labelling each
+  partition of the cache with its security level.
+* ``Master`` (enforced L): trusted dispatcher.  On entry (boot or timer
+  expiry) it captures ``epc`` (pc of the oldest instruction that has not
+  yet reached MEM -- everything younger is killed and re-executed, so no
+  side effect is lost or duplicated), flushes the young latches, lowers
+  the dynamic states' tags with ``setTag``, and redirects fetch to the
+  kernel vector.
+* ``Slave`` (enforced L): decrements the trusted timer every cycle and
+  falls into the current child; when the timer expires control always
+  returns to Master -- closing the timing channel no matter what the
+  child is doing (the set-timer story of section 4.2).
+* ``Pipeline`` (dynamic): one full pipeline cycle per execution.  Stages
+  evaluate in reverse order (WB, register read, MEM, EX, ID, IF) so the
+  blocking semantics hand every stage its previous-cycle latch, and a
+  single distance-1 forwarding path (from the value MEM just produced)
+  plus post-WB register reads give full forwarding with no stalls.
+* ``Refill`` (dynamic): four-cycle line fill from memory into the cache
+  partition selected by the *requester's* security level
+  (``tag(Refill)``); instruction and data halves are split statically so
+  a unified direct-mapped cache cannot livelock on I/D conflicts.
+
+The architectural contract (ISA semantics, FP model, MMIO map, no branch
+delay slots) is shared exactly with :mod:`repro.mips.iss`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.lattice import Lattice, encode, two_level
+
+MMIO_OUT = 0x40000000
+MMIO_HALT = 0x40000004
+MMIO_EPC = 0x40000008
+
+
+@dataclass(frozen=True)
+class ProcParams:
+    """Geometry of the generated processor."""
+
+    mem_words: int = 1 << 24      # 64 MB, as in the paper
+    cache_lines: int = 64         # total lines, split across partitions and I/D
+    words_per_line: int = 4
+    kernel_vector: int = 0x400    # fetch target on Master entry
+
+    @property
+    def cache_words(self) -> int:
+        return self.cache_lines * self.words_per_line
+
+
+def _setbits(params: ProcParams, lattice: Lattice) -> int:
+    tw = encode(lattice).width
+    total = max(1, (params.cache_lines - 1).bit_length())
+    setbits = total - tw - 1   # line index = {partition(tw), isdata(1), set}
+    if setbits < 1:
+        raise ValueError("cache too small for this lattice: increase cache_lines")
+    return setbits
+
+
+def _indent(text: str, n: int) -> str:
+    pad = " " * n
+    return "".join(pad + line + "\n" if line.strip() else "\n" for line in text.splitlines())
+
+
+# -- register file ports -------------------------------------------------------
+
+
+def _gpr_read(out: str, idx: str) -> str:
+    arms = "\n".join(f"        {i}: {{ {out} := r{i}; }}" for i in range(1, 32))
+    return f"""    {out} := 0;
+    case ({idx}) {{
+{arms}
+    }}
+"""
+
+
+def _fpr_read(out: str, idx: str) -> str:
+    arms = "\n".join(f"        {i}: {{ {out} := f{i}; }}" for i in range(32))
+    return f"""    {out} := 0;
+    case ({idx}) {{
+{arms}
+    }}
+"""
+
+
+def _gpr_write(cond: str, idx: str, val: str) -> str:
+    arms = "\n".join(f"            {i}: {{ r{i} := {val}; }}" for i in range(1, 32))
+    return f"""    if ({cond}) {{
+        case ({idx}) {{
+{arms}
+        }}
+    }}
+"""
+
+
+def _fpr_write(cond: str, idx: str, val: str) -> str:
+    arms = "\n".join(f"            {i}: {{ f{i} := {val}; }}" for i in range(32))
+    return f"""    if ({cond}) {{
+        case ({idx}) {{
+{arms}
+        }}
+    }}
+"""
+
+
+# -- instruction decode ---------------------------------------------------------
+
+
+def _decode_wires(prefix: str, ir: str) -> str:
+    p = prefix
+    return f"""    {p}op := {ir}[31:26];
+    {p}rs := {ir}[25:21];
+    {p}rt := {ir}[20:16];
+    {p}rd := {ir}[15:11];
+    {p}shamt := {ir}[10:6];
+    {p}funct := {ir}[5:0];
+    {p}imm := {ir}[15:0];
+    {p}simm := sext({ir}[15:0], 32);
+    {p}fs := {ir}[15:11];
+    {p}ft := {ir}[20:16];
+    {p}fd := {ir}[10:6];
+    {p}fmt := {ir}[25:21];
+    {p}is_cop1 := {p}op == 17;
+    {p}is_load := ({p}op == 35) || ({p}op == 32) || ({p}op == 36) || ({p}op == 37) || ({p}op == 34) || ({p}op == 38) || ({p}op == 49);
+    {p}is_store := ({p}op == 43) || ({p}op == 40) || ({p}op == 41) || ({p}op == 42) || ({p}op == 46) || ({p}op == 57);
+    {p}is_setrtag := {p}op == 58;
+    {p}is_jal := {p}op == 3;
+    {p}is_mfc1 := {p}is_cop1 && ({p}fmt == 0);
+    {p}is_mtc1 := {p}is_cop1 && ({p}fmt == 4);
+    {p}is_fpalu := {p}is_cop1 && (({p}fmt == 16) || ({p}fmt == 20));
+    {p}writes_gpr := (({p}op == 0) && ({p}funct != 8) && ({p}funct != 24) && ({p}funct != 25) && ({p}funct != 26))
+        || ({p}op == 9) || ({p}op == 12) || ({p}op == 13) || ({p}op == 14)
+        || ({p}op == 10) || ({p}op == 11) || ({p}op == 15)
+        || ({p}is_load && ({p}op != 49)) || {p}is_jal || {p}is_mfc1;
+    {p}gpr_dest := {p}is_jal ? 31 : (({p}op == 0) ? {p}rd : {p}rt);
+    {p}writes_fpr := ({p}op == 49) || {p}is_mtc1
+        || ({p}is_fpalu && ({p}funct != 60) && ({p}funct != 61) && ({p}funct != 62) && ({p}funct != 63));
+    {p}fpr_dest := ({p}op == 49) ? {p}ft : ({p}is_mtc1 ? {p}fs : {p}fd);
+"""
+
+
+# -- the FPU -----------------------------------------------------------------------
+
+
+def _fpu_unpack(res: str, src: str) -> str:
+    return f"""    {res}_s := {src}[31:31];
+    {res}_e := {src}[30:23];
+    {res}_m := ({res}_e == 0) ? 0 : (({res}_e == 255) ? 0 : ({src}[22:0] | 0x800000));
+"""
+
+
+def _fpu_block() -> str:
+    """Single-precision FPU, bit-exact with :mod:`repro.mips.softfloat`."""
+    add = """    // ---- add/sub: align, add or subtract, binary-search normalize ----
+    fswap := (fa_e < fb_e) || ((fa_e == fb_e) && (fa_m < fb_m));
+    fx_s := fswap ? fb_s : fa_s;  fx_e := fswap ? fb_e : fa_e;  fx_m := fswap ? fb_m : fa_m;
+    fy_s := fswap ? fa_s : fb_s;  fy_e := fswap ? fa_e : fb_e;  fy_m := fswap ? fa_m : fb_m;
+    fd_sh := fx_e - fy_e;
+    fbig := zext(fx_m, 28) << 2;
+    fsmall := (fd_sh < 27) ? ((zext(fy_m, 28) << 2) >> fd_sh[4:0]) : 0;
+    ftot := (fx_s == fy_s) ? (zext(fbig, 29) + zext(fsmall, 29)) : (zext(fbig, 29) - zext(fsmall, 29));
+    fat0 := (ftot >= 0x4000000) ? (ftot >> 1) : ftot;
+    fae0 := (ftot >= 0x4000000) ? (zext(fx_e, 10) + 1) : zext(fx_e, 10);
+    fat1 := (fat0 < 0x400) ? (fat0 << 16) : fat0;
+    fae1 := (fat0 < 0x400) ? (fae0 - 16) : fae0;
+    fat2 := (fat1 < 0x40000) ? (fat1 << 8) : fat1;
+    fae2 := (fat1 < 0x40000) ? (fae1 - 8) : fae1;
+    fat3 := (fat2 < 0x400000) ? (fat2 << 4) : fat2;
+    fae3 := (fat2 < 0x400000) ? (fae2 - 4) : fae2;
+    fat4 := (fat3 < 0x1000000) ? (fat3 << 2) : fat3;
+    fae4 := (fat3 < 0x1000000) ? (fae3 - 2) : fae3;
+    fat5 := (fat4 < 0x2000000) ? (fat4 << 1) : fat4;
+    fae5 := (fat4 < 0x2000000) ? (fae4 - 1) : fae4;
+    fadd_over := (fae5[9:9] == 0) && (fae5 >= 255);
+    fadd_under := (fae5[9:9] == 1) || (fae5 == 0);
+    fadd_pack := cat(fx_s, fae5[7:0], fat5[24:2]);
+    fadd_r := (fa_e == 255) ? cat(fa_s, 255, zext(0, 23)) :
+              ((fb_e == 255) ? cat(fb_s, 255, zext(0, 23)) :
+              ((fa_m == 0) ? ((fb_m == 0) ? (zext(fa_s & fb_s, 32) << 31) : fpb) :
+              ((fb_m == 0) ? fpa :
+              ((ftot == 0) ? 0 :
+              (fadd_over ? cat(fx_s, 255, zext(0, 23)) :
+              (fadd_under ? (zext(fx_s, 32) << 31) : fadd_pack))))));
+"""
+    mul = """    // ---- multiply ----
+    fm_s := fa_s ^ fb_s;
+    fm_p := zext(fa_m, 24) * zext(fb_m, 24);
+    fm_hi := (fm_p >= 0x800000000000) ? 1 : 0;
+    fm_m := (fm_hi == 1) ? fm_p[47:24] : fm_p[46:23];
+    fm_e := (zext(fa_e, 10) + zext(fb_e, 10) - 127) + zext(fm_hi, 10);
+    fm_over := (fm_e[9:9] == 0) && (fm_e >= 255);
+    fm_under := (fm_e[9:9] == 1) || (fm_e == 0);
+    fmul_r := ((fa_e == 255) || (fb_e == 255)) ? cat(fm_s, 255, zext(0, 23)) :
+              (((fa_m == 0) || (fb_m == 0)) ? (zext(fm_s, 32) << 31) :
+              (fm_over ? cat(fm_s, 255, zext(0, 23)) :
+              (fm_under ? (zext(fm_s, 32) << 31) : cat(fm_s, fm_e[7:0], fm_m[22:0]))));
+"""
+    div = """    // ---- divide (restoring array divider in hardware) ----
+    fq := (zext(fa_m, 48) << 24) / zext(fb_m, 48);
+    fq_hi := (fq >= 0x1000000) ? 1 : 0;
+    fd_e := (zext(fa_e, 10) - zext(fb_e, 10)) + ((fq_hi == 1) ? 127 : 126);
+    fd_m := (fq_hi == 1) ? fq[23:1] : fq[22:0];
+    fd_over := (fd_e[9:9] == 0) && (fd_e >= 255);
+    fd_under := (fd_e[9:9] == 1) || (fd_e == 0);
+    fdiv_r := (fa_e == 255) ? cat(fm_s, 255, zext(0, 23)) :
+              ((fb_e == 255) ? (zext(fm_s, 32) << 31) :
+              ((fb_m == 0) ? cat(fm_s, 255, zext(0, 23)) :
+              ((fa_m == 0) ? (zext(fm_s, 32) << 31) :
+              (fd_over ? cat(fm_s, 255, zext(0, 23)) :
+              (fd_under ? (zext(fm_s, 32) << 31) : cat(fm_s, fd_e[7:0], fd_m[22:0]))))));
+"""
+    cvt = """    // ---- cvt.s.w: normalize the magnitude with a binary search ----
+    fc_s := fpa[31:31];
+    fc_mag := (fc_s == 1) ? (0 - fpa) : fpa;
+    fcp4 := (fc_mag >= 0x10000) ? 16 : 0;
+    fcm4 := (fc_mag >= 0x10000) ? (fc_mag >> 16) : fc_mag;
+    fcp3 := (fcm4 >= 0x100) ? (fcp4 + 8) : fcp4;
+    fcm3 := (fcm4 >= 0x100) ? (fcm4 >> 8) : fcm4;
+    fcp2 := (fcm3 >= 0x10) ? (fcp3 + 4) : fcp3;
+    fcm2 := (fcm3 >= 0x10) ? (fcm3 >> 4) : fcm3;
+    fcp1 := (fcm2 >= 4) ? (fcp2 + 2) : fcp2;
+    fcm1 := (fcm2 >= 4) ? (fcm2 >> 2) : fcm2;
+    fcp0 := (fcm1 >= 2) ? (fcp1 + 1) : fcp1;
+    fc_m23 := (fcp0 >= 23) ? (fc_mag >> (fcp0 - 23)) : (fc_mag << (23 - fcp0));
+    fcvtsw_r := (fpa == 0) ? 0 : cat(fc_s, (127 + zext(fcp0, 8))[7:0], fc_m23[22:0]);
+    // ---- cvt.w.s: truncate toward zero, saturate on overflow ----
+    fw_sh := zext(fa_e, 10) - 150;
+    fw_neg := 0 - fw_sh;
+    fw_pos := (fw_sh[9:9] == 0) ? 1 : 0;
+    fw_mag := (fw_pos == 1) ? ((fw_sh >= 8) ? 0x80000000 : (zext(fa_m, 32) << fw_sh[4:0]))
+                            : ((fw_neg < 48) ? (zext(fa_m, 32) >> fw_neg[5:0]) : 0);
+    fw_sat := (fa_e == 255) || ((fw_pos == 1) && (fw_sh >= 8)) || (fw_mag > 0x7FFFFFFF);
+    fcvtws_r := ((fa_m == 0) && (fa_e != 255)) ? 0 :
+                (fw_sat ? ((fa_s == 1) ? 0x80000000 : 0x7FFFFFFF) :
+                ((fa_s == 1) ? (0 - fw_mag) : fw_mag));
+"""
+    cmp = """    // ---- compares via a monotone unsigned order key ----
+    fka_c := ((fa_e != 255) && (fa_m == 0)) ? (zext(fa_s, 32) << 31) : fpa;
+    fkb_c := ((fb_e != 255) && (fb_m == 0)) ? (zext(fb_s, 32) << 31) : fpb;
+    fka := (fka_c[31:31] == 1) ? (0x80000000 - (fka_c & 0x7FFFFFFF)) : (0x80000000 + zext(fka_c & 0x7FFFFFFF, 32));
+    fkb := (fkb_c[31:31] == 1) ? (0x80000000 - (fkb_c & 0x7FFFFFFF)) : (0x80000000 + zext(fkb_c & 0x7FFFFFFF, 32));
+"""
+    return _fpu_unpack("fa", "fpa") + _fpu_unpack("fb", "fpb") + add + mul + div + cvt + cmp
+
+
+# -- declarations --------------------------------------------------------------------
+
+
+def _declarations(params: ProcParams, lattice: Lattice) -> str:
+    gprs = "\n".join(f"reg[31:0] r{i};" for i in range(1, 32))
+    fprs = "\n".join(f"reg[31:0] f{i};" for i in range(32))
+    wires = []
+    for p in ("ed_", "md_", "wd_"):
+        wires.append(
+            f"wire[5:0] {p}op, {p}funct;\n"
+            f"wire[4:0] {p}rs, {p}rt, {p}rd, {p}shamt, {p}fs, {p}ft, {p}fd, {p}fmt;\n"
+            f"wire[15:0] {p}imm;\n"
+            f"wire[31:0] {p}simm;\n"
+            f"wire {p}is_cop1, {p}is_load, {p}is_store, {p}is_setrtag, {p}is_jal;\n"
+            f"wire {p}is_mfc1, {p}is_mtc1, {p}is_fpalu, {p}writes_gpr, {p}writes_fpr;\n"
+            f"wire[4:0] {p}gpr_dest, {p}fpr_dest;"
+        )
+    return f"""// ==== architectural state ====
+reg[31:0] pc;
+reg[31:0] epc;
+reg[31:0] hi_r, lo_r;
+reg fcc;
+{gprs}
+{fprs}
+reg[31:0] timer : L;
+reg halted_r : L;
+reg[8:0] bootcnt : L;
+// ==== pipeline latches ====
+reg[31:0] d_ir, d_pc;
+reg d_v;
+reg[31:0] e_ir, e_pc;
+reg e_v;
+reg[31:0] m_ir, m_pc, m_alu, m_b;
+reg m_v;
+reg[31:0] w_ir, w_val;
+reg w_v;
+// ==== refill engine ====
+reg[31:0] ref_addr;
+reg[2:0] ref_cnt;
+reg ref_isd;
+// ==== memories ====
+mem[31:0] memory[{params.mem_words}] : L;
+mem[31:0] cdata[{params.cache_words}] : L;
+mem[31:0] ctag[{params.cache_lines}] : L;
+mem[0:0] cvalid[{params.cache_lines}] : L;
+// ==== ports ====
+output[31:0] out_port : L;
+output out_valid : L;
+output halted : L;
+// ==== decode / datapath wires ====
+{chr(10).join(wires)}
+wire[31:0] rv_a, rv_b, fv_a, fv_b, mrt_v;
+wire[31:0] fpa, fpb;
+wire fa_s, fb_s, fswap, fx_s, fy_s, fm_hi, fq_hi, fm_s, fc_s, fw_pos, fw_sat;
+wire[7:0] fa_e, fb_e, fx_e, fy_e, fd_sh;
+wire[23:0] fa_m, fb_m, fx_m, fy_m, fm_m, fd_m;
+wire[27:0] fbig, fsmall;
+wire[28:0] ftot, fat0, fat1, fat2, fat3, fat4, fat5;
+wire[9:0] fae0, fae1, fae2, fae3, fae4, fae5, fm_e, fd_e, fw_sh, fw_neg;
+wire fadd_over, fadd_under, fm_over, fm_under, fd_over, fd_under;
+wire[31:0] fadd_pack, fadd_r, fmul_r, fdiv_r, fcvtsw_r, fcvtws_r;
+wire[47:0] fm_p, fq;
+wire[31:0] fc_mag, fc_m23, fw_mag, fka, fkb, fka_c, fkb_c;
+wire[5:0] fcp4, fcp3, fcp2, fcp1, fcp0;
+wire[31:0] fcm4, fcm3, fcm2, fcm1;
+wire[31:0] alu_r, br_target, jmp_target, store_data;
+wire redir;
+wire[31:0] redir_pc;
+wire[31:0] abs_a, abs_b, div_q, div_r;
+wire[63:0] mul_ss, mul_uu;
+wire take_branch;
+wire[31:0] iword, lw_word, lw_ext, merged, old_word;
+wire[15:0] iidx_w, didx_w;
+wire[31:0] maddr;
+wire mneed, dhit, ihit, dmiss, imiss, m_mmio;
+wire[1:0] moff;
+wire[31:0] ex_a, ex_b;
+"""
+
+
+# -- pipeline stages -------------------------------------------------------------------
+
+
+def _lookup_section(params: ProcParams, setbits: int) -> str:
+    ls = 4  # line shift: 2 byte-offset bits + 2 word-in-line bits
+    return f"""    // ---- cache lookups (I and D halves of the level partition) ----
+    iidx_w := cat(tag(Pipeline), zext(0, 1), (pc >> {ls})[{setbits - 1}:0]);
+    ihit := (cvalid[iidx_w] == 1) && (ctag[iidx_w] == (pc >> {ls + setbits}));
+    iword := cdata[cat(iidx_w, (pc >> 2)[1:0])];
+    maddr := m_alu;
+    m_mmio := (maddr[30:30] == 1) ? 1 : 0;
+    mneed := (m_v == 1) && md_is_load && (m_mmio == 0);
+    didx_w := cat(tag(Pipeline), zext(1, 1), (maddr >> {ls})[{setbits - 1}:0]);
+    dhit := (cvalid[didx_w] == 1) && (ctag[didx_w] == (maddr >> {ls + setbits}));
+    moff := maddr[1:0];
+    dmiss := mneed && (dhit == 0);
+    imiss := (ihit == 0) && (dmiss == 0);
+"""
+
+
+def _writeback_section() -> str:
+    return (
+        "    // ---- WB: retire the oldest instruction into the register files ----\n"
+        + _gpr_write("(w_v == 1) && wd_writes_gpr", "wd_gpr_dest", "w_val")
+        + _fpr_write("(w_v == 1) && wd_writes_fpr", "wd_fpr_dest", "w_val")
+    )
+
+
+def _regread_section() -> str:
+    return (
+        "    // ---- register read ports (post-WB, so distance >= 2 is current) ----\n"
+        + _gpr_read("rv_a", "ed_rs")
+        + _gpr_read("rv_b", "ed_rt")
+        + _fpr_read("fv_a", "ed_fs")
+        + _fpr_read("fv_b", "ed_ft")
+        + _gpr_read("mrt_v", "md_rt")
+    )
+
+
+def _memory_section(params: ProcParams, setbits: int) -> str:
+    return f"""    // ---- MEM: data access for the instruction in the m latch ----
+    if (m_v == 1) {{
+        w_ir := m_ir;
+        w_val := m_alu;
+        w_v := 1;
+        if (md_is_load) {{
+            if (m_mmio) {{
+                if (maddr == {MMIO_EPC}) {{ w_val := epc; }} else {{ w_val := 0; }}
+            }} else {{
+                lw_word := cdata[cat(didx_w, (maddr >> 2)[1:0])];
+                case (md_op) {{
+                    35: {{ lw_ext := lw_word; }}
+                    49: {{ lw_ext := lw_word; }}
+                    32: {{ lw_ext := sext((lw_word >> (zext(moff, 5) << 3))[7:0], 32); }}
+                    36: {{ lw_ext := zext((lw_word >> (zext(moff, 5) << 3))[7:0], 32); }}
+                    37: {{ lw_ext := zext((lw_word >> (zext(moff, 5) << 3))[15:0], 32); }}
+                    34: {{ lw_ext := ((lw_word << ((3 - zext(moff, 5)) << 3)) & (0xFFFFFFFF << ((3 - zext(moff, 5)) << 3)))
+                                     | (mrt_v & ~(0xFFFFFFFF << ((3 - zext(moff, 5)) << 3))); }}
+                    38: {{ lw_ext := ((lw_word >> (zext(moff, 5) << 3)) & (0xFFFFFFFF >> (zext(moff, 5) << 3)))
+                                     | (mrt_v & ~(0xFFFFFFFF >> (zext(moff, 5) << 3))); }}
+                }}
+                w_val := lw_ext;
+            }}
+        }}
+        if (md_is_store) {{
+            if (m_mmio) {{
+                if (maddr == {MMIO_OUT}) {{
+                    out_port := m_b;
+                    out_valid := 1;
+                }}
+                if (maddr == {MMIO_HALT}) {{
+                    halted_r := 1;
+                }}
+            }} else {{
+                old_word := memory[maddr >> 2];
+                case (md_op) {{
+                    43: {{ merged := m_b; }}
+                    57: {{ merged := m_b; }}
+                    40: {{ merged := (old_word & ~(zext(0xFF, 32) << (zext(moff, 5) << 3)))
+                                     | ((m_b & 0xFF) << (zext(moff, 5) << 3)); }}
+                    41: {{ merged := (old_word & ~(zext(0xFFFF, 32) << (zext(moff, 5) << 3)))
+                                     | ((m_b & 0xFFFF) << (zext(moff, 5) << 3)); }}
+                    42: {{ merged := (old_word & ~(0xFFFFFFFF >> ((3 - zext(moff, 5)) << 3)))
+                                     | (m_b >> ((3 - zext(moff, 5)) << 3)); }}
+                    46: {{ merged := (old_word & ~(0xFFFFFFFF << (zext(moff, 5) << 3)))
+                                     | ((m_b << (zext(moff, 5) << 3)) & 0xFFFFFFFF); }}
+                }}
+                memory[maddr >> 2] := merged otherwise skip;
+                if (dhit) {{
+                    cdata[cat(didx_w, (maddr >> 2)[1:0])] := merged otherwise skip;
+                }}
+            }}
+        }}
+        if (md_is_setrtag) {{
+            setTag(memory[m_alu >> 2], tagbits(m_b)) otherwise skip;
+        }}
+    }} else {{
+        w_v := 0;
+    }}
+"""
+
+
+def _execute_section() -> str:
+    return f"""    // ---- EX: forwarding, ALU, mult/div unit, FPU, control flow ----
+    redir := 0;
+    redir_pc := 0;
+    // forward the value MEM produced this cycle (distance 1); written as
+    // if/else rather than muxes so the compiler's per-path tag merge
+    // keeps the forwarded operand's tag precise (a mux would join the
+    // stale register-file tag into fresh data -- label creep)
+    ex_a := rv_a;
+    if ((m_v == 1) && md_writes_gpr && (md_gpr_dest == ed_rs) && (ed_rs != 0)) {{ ex_a := w_val; }}
+    ex_b := rv_b;
+    if ((m_v == 1) && md_writes_gpr && (md_gpr_dest == ed_rt) && (ed_rt != 0)) {{ ex_b := w_val; }}
+    fpa := fv_a;
+    if ((m_v == 1) && md_writes_fpr && (md_fpr_dest == ed_fs)) {{ fpa := w_val; }}
+    fpb := fv_b;
+    if ((m_v == 1) && md_writes_fpr && (md_fpr_dest == ed_ft)) {{ fpb := w_val; }}
+    if (ed_is_fpalu && (ed_funct == 1)) {{ fpb := fpb ^ 0x80000000; }}   // sub.s = add.s(-b)
+{_fpu_block()}
+    if (e_v == 1) {{
+        alu_r := 0;
+        take_branch := 0;
+        br_target := e_pc + 4 + (ed_simm << 2);
+        jmp_target := ((e_pc + 4) & 0xF0000000) | (zext(e_ir[25:0], 32) << 2);
+        if (ed_op == 0) {{
+            case (ed_funct) {{
+                32: {{ alu_r := ex_a + ex_b; }}
+                33: {{ alu_r := ex_a + ex_b; }}
+                34: {{ alu_r := ex_a - ex_b; }}
+                35: {{ alu_r := ex_a - ex_b; }}
+                36: {{ alu_r := ex_a & ex_b; }}
+                37: {{ alu_r := ex_a | ex_b; }}
+                38: {{ alu_r := ex_a ^ ex_b; }}
+                39: {{ alu_r := ~(ex_a | ex_b); }}
+                0:  {{ alu_r := ex_b << zext(ed_shamt, 5); }}
+                2:  {{ alu_r := ex_b >> zext(ed_shamt, 5); }}
+                3:  {{ alu_r := asr(ex_b, zext(ed_shamt, 5)); }}
+                4:  {{ alu_r := ex_b << ex_a[4:0]; }}
+                6:  {{ alu_r := ex_b >> ex_a[4:0]; }}
+                7:  {{ alu_r := asr(ex_b, ex_a[4:0]); }}
+                42: {{ alu_r := lts(ex_a, ex_b) ? 1 : 0; }}
+                43: {{ alu_r := (ex_a < ex_b) ? 1 : 0; }}
+                8:  {{ redir := 1; redir_pc := ex_a; }}
+                9:  {{ redir := 1; redir_pc := ex_a; alu_r := e_pc + 4; }}
+                16: {{ alu_r := hi_r; }}
+                18: {{ alu_r := lo_r; }}
+                24: {{ mul_ss := sext(ex_a, 64) * sext(ex_b, 64);
+                       lo_r := mul_ss[31:0]; hi_r := mul_ss[63:32]; }}
+                25: {{ mul_uu := zext(ex_a, 64) * zext(ex_b, 64);
+                       lo_r := mul_uu[31:0]; hi_r := mul_uu[63:32]; }}
+                26: {{ if (ex_b == 0) {{
+                           lo_r := 0xFFFFFFFF; hi_r := ex_a;
+                       }} else {{
+                           abs_a := (ex_a[31:31] == 1) ? (0 - ex_a) : ex_a;
+                           abs_b := (ex_b[31:31] == 1) ? (0 - ex_b) : ex_b;
+                           div_q := abs_a / abs_b;
+                           div_r := abs_a % abs_b;
+                           lo_r := (ex_a[31:31] != ex_b[31:31]) ? (0 - div_q) : div_q;
+                           hi_r := (ex_a[31:31] == 1) ? (0 - div_r) : div_r;
+                       }} }}
+            }}
+        }}
+        case (ed_op) {{
+            9:  {{ alu_r := ex_a + ed_simm; }}
+            12: {{ alu_r := ex_a & zext(ed_imm, 32); }}
+            13: {{ alu_r := ex_a | zext(ed_imm, 32); }}
+            14: {{ alu_r := ex_a ^ zext(ed_imm, 32); }}
+            10: {{ alu_r := lts(ex_a, ed_simm) ? 1 : 0; }}
+            11: {{ alu_r := (ex_a < ed_simm) ? 1 : 0; }}
+            15: {{ alu_r := zext(ed_imm, 32) << 16; }}
+            4:  {{ take_branch := (ex_a == ex_b) ? 1 : 0; }}
+            20: {{ take_branch := (ex_a == ex_b) ? 1 : 0; }}
+            5:  {{ take_branch := (ex_a != ex_b) ? 1 : 0; }}
+            21: {{ take_branch := (ex_a != ex_b) ? 1 : 0; }}
+            28: {{ take_branch := gts(ex_a, ex_b) ? 1 : 0; }}
+            29: {{ take_branch := les(ex_a, ex_b) ? 1 : 0; }}
+            22: {{ take_branch := les(ex_a, ex_b) ? 1 : 0; }}
+            1:  {{ case (ed_rt) {{
+                      0: {{ take_branch := (ex_a[31:31] == 1) ? 1 : 0; }}
+                      1: {{ take_branch := (ex_a[31:31] == 0) ? 1 : 0; }}
+                      2: {{ take_branch := (ex_a[31:31] == 1) ? 1 : 0; }}
+                   }} }}
+            2:  {{ redir := 1; redir_pc := jmp_target; }}
+            3:  {{ redir := 1; redir_pc := jmp_target; alu_r := e_pc + 4; }}
+            59: {{ timer := ex_a otherwise skip; }}
+        }}
+        if (ed_is_load || ed_is_store) {{
+            alu_r := ex_a + ed_simm;
+        }}
+        if (ed_is_setrtag) {{
+            alu_r := ex_a;
+        }}
+        if (ed_is_cop1) {{
+            if (ed_is_mtc1) {{ alu_r := ex_b; }}
+            if (ed_is_mfc1) {{ alu_r := fpa; }}
+            if (ed_fmt == 8) {{
+                take_branch := (ed_rt[0:0] == 1) ? fcc : ((fcc == 0) ? 1 : 0);
+            }}
+            if (ed_fmt == 16) {{
+                case (ed_funct) {{
+                    0:  {{ alu_r := fadd_r; }}
+                    1:  {{ alu_r := fadd_r; }}
+                    2:  {{ alu_r := fmul_r; }}
+                    3:  {{ alu_r := fdiv_r; }}
+                    5:  {{ alu_r := fpa & 0x7FFFFFFF; }}
+                    6:  {{ alu_r := fpa; }}
+                    7:  {{ alu_r := fpa ^ 0x80000000; }}
+                    36: {{ alu_r := fcvtws_r; }}
+                    60: {{ fcc := (fka < fkb) ? 1 : 0; }}
+                    61: {{ fcc := (fka > fkb) ? 1 : 0; }}
+                    62: {{ fcc := (fka <= fkb) ? 1 : 0; }}
+                    63: {{ fcc := (fka >= fkb) ? 1 : 0; }}
+                }}
+            }}
+            if (ed_fmt == 20) {{
+                if (ed_funct == 32) {{ alu_r := fcvtsw_r; }}
+            }}
+        }}
+        if (take_branch == 1) {{
+            redir := 1;
+            redir_pc := br_target;
+        }}
+        if (redir == 1) {{
+            d_v := 0;      // kill the sequential successor sitting in ID
+        }}
+        store_data := ex_b;
+        if (ed_op == 57) {{ store_data := fpb; }}
+        m_ir := e_ir; m_pc := e_pc; m_alu := alu_r; m_b := store_data;
+        m_v := 1;
+    }} else {{
+        m_v := 0;
+    }}
+"""
+
+
+def _decode_section() -> str:
+    return """    // ---- ID: advance the instruction into EX ----
+    e_ir := d_ir;
+    e_pc := d_pc;
+    e_v := d_v;
+"""
+
+
+def _fetch_section() -> str:
+    return """    // ---- IF: latch the fetched instruction or follow a redirect ----
+    if (redir == 1) {
+        pc := redir_pc;
+        d_v := 0;
+    } else {
+        d_ir := iword;
+        d_pc := pc;
+        d_v := 1;
+        pc := pc + 4;
+    }
+"""
+
+
+# -- control states ----------------------------------------------------------------------
+
+
+def _boot_section(params: ProcParams, lattice: Lattice) -> str:
+    tw = encode(lattice).width
+    word_shift = max(1, (params.cache_words - 1).bit_length() - tw)
+    line_shift_bits = max(1, (params.cache_lines - 1).bit_length() - tw)
+    return f"""state Boot : L = {{
+    // label each cache partition with its security level, once
+    if (bootcnt < {params.cache_words}) {{
+        setTag(cdata[bootcnt], tagbits(bootcnt >> {word_shift}));
+        if (bootcnt < {params.cache_lines}) {{
+            setTag(ctag[bootcnt], tagbits(bootcnt >> {line_shift_bits}));
+            setTag(cvalid[bootcnt], tagbits(bootcnt >> {line_shift_bits}));
+        }}
+        bootcnt := bootcnt + 1;
+        goto Boot;
+    }} else {{
+        goto Master;
+    }}
+}}
+"""
+
+
+def _master_section(params: ProcParams) -> str:
+    return f"""state Master : L = {{
+    // trusted dispatcher: capture the oldest un-executed pc, flush the
+    // young latches, lower the dynamic states, enter the kernel
+    epc := (m_v == 1) ? m_pc : ((e_v == 1) ? e_pc : ((d_v == 1) ? d_pc : pc));
+    pc := {params.kernel_vector};
+    d_v := 0; e_v := 0; m_v := 0;
+    d_ir := 0; e_ir := 0; m_ir := 0; m_alu := 0; m_b := 0;
+    timer := 0;
+    ref_cnt := 4;
+    setTag(Pipeline, L);
+    setTag(Refill, L);
+    goto Slave;
+}}
+"""
+
+
+def _refill_section(params: ProcParams, setbits: int) -> str:
+    ls = 4
+    return f"""            if (ref_cnt >= 4) {{
+                goto Pipeline;
+            }} else {{
+                // adopt the memory word's tag (joined with the requester
+                // level) so lines of any level can be cached -- the
+                // set-tag memory-sharing mechanism of section 3.5
+                setTag(cdata[cat(tag(Refill), ref_isd, (ref_addr >> {ls})[{setbits - 1}:0], ref_cnt[1:0])],
+                       tag(memory[cat((ref_addr >> {ls}), ref_cnt[1:0])]) | tag(Refill)) otherwise skip;
+                cdata[cat(tag(Refill), ref_isd, (ref_addr >> {ls})[{setbits - 1}:0], ref_cnt[1:0])]
+                    := memory[cat((ref_addr >> {ls}), ref_cnt[1:0])] otherwise skip;
+                if (ref_cnt == 3) {{
+                    ctag[cat(tag(Refill), ref_isd, (ref_addr >> {ls})[{setbits - 1}:0])]
+                        := ref_addr >> {ls + setbits} otherwise skip;
+                    cvalid[cat(tag(Refill), ref_isd, (ref_addr >> {ls})[{setbits - 1}:0])]
+                        := 1 otherwise skip;
+                    ref_cnt := 4;
+                    goto Pipeline;
+                }} else {{
+                    ref_cnt := ref_cnt + 1;
+                    goto Refill;
+                }}
+            }}
+"""
+
+
+def _pipeline_body(params: ProcParams, setbits: int) -> str:
+    decode = _decode_wires("ed_", "e_ir") + _decode_wires("md_", "m_ir") + _decode_wires("wd_", "w_ir")
+    stages = (
+        _indent(_writeback_section(), 4)
+        + _indent(_regread_section(), 4)
+        + _indent(_memory_section(params, setbits), 4)
+        + _indent(_execute_section(), 4)
+        + _indent(_decode_section(), 4)
+        + _indent(_fetch_section(), 4)
+    )
+    return (
+        decode
+        + _lookup_section(params, setbits)
+        + """    if (halted_r == 1) {
+        goto Pipeline;
+    } else {
+    if (dmiss || imiss) {
+        ref_addr := dmiss ? maddr : pc;
+        ref_isd := dmiss ? 1 : 0;
+        ref_cnt := 0;
+        goto Refill;
+    } else {
+"""
+        + stages
+        + """        goto Pipeline;
+    }
+    }
+"""
+    )
+
+
+def _slave_section(params: ProcParams, setbits: int) -> str:
+    return (
+        """state Slave : L = {
+    let state Pipeline = {
+"""
+        + _indent(_pipeline_body(params, setbits), 8)
+        + """    } in
+    let state Refill = {
+"""
+        + _refill_section(params, setbits)
+        + """    } in
+    // the trusted timer: when it expires, control always returns to
+    // Master no matter what the child is doing (section 4.2)
+    if (timer == 1) {
+        timer := 0;
+        goto Master;
+    } else {
+        if (timer > 1) {
+            timer := timer - 1;
+        }
+        halted := halted_r;
+        fall;
+    }
+}
+"""
+    )
+
+
+# -- public API -------------------------------------------------------------------------------
+
+
+def design_sections(lattice: Lattice | None = None, params: ProcParams | None = None) -> dict[str, str]:
+    """The processor source split by component (the Figure 8 accounting).
+
+    The concatenation of the full design equals ``generate_design``; the
+    per-section texts here are the same helper outputs, grouped by the
+    paper's component names for LOC counting.
+    """
+    lattice = lattice or two_level()
+    params = params or ProcParams()
+    setbits = _setbits(params, lattice)
+    return {
+        "Fetch": _fetch_section() + _lookup_section(params, setbits),
+        "Decode + Register File": (
+            _decode_wires("ed_", "e_ir")
+            + _decode_wires("md_", "m_ir")
+            + _decode_wires("wd_", "w_ir")
+            + _regread_section()
+            + _decode_section()
+        ),
+        "Execute + ALU + FPU": _execute_section(),
+        "Memory + Cache": _memory_section(params, setbits) + _refill_section(params, setbits),
+        "Write Back": _writeback_section(),
+        "Control Logic + Forwarding + Stalling": (
+            _declarations(params, lattice)
+            + _boot_section(params, lattice)
+            + _master_section(params)
+            + (_slave_section(params, setbits).split("let state Pipeline")[0])
+        ),
+    }
+
+
+@lru_cache(maxsize=8)
+def _generate_cached(elements: tuple, pairs: tuple, mem_words: int, cache_lines: int, kvec: int) -> str:
+    from repro.lattice import from_order
+
+    lattice = from_order(list(elements), list(pairs))
+    params = ProcParams(mem_words=mem_words, cache_lines=cache_lines, kernel_vector=kvec)
+    setbits = _setbits(params, lattice)
+    return (
+        _declarations(params, lattice)
+        + _boot_section(params, lattice)
+        + _master_section(params)
+        + _slave_section(params, setbits)
+    )
+
+
+def generate_design(lattice: Lattice | None = None, params: ProcParams | None = None) -> str:
+    """Full Sapper source of the processor for *lattice* (default 2-level)."""
+    lattice = lattice or two_level()
+    params = params or ProcParams()
+    pairs = tuple(
+        sorted(
+            (a, b)
+            for a in lattice.elements
+            for b in lattice.elements
+            if lattice.leq(a, b) and a != b
+        )
+    )
+    return _generate_cached(
+        lattice.elements, pairs, params.mem_words, params.cache_lines, params.kernel_vector
+    )

@@ -1,0 +1,146 @@
+"""Loadable machine wrappers around the Sapper processor and the ISS.
+
+:class:`SapperMachine` compiles the generated processor once per
+(lattice, security) configuration (modules are cached), loads an
+assembled executable plus per-word memory security tags, and runs the
+hardware simulator until the MMIO halt fires -- collecting the output
+port trace, the cycle count, and the number of dynamic-check violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional
+
+from repro.hdl import Simulator
+from repro.lattice import Lattice, encode, two_level
+from repro.mips.assembler import Executable, assemble
+from repro.mips.iss import Iss
+from repro.proc.design import ProcParams, generate_design
+from repro.sapper.compiler import CompiledDesign, compile_program
+
+
+@lru_cache(maxsize=8)
+def _compiled(elements: tuple, pairs: tuple, secure: bool, mem_words: int, kvec: int) -> CompiledDesign:
+    from repro.lattice import from_order
+
+    lattice = from_order(list(elements), list(pairs))
+    params = ProcParams(mem_words=mem_words, kernel_vector=kvec)
+    source = generate_design(lattice, params)
+    return compile_program(source, lattice, secure=secure, name="sapper_mips")
+
+
+def compile_processor(
+    lattice: Optional[Lattice] = None,
+    secure: bool = True,
+    mem_words: int = 1 << 24,
+    kernel_vector: int = 0x400,
+) -> CompiledDesign:
+    """Compile (and cache) the processor for *lattice*."""
+    lattice = lattice or two_level()
+    pairs = tuple(
+        sorted(
+            (a, b)
+            for a in lattice.elements
+            for b in lattice.elements
+            if lattice.leq(a, b) and a != b
+        )
+    )
+    return _compiled(lattice.elements, pairs, secure, mem_words, kernel_vector)
+
+
+@dataclass
+class RunResult:
+    outputs: list[int]
+    cycles: int
+    violations: int
+    halted: bool
+
+
+class SapperMachine:
+    """The compiled secure processor, ready to load and run programs."""
+
+    def __init__(
+        self,
+        lattice: Optional[Lattice] = None,
+        secure: bool = True,
+        mem_words: int = 1 << 24,
+        kernel_vector: int = 0x400,
+    ):
+        self.lattice = lattice or two_level()
+        self.design = compile_processor(self.lattice, secure, mem_words, kernel_vector)
+        self.encoding = encode(self.lattice)
+        self.secure = secure
+        self.sim = Simulator(self.design.module)
+        self.outputs: list[int] = []
+        self.violations = 0
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self, exe: Executable) -> None:
+        self.sim.arrays["memory"] = dict(exe.as_memory())
+
+    def set_word_tag(self, byte_addr: int, label: str) -> None:
+        """Pre-set the security tag of one memory word (the harness-side
+        equivalent of a kernel ``set-tag`` loop; tests use both paths)."""
+        if not self.secure:
+            return
+        bits = self.encoding.encode(self.lattice.check(label))
+        self.sim.arrays["memory__tags"][byte_addr >> 2] = bits
+
+    def tag_region(self, start: int, end: int, label: str) -> None:
+        """Tag every word in ``[start, end)`` (byte addresses)."""
+        for addr in range(start & ~3, end, 4):
+            self.set_word_tag(addr, label)
+
+    def word_tag(self, byte_addr: int) -> str:
+        bits = self.sim.arrays["memory__tags"].get(byte_addr >> 2, 0)
+        return self.encoding.decode(bits)
+
+    def read_word(self, byte_addr: int) -> int:
+        return self.sim.arrays["memory"].get(byte_addr >> 2, 0)
+
+    @property
+    def halted(self) -> bool:
+        return bool(self.sim.regs["halted_r"])
+
+    def gpr(self, index: int) -> int:
+        return 0 if index == 0 else self.sim.regs[f"r{index}"]
+
+    # -- running --------------------------------------------------------------
+
+    def step(self) -> dict[str, int]:
+        out = self.sim.step({})
+        if out.get("out_valid"):
+            self.outputs.append(out["out_port"])
+        if out.get("violation"):
+            self.violations += 1
+        return out
+
+    def run(self, max_cycles: int = 2_000_000) -> RunResult:
+        start = self.sim.cycles
+        for _ in range(max_cycles):
+            self.step()
+            if self.halted:
+                break
+        return RunResult(
+            outputs=list(self.outputs),
+            cycles=self.sim.cycles - start,
+            violations=self.violations,
+            halted=self.halted,
+        )
+
+
+def run_on_iss(exe: Executable, max_steps: int = 10_000_000) -> Iss:
+    """Run *exe* to halt on the golden reference machine."""
+    iss = Iss.load(exe)
+    iss.run(max_steps)
+    return iss
+
+
+def run_program(source: str, lattice: Optional[Lattice] = None, max_cycles: int = 2_000_000) -> RunResult:
+    """Assemble and run *source* on the secure processor."""
+    machine = SapperMachine(lattice)
+    machine.load(assemble(source))
+    return machine.run(max_cycles)

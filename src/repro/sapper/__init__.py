@@ -1,0 +1,90 @@
+"""The Sapper hardware-description language (the paper's contribution).
+
+Pipeline:
+
+* :mod:`repro.sapper.ast` -- the abstract syntax of Figure 1.
+* :mod:`repro.sapper.lexer` / :mod:`repro.sapper.parser` -- the concrete
+  ``.sap`` syntax (a Verilog-flavoured surface language).
+* :mod:`repro.sapper.analysis` -- static analysis: the state tree
+  (``Fpnt``/``Fcmd``), control-dependence sets ``Fcd``, goto
+  reachability, and the well-formedness conditions of Appendix A.1.
+* :mod:`repro.sapper.semantics` -- an executable version of the formal
+  semantics of Figure 6 (the specification interpreter).
+* :mod:`repro.sapper.noninterference` -- the L-equivalence relations of
+  Appendix A.2, used to test Theorem 1 mechanically.
+* :mod:`repro.sapper.compiler` -- translation to the HDL IR with
+  automatically inserted tracking and enforcement logic (sections 3.3-3.6).
+"""
+
+from repro.sapper.ast import (
+    ArrDecl,
+    AssignArr,
+    AssignReg,
+    BinOp,
+    Cat,
+    Cond,
+    Const,
+    EntArr,
+    EntReg,
+    EntState,
+    Fall,
+    Goto,
+    If,
+    LabelLit,
+    Otherwise,
+    Program,
+    RegDecl,
+    RegRef,
+    Seq,
+    SetTag,
+    Skip,
+    Slice,
+    StateDef,
+    TagConst,
+    TagJoin,
+    TagOf,
+    TagOfEntity,
+    UnOp,
+)
+from repro.sapper.errors import SapperError, SapperSyntaxError, SapperTypeError
+from repro.sapper.parser import parse_program
+from repro.sapper.analysis import analyze, ProgramInfo
+from repro.sapper.compiler import compile_program
+
+__all__ = [
+    "parse_program",
+    "analyze",
+    "compile_program",
+    "ProgramInfo",
+    "Program",
+    "StateDef",
+    "RegDecl",
+    "ArrDecl",
+    "Const",
+    "RegRef",
+    "BinOp",
+    "UnOp",
+    "Cond",
+    "Slice",
+    "Cat",
+    "TagOf",
+    "LabelLit",
+    "Skip",
+    "AssignReg",
+    "AssignArr",
+    "Seq",
+    "If",
+    "Goto",
+    "Fall",
+    "SetTag",
+    "Otherwise",
+    "TagConst",
+    "TagOfEntity",
+    "TagJoin",
+    "EntReg",
+    "EntState",
+    "EntArr",
+    "SapperError",
+    "SapperSyntaxError",
+    "SapperTypeError",
+]

@@ -1,0 +1,731 @@
+"""The Sapper compiler: Sapper AST -> HDL IR with security logic.
+
+This implements sections 3.3-3.6 of the paper.  The compiler performs a
+symbolic execution of the (statically analyzed) program, producing SSA
+combinational logic plus one synchronous write-back per register -- the
+"single combinational block + generated synchronous block" structure of
+section 3.1.  Along the way it *automatically* inserts:
+
+* tag storage: an n-bit tag flip-flop per dynamic register, per dynamic
+  state, and one per dynamic array; a tag memory next to every enforced
+  array (1 tag per word -- the paper's 3% memory overhead); enforced
+  scalars whose tags are never the target of a ``setTag`` get constant
+  tags and cost nothing;
+* tracking logic: tag joins mirroring every expression and the ``Fcd``
+  upgrades for implicit flows at every ``if``;
+* enforcement checks: every assignment to an enforced target, every
+  ``goto``/``fall`` involving enforced states, and every ``setTag``
+  compiles to a guard in front of the state-changing effect, exactly the
+  ``if (derived condition) command else default/otherwise`` shape of
+  Figure 5;
+* a 1-bit ``violation`` output that pulses whenever any check fails
+  (used by the validation experiments).
+
+Compiling with ``secure=False`` strips every tag and check and yields
+the insecure Base design from the same source -- the paper's "Base
+Processor" methodology.
+
+Read-after-write of registers within a cycle follows the software-like
+semantics of Figure 6 via SSA renaming; array reads are bypassed against
+earlier in-cycle writes with forwarding muxes (real hardware cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lattice import BitEncoding, Lattice, LutEncoding, encode
+from repro.sapper import ast
+from repro.sapper.analysis import ProgramInfo, analyze
+from repro.sapper.errors import SapperTypeError
+
+
+@dataclass
+class _ArrayWriteRec:
+    addr: "HRef"
+    data: "HRef"
+    enable: "HRef"
+
+
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module  # noqa: E402
+
+
+@dataclass
+class CompiledDesign:
+    """Result of compilation: the module plus naming metadata."""
+
+    module: Module
+    info: ProgramInfo
+    lattice: Lattice
+    encoding: Union[BitEncoding, LutEncoding]
+    secure: bool
+    reg_tag: dict[str, str] = field(default_factory=dict)     # reg -> tag signal/reg name
+    state_tag: dict[str, str] = field(default_factory=dict)   # dynamic state -> tag reg
+    fall_reg: dict[str, str] = field(default_factory=dict)    # state -> fall-map reg
+    state_code: dict[str, int] = field(default_factory=dict)  # state -> encoding in parent's fall reg
+    arr_tag: dict[str, str] = field(default_factory=dict)     # array -> tag array / tag reg
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+
+class _Compiler:
+    def __init__(self, info: ProgramInfo, lattice: Lattice, secure: bool, name: str):
+        self.info = info
+        self.lattice = lattice
+        self.secure = secure
+        self.enc = encode(lattice)
+        self.tw = self.enc.width
+        self.m = Module(name)
+        self.design = CompiledDesign(self.m, info, lattice, self.enc, secure)
+        self.bot = HConst(self.enc.encode(lattice.bottom), self.tw)
+        # mutable environment: name -> HExpr for values, tags, fall regs
+        self.env: dict[str, HExpr] = {}
+        self.writes: dict[str, list[_ArrayWriteRec]] = {}
+        self.tag_writes: dict[str, list[_ArrayWriteRec]] = {}
+        self.settag_regs, self.settag_states = self._settag_targets()
+
+    # -- static prep -----------------------------------------------------------
+
+    def _settag_targets(self) -> tuple[set[str], set[str]]:
+        regs: set[str] = set()
+        states: set[str] = set()
+        for state in self.info.states.values():
+            for cmd in state.body.walk():
+                if isinstance(cmd, ast.SetTag):
+                    if isinstance(cmd.entity, ast.EntReg):
+                        regs.add(cmd.entity.name)
+                    elif isinstance(cmd.entity, ast.EntState):
+                        states.add(cmd.entity.name)
+        return regs, states
+
+    # -- lattice ops in hardware --------------------------------------------------
+
+    def join(self, a: HExpr, b: HExpr) -> HExpr:
+        if not self.secure:
+            return self.bot
+        if a == self.bot or (isinstance(a, HConst) and a.value == self.bot.value):
+            return b
+        if b == self.bot or (isinstance(b, HConst) and b.value == self.bot.value):
+            return a
+        if isinstance(self.enc, BitEncoding):
+            return HOp("or", (a, b), self.tw)
+        # LUT lattice: nested mux over the join table
+        result: HExpr = self.bot
+        for i, ei in enumerate(self.lattice.elements):
+            row: HExpr = self.bot
+            for j, ej in enumerate(self.lattice.elements):
+                val = HConst(self.enc.encode(self.lattice.join(ei, ej)), self.tw)
+                row = HOp("mux", (HOp("eq", (b, HConst(j, self.tw)), 1), val, row), self.tw)
+            result = HOp("mux", (HOp("eq", (a, HConst(i, self.tw)), 1), row, result), self.tw)
+        return result
+
+    def joins(self, *tags: HExpr) -> HExpr:
+        out: HExpr = self.bot
+        for t in tags:
+            out = self.join(out, t)
+        return out
+
+    def leq(self, a: HExpr, b: HExpr) -> HExpr:
+        """1-bit flow check ``a <= b``."""
+        if not self.secure:
+            return HConst(1, 1)
+        if isinstance(self.enc, BitEncoding):
+            # subset test: (a & ~b) == 0
+            notb = HOp("not", (b,), self.tw)
+            return HOp("eq", (HOp("and", (a, notb), self.tw), HConst(0, self.tw)), 1)
+        result: HExpr = HConst(0, 1)
+        for i, ei in enumerate(self.lattice.elements):
+            row: HExpr = HConst(0, 1)
+            for j, ej in enumerate(self.lattice.elements):
+                val = HConst(int(self.lattice.leq(ei, ej)), 1)
+                row = HOp("mux", (HOp("eq", (b, HConst(j, self.tw)), 1), val, row), 1)
+            result = HOp("mux", (HOp("eq", (a, HConst(i, self.tw)), 1), row, result), 1)
+        return result
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def wire(self, expr: HExpr, hint: str = "t") -> HRef:
+        if isinstance(expr, (HRef, HConst)):
+            return expr  # type: ignore[return-value]
+        return self.m.fresh(expr, hint)
+
+    def bool_of(self, e: HExpr) -> HExpr:
+        if e.width == 1:
+            return e
+        return HOp("ne", (e, HConst(0, e.width)), 1)
+
+    def mux(self, c: HExpr, a: HExpr, b: HExpr) -> HExpr:
+        if a == b:
+            return a
+        width = max(a.width, b.width)
+        a = self.fit(a, width)
+        b = self.fit(b, width)
+        return HOp("mux", (self.bool_of(c), a, b), width)
+
+    def fit(self, e: HExpr, width: int) -> HExpr:
+        if e.width == width:
+            return e
+        if e.width > width:
+            return HOp("slice", (e,), width, hi=width - 1, lo=0)
+        return HOp("zext", (e,), width)
+
+    # -- environment ------------------------------------------------------------------
+
+    def val(self, name: str) -> HExpr:
+        return self.env[name]
+
+    def tagof(self, name: str) -> HExpr:
+        return self.env[f"{name}.tag"] if self.secure else self.bot
+
+    def set_val(self, name: str, e: HExpr, hint: str = "v") -> None:
+        self.env[name] = self.wire(e, hint)
+
+    def set_tag(self, name: str, e: HExpr) -> None:
+        if self.secure:
+            self.env[f"{name}.tag"] = self.wire(e, "tg")
+
+    # -- expression compilation: value and tag together ----------------------------------
+
+    def exp(self, e: ast.Exp, ctx: HExpr, path: HRef) -> tuple[HExpr, HExpr]:
+        info = self.info
+        if isinstance(e, ast.Const):
+            width = e.width or max(1, e.value.bit_length())
+            return HConst(e.value, width), self.bot
+        if isinstance(e, ast.RegRef):
+            return self.val(e.name), self.tagof(e.name)
+        if isinstance(e, ast.ArrIndex):
+            return self.array_read(e.name, e.index, ctx, path)
+        if isinstance(e, ast.BinOp):
+            lv, lt = self.exp(e.left, ctx, path)
+            rv, rt = self.exp(e.right, ctx, path)
+            return self.binop(e.op, lv, rv, info.width_of(e, self.tw)), self.join(lt, rt)
+        if isinstance(e, ast.UnOp):
+            v, t = self.exp(e.operand, ctx, path)
+            width = info.width_of(e, self.tw)
+            op = {"~": "not", "-": "neg", "!": "lnot"}[e.op]
+            return HOp(op, (self.fit(v, width) if e.op != "!" else v,), width), t
+        if isinstance(e, ast.Cond):
+            cv, ct = self.exp(e.cond, ctx, path)
+            tv, tt = self.exp(e.if_true, ctx, path)
+            fv, ft = self.exp(e.if_false, ctx, path)
+            return self.mux(cv, tv, fv), self.joins(ct, tt, ft)
+        if isinstance(e, ast.Slice):
+            v, t = self.exp(e.base, ctx, path)
+            width = e.hi - e.lo + 1
+            return HOp("slice", (self.fit(v, max(v.width, e.hi + 1)),), width, hi=e.hi, lo=e.lo), t
+        if isinstance(e, ast.Cat):
+            parts = [self.exp(p, ctx, path) for p in e.parts]
+            width = sum(v.width for v, _ in parts)
+            value = HOp("cat", tuple(v for v, _ in parts), width)
+            return value, self.joins(*(t for _, t in parts))
+        if isinstance(e, ast.Ext):
+            v, t = self.exp(e.operand, ctx, path)
+            op = "sext" if e.signed else "zext"
+            if v.width >= e.width:
+                return self.fit(v, e.width), t
+            return HOp(op, (v,), e.width), t
+        if isinstance(e, ast.TagOf):
+            return self.entity_tag(e.entity, ctx, path)
+        if isinstance(e, ast.LabelLit):
+            return HConst(self.enc.encode(self.lattice.check(e.label)), self.tw), self.bot
+        raise SapperTypeError(f"cannot compile expression {e!r}")
+
+    def binop(self, op: str, lv: HExpr, rv: HExpr, width: int) -> HExpr:
+        ir_op = {
+            "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "shr", "asr": "asr",
+            "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+            "lts": "lts", "les": "les", "gts": "gts", "ges": "ges",
+            "&&": "land", "||": "lor",
+        }[op]
+        if ir_op in ("and", "or", "xor"):
+            lv, rv = self.fit(lv, width), self.fit(rv, width)
+        if ir_op in ("add", "sub"):
+            lv, rv = self.fit(lv, width), self.fit(rv, width)
+        if ir_op in ("div", "mod", "shl", "shr", "asr") and lv.width != width:
+            lv = self.fit(lv, width)
+        if ir_op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            w = max(lv.width, rv.width)
+            lv, rv = self.fit(lv, w), self.fit(rv, w)
+        return HOp(ir_op, (lv, rv), width)
+
+    def entity_tag(self, ent: ast.TaggedEntity, ctx: HExpr, path: HRef) -> tuple[HExpr, HExpr]:
+        """Compile ``tag(entity)`` to (encoded tag value, phi)."""
+        if not self.secure:
+            return self.bot, self.bot
+        if isinstance(ent, ast.EntReg):
+            return self.tagof(ent.name), self.bot
+        if isinstance(ent, ast.EntState):
+            return self.state_tag_expr(ent.name), self.bot
+        if isinstance(ent, ast.EntArr):
+            _, cell_tag, idx_tag = self.array_read_with_tag(ent.name, ent.index, ctx, path)
+            return cell_tag, idx_tag
+        raise SapperTypeError(f"bad entity {ent!r}")
+
+    def state_tag_expr(self, name: str) -> HExpr:
+        return self.env[f"state:{name}.tag"]
+
+    # -- arrays with in-cycle forwarding ---------------------------------------------------
+
+    def array_read(self, name: str, index: ast.Exp, ctx: HExpr, path: HRef) -> tuple[HExpr, HExpr]:
+        value, cell_tag, idx_tag = self.array_read_with_tag(name, index, ctx, path)
+        return value, self.join(cell_tag, idx_tag)
+
+    def _addr(self, iv: HExpr, size: int) -> HExpr:
+        """Reduce an index expression to a canonical address so that the
+        in-cycle forwarding comparisons agree with the memory's own
+        wrap-around behaviour."""
+        bits = max(1, (size - 1).bit_length())
+        if size & (size - 1) == 0:
+            return self.fit(iv, bits)
+        modded = HOp("mod", (iv, HConst(size, max(iv.width, bits))), iv.width)
+        return self.fit(modded, bits)
+
+    def array_read_with_tag(
+        self, name: str, index: ast.Exp, ctx: HExpr, path: HRef
+    ) -> tuple[HExpr, HExpr, HExpr]:
+        decl = self.info.arrays[name]
+        iv, it = self.exp(index, ctx, path)
+        addr = self.wire(self._addr(iv, decl.size), "addr")
+        value: HExpr = HOp("read", (addr,), decl.width, array=name)
+        for rec in self.writes.get(name, ()):  # forwarding network
+            hit = HOp("land", (rec.enable, HOp("eq", (rec.addr, self.fit(addr, rec.addr.width)), 1)), 1)
+            value = self.mux(hit, rec.data, value)
+        if not self.secure:
+            return self.wire(value, "rd"), self.bot, self.bot
+        if decl.enforced:
+            tag: HExpr = HOp("read", (addr,), self.tw, array=self.design.arr_tag[name])
+            for rec in self.tag_writes.get(name, ()):
+                hit = HOp(
+                    "land", (rec.enable, HOp("eq", (rec.addr, self.fit(addr, rec.addr.width)), 1)), 1
+                )
+                tag = self.mux(hit, rec.data, tag)
+        else:
+            tag = self.env[f"arr:{name}.tag"]
+        return self.wire(value, "rd"), self.wire(tag, "rdt"), it
+
+    def array_write(self, name: str, addr: HExpr, data: HExpr, enable: HExpr) -> None:
+        decl = self.info.arrays[name]
+        rec = _ArrayWriteRec(
+            addr=self.wire(self._addr(addr, decl.size), "wa"),
+            data=self.wire(self.fit(data, decl.width), "wd"),
+            enable=self.wire(enable, "we"),
+        )
+        self.writes.setdefault(name, []).append(rec)
+
+    def array_tag_write(self, name: str, addr: HExpr, tag: HExpr, enable: HExpr) -> None:
+        decl = self.info.arrays[name]
+        rec = _ArrayWriteRec(
+            addr=self.wire(self._addr(addr, decl.size), "wta"),
+            data=self.wire(self.fit(tag, self.tw), "wtd"),
+            enable=self.wire(enable, "wte"),
+        )
+        self.tag_writes.setdefault(name, []).append(rec)
+
+    # -- commands ---------------------------------------------------------------------------
+
+    def cmd(self, c: ast.Cmd, state: str, ctx: HRef, path: HRef) -> None:
+        if isinstance(c, ast.Skip):
+            return
+        if isinstance(c, ast.Seq):
+            for sub in c.commands:
+                self.cmd(sub, state, ctx, path)
+            return
+        if isinstance(c, ast.If):
+            self.compile_if(c, state, ctx, path)
+            return
+        if isinstance(c, ast.Otherwise):
+            ok = self.enforceable(c.primary, state, ctx, path)
+            snapshot = dict(self.env)
+            # handler runs when the primary's check failed
+            not_ok = self.wire(HOp("lnot", (ok,), 1), "nok")
+            handler_path = self.wire(HOp("land", (path, not_ok), 1), "pth")
+            self.cmd(c.handler, state, ctx, handler_path)
+            self.merge(ok, snapshot_then=snapshot, label="otw")
+            return
+        self.enforceable(c, state, ctx, path)
+        return
+
+    def merge(self, cond: HExpr, snapshot_then: dict[str, HExpr], label: str) -> None:
+        """Merge current env (else/handler side) with *snapshot_then*
+        under *cond*: env := cond ? snapshot : env."""
+        for key, then_val in snapshot_then.items():
+            cur = self.env.get(key)
+            if cur is not None and cur is not then_val and cur != then_val:
+                self.env[key] = self.wire(self.mux(cond, then_val, cur), label)
+
+    def compile_if(self, c: ast.If, state: str, ctx: HRef, path: HRef) -> None:
+        cv, ct = self.exp(c.cond, ctx, path)
+        cond = self.wire(self.bool_of(cv), f"c_{c.label}")
+        new_ctx = self.wire(self.join(ctx, ct), f"ctx_{c.label}")
+        if self.secure:
+            # Fcd upgrades: implicit flows from branches not taken.
+            for reg in sorted(self.info.fcd_regs[c.label]):
+                self.set_tag(reg, self.join(self.tagof(reg), new_ctx))
+            for arr in sorted(self.info.fcd_arrays[c.label]):
+                key = f"arr:{arr}.tag"
+                self.env[key] = self.wire(self.join(self.env[key], new_ctx), "fcd")
+            for st in sorted(self.info.fcd_states[c.label]):
+                key = f"state:{st}.tag"
+                self.env[key] = self.wire(self.join(self.env[key], new_ctx), "fcd")
+        before = dict(self.env)
+        then_path = self.wire(HOp("land", (path, cond), 1), "pt")
+        self.cmd(c.then, state, new_ctx, then_path)
+        after_then = self.env
+        self.env = before
+        else_path = self.wire(HOp("land", (path, HOp("lnot", (cond,), 1)), 1), "pe")
+        self.cmd(c.els, state, new_ctx, else_path)
+        self.merge(cond, snapshot_then=after_then, label=f"m_{c.label}")
+
+    # -- enforceable commands: return the 1-bit "check passed" signal -------------------------
+
+    def enforceable(self, c: ast.Cmd, state: str, ctx: HRef, path: HRef) -> HExpr:
+        if isinstance(c, ast.AssignReg):
+            return self.assign_reg(c, ctx, path)
+        if isinstance(c, ast.AssignArr):
+            return self.assign_arr(c, ctx, path)
+        if isinstance(c, ast.Goto):
+            return self.compile_goto(c, state, ctx, path)
+        if isinstance(c, ast.Fall):
+            return self.compile_fall(state, ctx, path)
+        if isinstance(c, ast.SetTag):
+            return self.compile_settag(c, ctx, path)
+        raise SapperTypeError(f"not an enforceable command: {c!r}")
+
+    def note_violation(self, ok: HExpr, path: HRef) -> None:
+        if not self.secure:
+            return
+        failed = HOp("land", (path, HOp("lnot", (ok,), 1)), 1)
+        self.env["violation"] = self.wire(HOp("lor", (self.env["violation"], failed), 1), "vio")
+
+    def assign_reg(self, c: ast.AssignReg, ctx: HRef, path: HRef) -> HExpr:
+        value, vt = self.exp(c.value, ctx, path)
+        decl = self.info.regs[c.target]
+        value = self.fit(value, decl.width)
+        tag = self.join(vt, ctx)
+        if decl.enforced and self.secure:
+            ok = self.wire(self.leq(tag, self.tagof(c.target)), "chk")
+            self.set_val(c.target, self.mux(ok, value, self.val(c.target)), f"v_{c.target}")
+            self.note_violation(ok, path)
+            return ok
+        self.set_val(c.target, value, f"v_{c.target}")
+        if not decl.enforced:
+            self.set_tag(c.target, tag)
+        return HConst(1, 1)
+
+    def assign_arr(self, c: ast.AssignArr, ctx: HRef, path: HRef) -> HExpr:
+        decl = self.info.arrays[c.target]
+        iv, it = self.exp(c.index, ctx, path)
+        vv, vt = self.exp(c.value, ctx, path)
+        tag = self.joins(it, vt, ctx)
+        if decl.enforced and self.secure:
+            # current tag of the target cell (with forwarding)
+            addr = self.wire(self._addr(iv, decl.size), "ca")
+            cur: HExpr = HOp("read", (addr,), self.tw, array=self.design.arr_tag[c.target])
+            for rec in self.tag_writes.get(c.target, ()):
+                hit = HOp("land", (rec.enable, HOp("eq", (rec.addr, addr), 1)), 1)
+                cur = self.mux(hit, rec.data, cur)
+            ok = self.wire(self.leq(tag, cur), "chk")
+            enable = self.wire(HOp("land", (path, ok), 1), "en")
+            self.array_write(c.target, iv, vv, enable)
+            self.note_violation(ok, path)
+            return ok
+        self.array_write(c.target, iv, vv, path)
+        if self.secure:
+            key = f"arr:{c.target}.tag"
+            joined = self.join(self.env[key], tag)
+            self.env[key] = self.wire(self.mux(path, joined, self.env[key]), "at")
+        return HConst(1, 1)
+
+    def compile_goto(self, c: ast.Goto, state: str, ctx: HRef, path: HRef) -> HExpr:
+        parent = self.info.parent[c.target]
+        assert parent is not None
+        src_tag = self.state_tag_expr(state) if self.secure else self.bot
+        ok: HExpr = self.leq(ctx, src_tag)
+        if self.secure and self.info.is_enforced_state(c.target):
+            ok = HOp("land", (ok, self.leq(ctx, self.state_tag_expr(c.target))), 1)
+        ok = self.wire(ok, "gok")
+        take = self.wire(HOp("land", (path, ok), 1), "gtk")
+        fall_key = f"fall:{parent}"
+        if fall_key in self.env:
+            code = HConst(self.design.state_code[c.target], self.env[fall_key].width)
+            self.env[fall_key] = self.wire(self.mux(take, code, self.env[fall_key]), "fm")
+        if self.secure and not self.info.is_enforced_state(c.target):
+            key = f"state:{c.target}.tag"
+            self.env[key] = self.wire(self.mux(take, ctx, self.env[key]), "stg")
+        self.note_violation(ok, path)
+        return ok
+
+    def compile_fall(self, state: str, ctx: HRef, path: HRef) -> HExpr:
+        children = self.info.children[state]
+        fall_key = f"fall:{state}"
+        sel = self.env.get(fall_key)
+        overall_ok: HExpr = HConst(0, 1)
+        for child in children:
+            if sel is None:
+                match: HExpr = HConst(1, 1)
+            else:
+                match = HOp("eq", (sel, HConst(self.design.state_code[child], sel.width)), 1)
+            if self.secure:
+                child_tag = self.state_tag_expr(child)
+                if self.info.is_enforced_state(child):
+                    ok = self.wire(self.leq(ctx, child_tag), "fok")
+                    child_ctx = self.wire(child_tag, f"cctx_{child}")
+                else:
+                    ok = HConst(1, 1)
+                    child_ctx = self.wire(self.join(ctx, child_tag), f"cctx_{child}")
+            else:
+                ok = HConst(1, 1)
+                child_ctx = ctx
+            active = self.wire(HOp("land", (path, HOp("land", (match, ok), 1)), 1), f"act_{child}")
+            if self.secure and not self.info.is_enforced_state(child):
+                key = f"state:{child}.tag"
+                self.env[key] = self.wire(self.mux(active, child_ctx, self.env[key]), "stg")
+            snapshot = dict(self.env)
+            self.cmd(self.info.states[child].body, child, child_ctx, active)
+            # merge: child effects apply only when this arm is active
+            after_child = self.env
+            self.env = snapshot
+            self.merge(active, snapshot_then=after_child, label=f"f_{child}")
+            arm_ok = HOp("land", (match, ok), 1)
+            overall_ok = HOp("lor", (overall_ok, arm_ok), 1)
+        overall_ok = self.wire(overall_ok, "fall_ok")
+        self.note_violation(overall_ok, path)
+        return overall_ok
+
+    def compile_settag(self, c: ast.SetTag, ctx: HRef, path: HRef) -> HExpr:
+        if not self.secure:
+            return HConst(1, 1)
+        new_tag, phi = self.tagexp(c.tag, ctx, path)
+        write_ctx = self.wire(self.join(ctx, phi), "sctx")
+        ent = c.entity
+        if isinstance(ent, ast.EntReg):
+            cur = self.tagof(ent.name)
+            ok = self.wire(
+                HOp("land", (self.leq(write_ctx, cur), self.leq(write_ctx, new_tag)), 1), "sok"
+            )
+            upgrade = self.leq(cur, new_tag)
+            zeroed = self.mux(upgrade, self.val(ent.name), HConst(0, self.info.regs[ent.name].width))
+            self.set_val(ent.name, self.mux(ok, zeroed, self.val(ent.name)), f"v_{ent.name}")
+            self.set_tag(ent.name, self.mux(ok, new_tag, cur))
+            self.note_violation(ok, path)
+            return ok
+        if isinstance(ent, ast.EntState):
+            key = f"state:{ent.name}.tag"
+            cur = self.env[key]
+            ok = self.wire(
+                HOp("land", (self.leq(write_ctx, cur), self.leq(write_ctx, new_tag)), 1), "sok"
+            )
+            self.env[key] = self.wire(self.mux(ok, new_tag, cur), "stg")
+            self.note_violation(ok, path)
+            return ok
+        if isinstance(ent, ast.EntArr):
+            decl = self.info.arrays[ent.name]
+            iv, it = self.exp(ent.index, ctx, path)
+            write_ctx = self.wire(self.join(write_ctx, it), "sctx")
+            addr = self.wire(self._addr(iv, decl.size), "sa")
+            cur = HOp("read", (addr,), self.tw, array=self.design.arr_tag[ent.name])
+            for rec in self.tag_writes.get(ent.name, ()):
+                hit = HOp("land", (rec.enable, HOp("eq", (rec.addr, addr), 1)), 1)
+                cur = self.mux(hit, rec.data, cur)
+            cur = self.wire(cur, "sct")
+            ok = self.wire(
+                HOp("land", (self.leq(write_ctx, cur), self.leq(write_ctx, new_tag)), 1), "sok"
+            )
+            enable = self.wire(HOp("land", (path, ok), 1), "sen")
+            self.array_tag_write(ent.name, iv, new_tag, enable)
+            # zero the word on non-upgrade
+            downgrade = HOp("lnot", (self.leq(cur, new_tag),), 1)
+            zero_en = self.wire(HOp("land", (enable, downgrade), 1), "szn")
+            self.array_write(ent.name, iv, HConst(0, decl.width), zero_en)
+            self.note_violation(ok, path)
+            return ok
+        raise SapperTypeError(f"bad setTag entity {ent!r}")
+
+    def tagexp(self, te: ast.TagExp, ctx: HRef, path: HRef) -> tuple[HExpr, HExpr]:
+        if isinstance(te, ast.TagConst):
+            return HConst(self.enc.encode(self.lattice.check(te.label)), self.tw), self.bot
+        if isinstance(te, ast.TagOfEntity):
+            return self.entity_tag(te.entity, ctx, path)
+        if isinstance(te, ast.TagJoin):
+            lv, lp = self.tagexp(te.left, ctx, path)
+            rv, rp = self.tagexp(te.right, ctx, path)
+            return self.join(lv, rv), self.join(lp, rp)
+        if isinstance(te, ast.TagFromBits):
+            bits, phi = self.exp(te.bits, ctx, path)
+            return self.clamp_bits(bits), phi
+        raise SapperTypeError(f"bad tag expression {te!r}")
+
+    def clamp_bits(self, bits: HExpr) -> HExpr:
+        """Hardware upward-closure of raw tag bits (see TagFromBits)."""
+        if isinstance(self.enc, BitEncoding):
+            result: HExpr = self.bot
+            for i, basis in enumerate(self.enc.basis()):
+                bit = HOp("slice", (self.fit(bits, max(bits.width, i + 1)),), 1, hi=i, lo=i)
+                mask = HConst(self.enc.encode(basis), self.tw)
+                result = self.join(result, HOp("mux", (bit, mask, HConst(0, self.tw)), self.tw))
+            return self.wire(result, "tb")
+        top = HConst(self.enc.encode(self.lattice.top), self.tw)
+        result = top
+        cmp_w = max(bits.width, self.tw)
+        for i, label in enumerate(self.lattice.elements):
+            sel = HOp("eq", (self.fit(bits, cmp_w), HConst(i, cmp_w)), 1)
+            result = HOp("mux", (sel, HConst(self.enc.encode(label), self.tw), result), self.tw)
+        return self.wire(result, "tb")
+
+    # -- top level -------------------------------------------------------------------------------
+
+    def compile(self) -> CompiledDesign:
+        info, m = self.info, self.m
+        # 1. ports and registers
+        for name, decl in info.regs.items():
+            if decl.kind == "input":
+                self.env[name] = m.add_input(name, decl.width)
+                if self.secure:
+                    if decl.enforced:
+                        self.env[f"{name}.tag"] = HConst(
+                            self.enc.encode(self.lattice.check(decl.label)), self.tw
+                        )
+                    else:
+                        self.env[f"{name}.tag"] = m.add_input(f"{name}__tag", self.tw)
+            elif decl.kind == "reg":
+                self.env[name] = m.add_reg(name, decl.width, decl.init)
+                if self.secure:
+                    init_tag = self.enc.encode(info.initial_reg_tag(name, self.lattice))
+                    if decl.enforced and name not in self.settag_regs:
+                        self.env[f"{name}.tag"] = HConst(init_tag, self.tw)
+                    else:
+                        tag_reg = f"{name}__tag"
+                        self.design.reg_tag[name] = tag_reg
+                        self.env[f"{name}.tag"] = m.add_reg(tag_reg, self.tw, init_tag)
+            else:  # wire / output: per-cycle temporaries
+                self.env[name] = HConst(0, decl.width)
+                if self.secure:
+                    if decl.enforced:
+                        self.env[f"{name}.tag"] = HConst(
+                            self.enc.encode(self.lattice.check(decl.label)), self.tw
+                        )
+                    else:
+                        self.env[f"{name}.tag"] = self.bot
+
+        # 2. arrays (+ tag stores)
+        for name, decl in info.arrays.items():
+            m.add_array(name, decl.width, decl.size)
+            if self.secure:
+                if decl.enforced:
+                    tag_arr = f"{name}__tags"
+                    default = self.enc.encode(info.initial_arr_tag(name, self.lattice))
+                    m.add_array(tag_arr, self.tw, decl.size, default=default)
+                    self.design.arr_tag[name] = tag_arr
+                else:
+                    tag_reg = f"{name}__tag"
+                    self.design.arr_tag[name] = tag_reg
+                    self.env[f"arr:{name}.tag"] = m.add_reg(
+                        tag_reg, self.tw, self.enc.encode(self.lattice.bottom)
+                    )
+
+        # 3. state machine storage: fall-map regs and dynamic state tags
+        for sname in info.states:
+            kids = info.children[sname]
+            if len(kids) > 1:
+                width = max(1, (len(kids) - 1).bit_length())
+                reg = f"fall__{sname.lstrip('_')}"
+                self.design.fall_reg[sname] = reg
+                default = info.default_child[sname]
+                init = kids.index(default) if default in kids else 0
+                self.env[f"fall:{sname}"] = m.add_reg(reg, width, init)
+            for i, kid in enumerate(kids):
+                self.design.state_code[kid] = i
+        if self.secure:
+            for sname in info.states:
+                init = self.enc.encode(info.initial_state_tag(sname, self.lattice))
+                key = f"state:{sname}.tag"
+                if info.is_enforced_state(sname) and sname not in self.settag_states:
+                    self.env[key] = HConst(init, self.tw)
+                else:
+                    reg = f"stag__{sname.lstrip('_')}"
+                    self.design.state_tag[sname] = reg
+                    self.env[key] = m.add_reg(reg, self.tw, init)
+            self.env["violation"] = HConst(0, 1)
+
+        # 4. compile the implicit root (which just falls into the FSM)
+        path = self.wire(HConst(1, 1), "p0")
+        root_ctx = self.wire(
+            self.state_tag_expr(ast.ROOT) if self.secure else self.bot, "ctx0"
+        )
+        self.compile_fall(ast.ROOT, root_ctx, path)
+
+        # 5. write-back: every register loads its final env value
+        for name, decl in info.regs.items():
+            if decl.kind == "reg":
+                final = self.wire(self.fit(self.env[name], decl.width), f"nx_{name}")
+                m.set_reg_next(name, self._as_ref(final, f"nx_{name}"))
+        if self.secure:
+            for name, tag_reg in self.design.reg_tag.items():
+                final = self.wire(self.env[f"{name}.tag"], f"nxt_{name}")
+                m.set_reg_next(tag_reg, self._as_ref(final, f"nxt_{name}"))
+            for name, decl in info.arrays.items():
+                if not decl.enforced:
+                    final = self.wire(self.env[f"arr:{name}.tag"], f"nxa_{name}")
+                    m.set_reg_next(f"{name}__tag", self._as_ref(final, f"nxa_{name}"))
+            for sname, reg in self.design.state_tag.items():
+                final = self.wire(self.env[f"state:{sname}.tag"], f"nxs_{sname}")
+                m.set_reg_next(reg, self._as_ref(final, f"nxs_{sname}"))
+        for sname, reg in self.design.fall_reg.items():
+            final = self.wire(self.env[f"fall:{sname}"], f"nxf_{sname}")
+            m.set_reg_next(reg, self._as_ref(final, f"nxf_{sname}"))
+
+        # 6. array write ports
+        for name, recs in self.writes.items():
+            for rec in recs:
+                m.write_array(name, rec.addr, rec.data, rec.enable)
+        for name, recs in self.tag_writes.items():
+            for rec in recs:
+                m.write_array(self.design.arr_tag[name], rec.addr, rec.data, rec.enable)
+
+        # 7. outputs
+        for name, decl in info.regs.items():
+            if decl.kind == "output":
+                sig = self._as_ref(self.wire(self.fit(self.env[name], decl.width)), f"o_{name}")
+                m.set_output(name, sig)
+                if self.secure:
+                    tag_sig = self._as_ref(self.wire(self.env[f"{name}.tag"]), f"ot_{name}")
+                    m.set_output(f"{name}__tag", tag_sig)
+        if self.secure:
+            m.set_output("violation", self._as_ref(self.wire(self.env["violation"]), "viol"))
+
+        m.validate()
+        return self.design
+
+    def _as_ref(self, e: HExpr, hint: str) -> HRef:
+        if isinstance(e, HRef):
+            return e
+        return self.m.fresh(e if not isinstance(e, HConst) else HOp("zext", (e,), e.width), hint)
+
+
+def compile_program(
+    source: Union[str, ast.Program, ProgramInfo],
+    lattice: Lattice,
+    secure: bool = True,
+    name: Optional[str] = None,
+) -> CompiledDesign:
+    """Compile Sapper source (text, AST, or analyzed info) to hardware.
+
+    ``secure=True`` inserts the full tracking/enforcement logic;
+    ``secure=False`` produces the insecure Base design from the same
+    source (no tags, no checks) -- the paper's baseline methodology.
+    """
+    from repro.sapper.parser import parse_program
+
+    if isinstance(source, str):
+        info = analyze(parse_program(source, name or "design"), lattice)
+    elif isinstance(source, ast.Program):
+        info = analyze(source, lattice)
+    else:
+        info = source
+    compiler = _Compiler(info, lattice, secure, name or info.program.name)
+    return compiler.compile()

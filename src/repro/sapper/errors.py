@@ -1,0 +1,25 @@
+"""Exception hierarchy for the Sapper toolchain."""
+
+from __future__ import annotations
+
+
+class SapperError(Exception):
+    """Base class for all Sapper front-end and compiler errors."""
+
+
+class SapperSyntaxError(SapperError):
+    """Lexical or syntactic error in a ``.sap`` source file."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        where = f" at line {line}:{col}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class SapperTypeError(SapperError):
+    """Static well-formedness violation (Appendix A.1, widths, names)."""
+
+
+class SapperRuntimeError(SapperError):
+    """Raised by the semantics interpreter on malformed configurations."""

@@ -1,0 +1,140 @@
+"""Lexer for the concrete ``.sap`` syntax.
+
+The surface syntax is Verilog-flavoured, matching the paper's listings
+(Figures 3 and 4): ``reg[7:0] a : L;``, ``state Master:L = { ... }``,
+``goto Slave;``, ``timer := timer - 1;`` and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sapper.errors import SapperSyntaxError
+
+KEYWORDS = frozenset(
+    [
+        "reg", "wire", "input", "output", "mem",
+        "state", "let", "in",
+        "if", "else", "case", "default",
+        "goto", "fall", "skip",
+        "setTag", "otherwise",
+        "tag", "cat", "sext", "zext", "asr", "lts", "les", "gts", "ges",
+    ]
+)
+
+#: Multi-character punctuation, longest first so maximal munch works.
+PUNCT = [
+    ":=", "==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+    "{", "}", "(", ")", "[", "]",
+    ";", ":", ",", "?",
+    "+", "-", "*", "/", "%",
+    "&", "|", "^", "~", "!", "<", ">", "=", "`",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'int' | 'punct' | 'keyword' | 'eof'
+    text: str
+    value: int | None
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def _scan_number(src: str, i: int, line: int, col: int) -> tuple[Token, int]:
+    start = i
+    n = len(src)
+    # Verilog-style sized literal: 8'hFF, 4'b1010, 32'd17
+    j = i
+    while j < n and src[j].isdigit():
+        j += 1
+    if j < n and src[j] == "'" and j > i:
+        base_ch = src[j + 1 : j + 2].lower()
+        bases = {"h": 16, "b": 2, "d": 10, "o": 8}
+        if base_ch not in bases:
+            raise SapperSyntaxError(f"bad literal base {base_ch!r}", line, col)
+        k = j + 2
+        digits = []
+        while k < n and (src[k].isalnum() or src[k] == "_"):
+            digits.append(src[k])
+            k += 1
+        text = src[start:k]
+        try:
+            value = int("".join(digits).replace("_", ""), bases[base_ch])
+        except ValueError as exc:
+            raise SapperSyntaxError(f"bad literal {text!r}", line, col) from exc
+        return Token("int", text, value, line, col), k
+    if src.startswith(("0x", "0X"), i):
+        j = i + 2
+        while j < n and (src[j] in "0123456789abcdefABCDEF_"):
+            j += 1
+        return Token("int", src[start:j], int(src[start:j].replace("_", ""), 16), line, col), j
+    if src.startswith(("0b", "0B"), i):
+        j = i + 2
+        while j < n and src[j] in "01_":
+            j += 1
+        return Token("int", src[start:j], int(src[start:j].replace("_", ""), 2), line, col), j
+    j = i
+    while j < n and (src[j].isdigit() or src[j] == "_"):
+        j += 1
+    return Token("int", src[start:j], int(src[start:j].replace("_", "")), line, col), j
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising :class:`SapperSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        col = i - line_start + 1
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            if j < 0:
+                raise SapperSyntaxError("unterminated block comment", line, col)
+            line += source.count("\n", i, j)
+            nl = source.rfind("\n", i, j)
+            if nl >= 0:
+                line_start = nl + 1
+            i = j + 2
+            continue
+        if ch.isdigit():
+            tok, i = _scan_number(source, i, line, col)
+            tokens.append(tok)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line, col))
+            i = j
+            continue
+        for p in PUNCT:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, None, line, col))
+                i += len(p)
+                break
+        else:
+            raise SapperSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", None, line, 0))
+    return tokens

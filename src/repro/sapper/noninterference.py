@@ -1,0 +1,130 @@
+"""L-equivalence of Sapper configurations (Appendix A.2 of the paper).
+
+Two configurations are L-equivalent for an observer at level ``t`` when
+the observer cannot distinguish them:
+
+* **Store** -- every register whose tag is in ``L = downset(t)`` has the
+  same value in both stores (and likewise every array element);
+* **TagMap** -- an entity is L-tagged in one configuration iff it is
+  L-tagged in the other;
+* **FallMap** -- if either configuration's fall map sends a state to an
+  L-tagged child, both maps send it to the *same* child;
+* the cycle counters agree (the theorem is timing-sensitive).
+
+Theorem 1 (noninterference) then states that running two L-equivalent
+configurations for one cycle yields L-equivalent configurations.  The
+test-suite checks this property mechanically on randomized programs
+(``tests/test_noninterference.py``) -- the executable counterpart of the
+paper's proof sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lattice import Lattice
+from repro.sapper.semantics import Interpreter
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of an L-equivalence check, with human-readable mismatches."""
+
+    equivalent: bool
+    mismatches: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def _observable(lattice: Lattice, observer: str, tag: str) -> bool:
+    return lattice.leq(tag, observer)
+
+
+def stores_equivalent(a: Interpreter, b: Interpreter, observer: str) -> EquivalenceReport:
+    """Store L-equivalence over persistent registers and array elements."""
+    lat = a.lattice
+    report = EquivalenceReport(True)
+    for name, decl in a.info.regs.items():
+        if decl.kind != "reg":
+            continue  # wires/ports do not survive to the cycle boundary
+        ta, tb = a.theta_reg[name], b.theta_reg[name]
+        if _observable(lat, observer, ta) or _observable(lat, observer, tb):
+            if a.sigma[name] != b.sigma[name]:
+                report.equivalent = False
+                report.mismatches.append(
+                    f"store: reg {name} = {a.sigma[name]} vs {b.sigma[name]} "
+                    f"(tags {ta}/{tb})"
+                )
+    for name in a.info.arrays:
+        indices = set(a.arrays[name]) | set(b.arrays[name])
+        for idx in indices:
+            ta, tb = a.arr_tag(name, idx), b.arr_tag(name, idx)
+            if _observable(lat, observer, ta) or _observable(lat, observer, tb):
+                va = a.arrays[name].get(idx, 0)
+                vb = b.arrays[name].get(idx, 0)
+                if va != vb:
+                    report.equivalent = False
+                    report.mismatches.append(
+                        f"store: {name}[{idx}] = {va} vs {vb} (tags {ta}/{tb})"
+                    )
+    return report
+
+
+def tagmaps_equivalent(a: Interpreter, b: Interpreter, observer: str) -> EquivalenceReport:
+    """TagMap L-equivalence: L-membership of every entity's tag agrees."""
+    lat = a.lattice
+    report = EquivalenceReport(True)
+
+    def check(kind: str, name: str, ta: str, tb: str) -> None:
+        if _observable(lat, observer, ta) != _observable(lat, observer, tb):
+            report.equivalent = False
+            report.mismatches.append(f"tagmap: {kind} {name} tagged {ta} vs {tb}")
+
+    for name, decl in a.info.regs.items():
+        if decl.kind != "reg":
+            continue
+        check("reg", name, a.theta_reg[name], b.theta_reg[name])
+    for name in a.info.states:
+        check("state", name, a.theta_state[name], b.theta_state[name])
+    for name in a.info.arrays:
+        if name in a.theta_arr_single:
+            check("array", name, a.theta_arr_single[name], b.theta_arr_single[name])
+        else:
+            indices = set(a.theta_arr[name]) | set(b.theta_arr[name])
+            for idx in indices:
+                check("array-cell", f"{name}[{idx}]", a.arr_tag(name, idx), b.arr_tag(name, idx))
+    return report
+
+
+def fallmaps_equivalent(a: Interpreter, b: Interpreter, observer: str) -> EquivalenceReport:
+    """FallMap L-equivalence per Appendix A.2."""
+    lat = a.lattice
+    report = EquivalenceReport(True)
+    for state in a.rho:
+        ca, cb = a.rho[state], b.rho[state]
+        if ca is None and cb is None:
+            continue
+        vis_a = ca is not None and _observable(lat, observer, a.theta_state[ca])
+        vis_b = cb is not None and _observable(lat, observer, b.theta_state[cb])
+        if (vis_a or vis_b) and ca != cb:
+            report.equivalent = False
+            report.mismatches.append(f"fallmap: rho({state}) = {ca} vs {cb}")
+    return report
+
+
+def configs_equivalent(a: Interpreter, b: Interpreter, observer: str) -> EquivalenceReport:
+    """Full configuration L-equivalence (checked at cycle boundaries)."""
+    report = EquivalenceReport(True)
+    if a.delta != b.delta:
+        report.equivalent = False
+        report.mismatches.append(f"delta: {a.delta} vs {b.delta}")
+    for sub in (
+        stores_equivalent(a, b, observer),
+        tagmaps_equivalent(a, b, observer),
+        fallmaps_equivalent(a, b, observer),
+    ):
+        if not sub:
+            report.equivalent = False
+            report.mismatches.extend(sub.mismatches)
+    return report

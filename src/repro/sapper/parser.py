@@ -1,0 +1,435 @@
+"""Recursive-descent parser for the ``.sap`` concrete syntax.
+
+Grammar sketch (see tests/test_parser.py for worked examples)::
+
+    program   := decl* state+
+    decl      := ('reg'|'wire'|'input'|'output') width? names (':' LABEL)? ';'
+               | 'mem' width? NAME '[' INT ']' (':' LABEL)? ';'
+    width     := '[' INT ':' INT ']'
+    state     := 'state' NAME (':' LABEL)? '=' '{' body '}'
+    body      := ('let' 'state' NAME (':' LABEL)? '=' '{' body '}' 'in')* stmt*
+    stmt      := 'skip' ';'
+               | 'if' '(' exp ')' block ('else' (block | if_stmt))?
+               | 'case' '(' exp ')' '{' (INT ':' block)* ('default' ':' block)? '}'
+               | block
+               | simple ('otherwise' stmt | ';')
+    simple    := lval ':=' exp | 'goto' NAME | 'fall'
+               | 'setTag' '(' entity ',' tagexp ')'
+    tagexp    := LABEL | 'tag' '(' entity ')' | tagexp '|' tagexp
+
+Expressions use C-like precedence and include the ternary ``?:``,
+constant slices ``x[hi:lo]``, dynamic single-bit select ``x[e]`` (for
+scalars; for ``mem`` names it is an array read), ``cat(...)``,
+``sext(e, w)`` / ``zext(e, w)``, signed comparison functions
+``lts/les/gts/ges``, arithmetic shift ``asr(a, b)``, tag reads
+``tag(x)``, and label literals ``` `L ```.
+
+Every ``if`` receives a unique ProgramLabel (``if0``, ``if1``, ...);
+``case`` desugars into a chain of labelled ``if``s.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.sapper import ast
+from repro.sapper.errors import SapperSyntaxError
+from repro.sapper.lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], name: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.name = name
+        self.if_counter = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.text == text and tok.kind in ("punct", "keyword")
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if not self.at(text):
+            raise SapperSyntaxError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.col)
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise SapperSyntaxError(f"expected identifier, found {tok.text!r}", tok.line, tok.col)
+        self.advance()
+        return tok.text
+
+    def expect_int(self) -> int:
+        tok = self.peek()
+        if tok.kind != "int":
+            raise SapperSyntaxError(f"expected integer, found {tok.text!r}", tok.line, tok.col)
+        self.advance()
+        assert tok.value is not None
+        return tok.value
+
+    def fresh_if_label(self) -> str:
+        label = f"if{self.if_counter}"
+        self.if_counter += 1
+        return label
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        decls: list[Union[ast.RegDecl, ast.ArrDecl]] = []
+        while self.peek().text in ("reg", "wire", "input", "output", "mem"):
+            decls.extend(self.parse_decl())
+        states: list[ast.StateDef] = []
+        while self.at("state"):
+            states.append(self.parse_state())
+        tok = self.peek()
+        if tok.kind != "eof":
+            raise SapperSyntaxError(f"unexpected {tok.text!r}", tok.line, tok.col)
+        if not states:
+            raise SapperSyntaxError("a Sapper program needs at least one state")
+        return ast.Program(tuple(decls), tuple(states), name=self.name)
+
+    def parse_decl(self) -> list[Union[ast.RegDecl, ast.ArrDecl]]:
+        kind = self.advance().text
+        width = self.parse_width()
+        if kind == "mem":
+            name = self.expect_ident()
+            self.expect("[")
+            size = self.expect_int()
+            self.expect("]")
+            label = self.parse_opt_label()
+            self.expect(";")
+            return [ast.ArrDecl(name, width, size, label)]
+        names = [self.expect_ident()]
+        while self.accept(","):
+            names.append(self.expect_ident())
+        label = self.parse_opt_label()
+        self.expect(";")
+        return [ast.RegDecl(n, width, kind, label) for n in names]
+
+    def parse_width(self) -> int:
+        if not self.accept("["):
+            return 1
+        hi = self.expect_int()
+        self.expect(":")
+        lo = self.expect_int()
+        self.expect("]")
+        if lo != 0 or hi < 0:
+            raise SapperSyntaxError(f"declaration widths must be [N:0], got [{hi}:{lo}]")
+        return hi + 1
+
+    def parse_opt_label(self) -> Optional[str]:
+        if self.accept(":"):
+            return self.expect_ident()
+        return None
+
+    # -- states ---------------------------------------------------------------
+
+    def parse_state(self) -> ast.StateDef:
+        self.expect("state")
+        return self.parse_state_tail()
+
+    def parse_state_tail(self) -> ast.StateDef:
+        name = self.expect_ident()
+        label = self.parse_opt_label()
+        self.expect("=")
+        self.expect("{")
+        children, body = self.parse_state_body()
+        self.expect("}")
+        return ast.StateDef(name, body, label, tuple(children))
+
+    def parse_state_body(self) -> tuple[list[ast.StateDef], ast.Cmd]:
+        children: list[ast.StateDef] = []
+        while self.at("let"):
+            self.advance()
+            self.expect("state")
+            children.append(self.parse_state_tail())
+            self.expect("in")
+        stmts: list[ast.Cmd] = []
+        while not self.at("}"):
+            stmts.append(self.parse_stmt())
+        return children, ast.seq(*stmts)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_block(self) -> ast.Cmd:
+        self.expect("{")
+        stmts: list[ast.Cmd] = []
+        while not self.at("}"):
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return ast.seq(*stmts)
+
+    def parse_stmt(self) -> ast.Cmd:
+        if self.at("skip"):
+            self.advance()
+            self.expect(";")
+            return ast.Skip()
+        if self.at("if"):
+            return self.parse_if()
+        if self.at("case"):
+            return self.parse_case()
+        if self.at("{"):
+            return self.parse_block()
+        simple = self.parse_simple()
+        if self.accept("otherwise"):
+            handler = self.parse_stmt()
+            return ast.Otherwise(simple, handler)
+        self.expect(";")
+        return simple
+
+    def parse_if(self) -> ast.Cmd:
+        self.expect("if")
+        label = self.fresh_if_label()
+        self.expect("(")
+        cond = self.parse_exp()
+        self.expect(")")
+        then = self.parse_block()
+        els: ast.Cmd = ast.Skip()
+        if self.accept("else"):
+            els = self.parse_if() if self.at("if") else self.parse_block()
+        return ast.If(label, cond, then, els)
+
+    def parse_case(self) -> ast.Cmd:
+        self.expect("case")
+        self.expect("(")
+        scrutinee = self.parse_exp()
+        self.expect(")")
+        self.expect("{")
+        arms: list[tuple[int, ast.Cmd]] = []
+        default: ast.Cmd = ast.Skip()
+        while not self.at("}"):
+            if self.accept("default"):
+                self.expect(":")
+                default = self.parse_block()
+                continue
+            value = self.expect_int()
+            self.expect(":")
+            arms.append((value, self.parse_block()))
+        self.expect("}")
+        # Desugar to a labelled if-chain (the paper treats case/switch as
+        # expressible in the core syntax).
+        result = default
+        for value, body in reversed(arms):
+            result = ast.If(
+                self.fresh_if_label(),
+                ast.BinOp("==", scrutinee, ast.Const(value)),
+                body,
+                result,
+            )
+        return result
+
+    def parse_simple(self) -> ast.Cmd:
+        if self.at("goto"):
+            self.advance()
+            return ast.Goto(self.expect_ident())
+        if self.at("fall"):
+            self.advance()
+            return ast.Fall()
+        if self.at("setTag"):
+            self.advance()
+            self.expect("(")
+            entity = self.parse_entity()
+            self.expect(",")
+            tag = self.parse_tagexp()
+            self.expect(")")
+            return ast.SetTag(entity, tag)
+        # assignment
+        name = self.expect_ident()
+        if self.accept("["):
+            index = self.parse_exp()
+            self.expect("]")
+            self.expect(":=")
+            return ast.AssignArr(name, index, self.parse_exp())
+        self.expect(":=")
+        return ast.AssignReg(name, self.parse_exp())
+
+    # -- tag expressions -----------------------------------------------------------
+
+    def parse_entity(self) -> ast.TaggedEntity:
+        """Entity inside ``tag(...)`` / ``setTag(...)``.
+
+        Plain names are returned as :class:`~repro.sapper.ast.EntReg`;
+        the analysis re-resolves names that denote states into
+        :class:`~repro.sapper.ast.EntState`.
+        """
+        name = self.expect_ident()
+        if self.accept("["):
+            index = self.parse_exp()
+            self.expect("]")
+            return ast.EntArr(name, index)
+        return ast.EntReg(name)
+
+    def parse_tagexp(self) -> ast.TagExp:
+        left = self.parse_tagexp_atom()
+        while self.accept("|"):
+            left = ast.TagJoin(left, self.parse_tagexp_atom())
+        return left
+
+    def parse_tagexp_atom(self) -> ast.TagExp:
+        if self.at("tag"):
+            self.advance()
+            self.expect("(")
+            entity = self.parse_entity()
+            self.expect(")")
+            return ast.TagOfEntity(entity)
+        if self.peek().text == "tagbits":
+            self.advance()
+            self.expect("(")
+            bits = self.parse_exp()
+            self.expect(")")
+            return ast.TagFromBits(bits)
+        if self.accept("`"):
+            return ast.TagConst(self.expect_ident())
+        return ast.TagConst(self.expect_ident())
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_exp(self) -> ast.Exp:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Exp:
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            if_true = self.parse_exp()
+            self.expect(":")
+            if_false = self.parse_exp()
+            return ast.Cond(cond, if_true, if_false)
+        return cond
+
+    #: Binary precedence levels, loosest first.
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_binary(self, level: int) -> ast.Exp:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        ops = self._LEVELS[level]
+        left = self.parse_binary(level + 1)
+        while self.peek().kind == "punct" and self.peek().text in ops:
+            op = self.advance().text
+            right = self.parse_binary(level + 1)
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Exp:
+        tok = self.peek()
+        if tok.kind == "punct" and tok.text in ("~", "!", "-"):
+            self.advance()
+            return ast.UnOp(tok.text, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Exp:
+        base = self.parse_atom()
+        while self.at("["):
+            # Only name-rooted indexing is allowed syntactically; the
+            # analysis decides array-read vs bit-select by declaration.
+            self.advance()
+            first = self.parse_exp()
+            if self.accept(":"):
+                lo = self.expect_int()
+                self.expect("]")
+                if not isinstance(first, ast.Const):
+                    raise SapperSyntaxError("slice bounds must be constants")
+                base = ast.Slice(base, first.value, lo)
+                continue
+            self.expect("]")
+            if isinstance(base, ast.RegRef):
+                base = ast.ArrIndex(base.name, first)  # may become bit-select in analysis
+            else:
+                # x[e] on a non-name expression is a dynamic bit select.
+                base = ast.BinOp("&", ast.BinOp(">>", base, first), ast.Const(1))
+        return base
+
+    def parse_atom(self) -> ast.Exp:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            assert tok.value is not None
+            width = None
+            if "'" in tok.text:
+                width = int(tok.text.split("'")[0])
+            return ast.Const(tok.value, width)
+        if self.accept("("):
+            e = self.parse_exp()
+            self.expect(")")
+            return e
+        if self.accept("`"):
+            return ast.LabelLit(self.expect_ident())
+        if tok.text == "tag":
+            self.advance()
+            self.expect("(")
+            entity = self.parse_entity()
+            self.expect(")")
+            return ast.TagOf(entity)
+        if tok.text == "cat":
+            self.advance()
+            self.expect("(")
+            parts = [self.parse_exp()]
+            while self.accept(","):
+                parts.append(self.parse_exp())
+            self.expect(")")
+            return ast.Cat(tuple(parts))
+        if tok.text in ("sext", "zext"):
+            self.advance()
+            self.expect("(")
+            operand = self.parse_exp()
+            self.expect(",")
+            width = self.expect_int()
+            self.expect(")")
+            return ast.Ext(operand, width, signed=tok.text == "sext")
+        if tok.text in ("lts", "les", "gts", "ges", "asr"):
+            self.advance()
+            self.expect("(")
+            left = self.parse_exp()
+            self.expect(",")
+            right = self.parse_exp()
+            self.expect(")")
+            return ast.BinOp(tok.text, left, right)
+        if tok.kind == "ident":
+            self.advance()
+            return ast.RegRef(tok.text)
+        raise SapperSyntaxError(f"unexpected {tok.text!r} in expression", tok.line, tok.col)
+
+
+def parse_program(source: str, name: str = "design") -> ast.Program:
+    """Parse ``.sap`` source text into a :class:`~repro.sapper.ast.Program`."""
+    return _Parser(tokenize(source), name).parse_program()
+
+
+def parse_expression(source: str) -> ast.Exp:
+    """Parse a single expression (used by tests and tooling)."""
+    parser = _Parser(tokenize(source), "exp")
+    exp = parser.parse_exp()
+    tok = parser.peek()
+    if tok.kind != "eof":
+        raise SapperSyntaxError(f"trailing input {tok.text!r}", tok.line, tok.col)
+    return exp

@@ -1,0 +1,78 @@
+"""Small Sapper designs from the paper, reused by tests, examples and benches.
+
+* :data:`ADDER_CHECK` / :data:`ADDER_TRACK` -- the 8-bit combinational
+  design of Figure 3, in its enforced (CHECK) and dynamic (TRACK)
+  variants.
+* :data:`TDMA` -- the time-division controller of Figure 4: a trusted
+  low timer preempts an untrusted pipeline state, closing the timing
+  channel by construction.
+"""
+
+ADDER_CHECK = """
+// Figure 3, CHECK variant: register a is enforced tagged at L, so the
+// assignment is guarded by a noninterference check.
+reg[7:0] a : L;
+reg[7:0] b, c;
+input[7:0] in_b;
+input[7:0] in_c;
+output[7:0] out : L;
+
+state main : L = {
+    b := in_b;
+    c := in_c;
+    a := b & c;
+    out := a;
+    goto main;
+}
+"""
+
+ADDER_TRACK = """
+// Figure 3, TRACK variant: everything is dynamic tagged, so the
+// compiler only inserts tag propagation (a_tag <= b_tag | c_tag).
+reg[7:0] a, b, c;
+input[7:0] in_b;
+input[7:0] in_c;
+output[7:0] out;
+
+state main = {
+    b := in_b;
+    c := in_c;
+    a := b & c;
+    out := a;
+    goto main;
+}
+"""
+
+TDMA = """
+// Figure 4: a trusted (L) timer controls the execution of a possibly
+// untrusted pipeline.  The Master state arms the timer; the Slave state
+// decrements it every cycle and falls into the Pipeline child until the
+// timer expires, at which point control returns to Master regardless of
+// what the Pipeline is doing -- noninterference by construction.
+reg[31:0] timer : L;
+reg[31:0] acc;
+reg[31:0] lo_acc;
+input[31:0] lo_in : L;
+input[31:0] hi_in : H;
+output[31:0] lo_out : L;
+
+state Master : L = {
+    timer := 100;
+    goto Slave;
+}
+
+state Slave : L = {
+    let state Pipeline = {
+        acc := acc + hi_in;
+        goto Pipeline;
+    } in
+    if (timer == 0) {
+        lo_acc := lo_acc + lo_in;
+        lo_out := lo_acc;
+        goto Master;
+    } else {
+        timer := timer - 1;
+        fall;
+    }
+}
+"""

@@ -1,0 +1,506 @@
+"""Executable formal semantics of Sapper (Figure 6 of the paper).
+
+The interpreter is the *specification*: the compiler's generated hardware
+is tested for cycle-by-cycle equivalence against it, and the
+noninterference theorem (Theorem 1) is tested against it directly with
+randomized programs.
+
+A configuration is ``(p, rho, sigma, theta, S, delta)``:
+
+* ``p`` -- the current program phrase (implicit in the recursion here);
+* ``rho`` -- the FallMap: for each non-leaf state, which child a ``fall``
+  enters;
+* ``sigma`` -- the store (register, wire and array values);
+* ``theta`` -- the TagMap (tags of registers, wires, array elements and
+  states);
+* ``S`` -- the security-context stack (``self.stack``);
+* ``delta`` -- the cycle counter.
+
+Reconstruction notes (the paper's Figure 6 is partially corrupted; every
+deviation below is chosen so that the L-equivalence invariants of
+Appendix A.2 actually hold, which `tests/test_noninterference.py`
+verifies mechanically):
+
+* ``goto`` ends the cycle unconditionally; only its map updates are
+  guarded.  In addition to the paper's check ``sc <= theta(target)`` for
+  enforced targets, *every* goto requires ``sc <= theta(source)``: a
+  fall-map entry may only be changed at a context no higher than the tag
+  of the currently scheduled state.  Without this, an if on high data
+  inside a low-tagged state could redirect the next cycle's low-visible
+  control flow (see DESIGN.md section 4).
+* ``Fcd`` of an ``if`` additionally contains the enclosing dynamic state
+  when a branch performs a ``goto``/``fall`` -- so that the source-side
+  goto check above can pass once the state's tag has been raised.
+* ``ResetFallMap``/``ResetTagMap`` are omitted: fall maps and dynamic
+  state tags persist (plain registers in hardware).  The paper's resets
+  lower tags to bottom, which is an L-observable effect that is not
+  confined under high contexts; persistence is sound, and designers can
+  lower tags explicitly with the guarded ``setTag``.
+* Dynamic-tagged arrays carry a single array-level tag; enforced arrays
+  carry a per-element tag store (matching the paper's memory model).
+* ``setTag`` requires ``sc <= theta(entity)`` and ``sc <= newtag`` and
+  zeroes the data on non-upgrades (section 3.5).
+* Division by zero yields all-ones, remainder by zero the dividend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.lattice import Lattice, encode
+from repro.sapper import ast
+from repro.sapper.analysis import ProgramInfo
+from repro.sapper.errors import SapperRuntimeError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A dynamic check that failed (and was replaced by a secure action)."""
+
+    cycle: int
+    kind: str       # 'assign' | 'assign-arr' | 'goto' | 'fall' | 'settag'
+    target: str
+    context: str    # security context at the check
+    required: str   # tag the check compared against
+
+
+class _CycleEnd(Exception):
+    """Internal control-flow signal: the current cycle is over."""
+
+    def __init__(self, goto: Optional[tuple[str, str, str]] = None):
+        #: (source state, target state, context at the goto) or None
+        self.goto = goto
+        super().__init__()
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _to_signed(value: int, width: int) -> int:
+    sign = 1 << (width - 1)
+    return value - (sign << 1) if value & sign else value
+
+
+class Interpreter:
+    """Big-step-per-cycle interpreter of a Sapper program.
+
+    Parameters
+    ----------
+    info:
+        Analyzed program (see :func:`repro.sapper.analysis.analyze`).
+    lattice:
+        The security lattice the program is enforced against.
+    """
+
+    def __init__(self, info: ProgramInfo, lattice: Lattice):
+        self.info = info
+        self.lattice = lattice
+        self.encoding = encode(lattice)
+        bot = lattice.bottom
+
+        self.sigma: dict[str, int] = {}
+        self.theta_reg: dict[str, str] = {}
+        for name, decl in info.regs.items():
+            self.sigma[name] = _mask(decl.init, decl.width)
+            self.theta_reg[name] = info.initial_reg_tag(name, lattice)
+
+        # Arrays: sparse value stores.  Enforced arrays get sparse
+        # per-element tag stores (with the declared label as default);
+        # dynamic arrays get a single tag.
+        self.arrays: dict[str, dict[int, int]] = {name: {} for name in info.arrays}
+        self.theta_arr_default: dict[str, str] = {}
+        self.theta_arr: dict[str, dict[int, str]] = {}
+        self.theta_arr_single: dict[str, str] = {}
+        for name, decl in info.arrays.items():
+            if decl.enforced:
+                self.theta_arr_default[name] = info.initial_arr_tag(name, lattice)
+                self.theta_arr[name] = {}
+            else:
+                self.theta_arr_single[name] = bot
+
+        self.theta_state: dict[str, str] = {
+            name: info.initial_state_tag(name, lattice) for name in info.states
+        }
+        self.rho: dict[str, Optional[str]] = dict(info.default_child)
+        self.delta = 0
+        self.stack: list[str] = []
+        self.violations: list[Violation] = []
+        self._inputs_tags: dict[str, str] = {}
+
+    # -- tag store access ----------------------------------------------------------
+
+    def arr_tag(self, name: str, index: int) -> str:
+        if name in self.theta_arr_single:
+            return self.theta_arr_single[name]
+        return self.theta_arr[name].get(index, self.theta_arr_default[name])
+
+    def set_arr_tag(self, name: str, index: int, tag: str) -> None:
+        if name in self.theta_arr_single:
+            # Dynamic arrays share one tag: writes *join* into it (a
+            # strong update would unsoundly declassify sibling cells).
+            self.theta_arr_single[name] = self.lattice.join(self.theta_arr_single[name], tag)
+        else:
+            self.theta_arr[name][index] = tag
+
+    @property
+    def sc(self) -> str:
+        """Current security context (top of the stack)."""
+        return self.stack[-1]
+
+    # -- evaluation: value and phi together ----------------------------------------
+
+    def eval(self, e: ast.Exp) -> tuple[int, str]:
+        """Evaluate *e* to ``(value, phi(e))`` per Figure 6(c)."""
+        lat = self.lattice
+        width = self.info.width_of(e, self.encoding.width)
+        if isinstance(e, ast.Const):
+            return _mask(e.value, width), lat.bottom
+        if isinstance(e, ast.RegRef):
+            return self.sigma[e.name], self.theta_reg[e.name]
+        if isinstance(e, ast.ArrIndex):
+            idx, t_idx = self.eval(e.index)
+            idx %= self.info.arrays[e.name].size
+            value = self.arrays[e.name].get(idx, 0)
+            return value, lat.join(t_idx, self.arr_tag(e.name, idx))
+        if isinstance(e, ast.BinOp):
+            lv, lt = self.eval(e.left)
+            rv, rt = self.eval(e.right)
+            return _mask(self._binop(e, lv, rv), width), lat.join(lt, rt)
+        if isinstance(e, ast.UnOp):
+            v, t = self.eval(e.operand)
+            if e.op == "~":
+                return _mask(~v, width), t
+            if e.op == "-":
+                return _mask(-v, width), t
+            return (0 if v else 1), t
+        if isinstance(e, ast.Cond):
+            cv, ct = self.eval(e.cond)
+            tv, tt = self.eval(e.if_true)
+            fv, ft = self.eval(e.if_false)
+            return (tv if cv else fv), lat.join(ct, tt, ft)
+        if isinstance(e, ast.Slice):
+            v, t = self.eval(e.base)
+            return _mask(v >> e.lo, width), t
+        if isinstance(e, ast.Cat):
+            value = 0
+            tags = []
+            for part in e.parts:
+                pw = self.info.width_of(part, self.encoding.width)
+                pv, pt = self.eval(part)
+                value = (value << pw) | pv
+                tags.append(pt)
+            return value, lat.join(*tags)
+        if isinstance(e, ast.Ext):
+            v, t = self.eval(e.operand)
+            ow = self.info.width_of(e.operand, self.encoding.width)
+            if e.signed:
+                v = _mask(_to_signed(v, ow), e.width)
+            return _mask(v, e.width), t
+        if isinstance(e, ast.TagOf):
+            return self._entity_tag_value(e.entity)
+        if isinstance(e, ast.LabelLit):
+            return self.encoding.encode(self.lattice.check(e.label)), lat.bottom
+        raise SapperRuntimeError(f"cannot evaluate {e!r}")
+
+    def _binop(self, e: ast.BinOp, lv: int, rv: int) -> int:
+        op = e.op
+        tw = self.encoding.width
+        lw = self.info.width_of(e.left, tw)
+        rw = self.info.width_of(e.right, tw)
+        if op == "+":
+            return lv + rv
+        if op == "-":
+            return lv - rv
+        if op == "*":
+            return lv * rv
+        if op == "/":
+            return lv // rv if rv else (1 << lw) - 1
+        if op == "%":
+            return lv % rv if rv else lv
+        if op == "&":
+            return lv & rv
+        if op == "|":
+            return lv | rv
+        if op == "^":
+            return lv ^ rv
+        if op == "<<":
+            return 0 if rv >= lw + rw + 64 else lv << min(rv, lw + 64)
+        if op == ">>":
+            return lv >> min(rv, lw)
+        if op == "asr":
+            return _to_signed(lv, lw) >> min(rv, lw)
+        if op == "==":
+            return int(lv == rv)
+        if op == "!=":
+            return int(lv != rv)
+        if op == "<":
+            return int(lv < rv)
+        if op == "<=":
+            return int(lv <= rv)
+        if op == ">":
+            return int(lv > rv)
+        if op == ">=":
+            return int(lv >= rv)
+        if op == "lts":
+            return int(_to_signed(lv, lw) < _to_signed(rv, rw))
+        if op == "les":
+            return int(_to_signed(lv, lw) <= _to_signed(rv, rw))
+        if op == "gts":
+            return int(_to_signed(lv, lw) > _to_signed(rv, rw))
+        if op == "ges":
+            return int(_to_signed(lv, lw) >= _to_signed(rv, rw))
+        if op == "&&":
+            return int(bool(lv) and bool(rv))
+        if op == "||":
+            return int(bool(lv) or bool(rv))
+        raise SapperRuntimeError(f"unknown operator {op!r}")
+
+    def _entity_tag_value(self, ent: ast.TaggedEntity) -> tuple[int, str]:
+        """Value of ``tag(entity)`` -- the tag's hardware encoding; tags
+        are public so phi is bottom, except the array-index contribution."""
+        lat = self.lattice
+        if isinstance(ent, ast.EntReg):
+            return self.encoding.encode(self.theta_reg[ent.name]), lat.bottom
+        if isinstance(ent, ast.EntState):
+            return self.encoding.encode(self.theta_state[ent.name]), lat.bottom
+        if isinstance(ent, ast.EntArr):
+            idx, t_idx = self.eval(ent.index)
+            idx %= self.info.arrays[ent.name].size
+            return self.encoding.encode(self.arr_tag(ent.name, idx)), t_idx
+        raise SapperRuntimeError(f"bad entity {ent!r}")
+
+    def eval_tagexp(self, te: ast.TagExp) -> tuple[str, str]:
+        """Evaluate a tag expression to ``(label, phi)`` (Figure 6(b))."""
+        lat = self.lattice
+        if isinstance(te, ast.TagConst):
+            return lat.check(te.label), lat.bottom
+        if isinstance(te, ast.TagOfEntity):
+            ent = te.entity
+            if isinstance(ent, ast.EntReg):
+                return self.theta_reg[ent.name], lat.bottom
+            if isinstance(ent, ast.EntState):
+                return self.theta_state[ent.name], lat.bottom
+            if isinstance(ent, ast.EntArr):
+                idx, t_idx = self.eval(ent.index)
+                idx %= self.info.arrays[ent.name].size
+                return self.arr_tag(ent.name, idx), t_idx
+        if isinstance(te, ast.TagJoin):
+            lt, lp = self.eval_tagexp(te.left)
+            rt, rp = self.eval_tagexp(te.right)
+            return lat.join(lt, rt), lat.join(lp, rp)
+        if isinstance(te, ast.TagFromBits):
+            bits, phi = self.eval(te.bits)
+            return self.encoding.clamp(bits), phi
+        raise SapperRuntimeError(f"bad tag expression {te!r}")
+
+    # -- commands --------------------------------------------------------------------
+
+    def exec_cmd(self, c: ast.Cmd, state: str) -> None:
+        lat = self.lattice
+        if isinstance(c, ast.Skip):
+            return
+        if isinstance(c, ast.Seq):
+            for sub in c.commands:
+                self.exec_cmd(sub, state)
+            return
+        if isinstance(c, ast.If):
+            cv, ct = self.eval(c.cond)
+            new_sc = lat.join(self.sc, ct)
+            # Fcd upgrades for implicit flows (branches not taken).
+            for reg in self.info.fcd_regs[c.label]:
+                self.theta_reg[reg] = lat.join(self.theta_reg[reg], new_sc)
+            for arr in self.info.fcd_arrays[c.label]:
+                self.theta_arr_single[arr] = lat.join(self.theta_arr_single[arr], new_sc)
+            for st in self.info.fcd_states[c.label]:
+                self.theta_state[st] = lat.join(self.theta_state[st], new_sc)
+            self.stack.append(new_sc)
+            try:
+                self.exec_cmd(c.then if cv else c.els, state)
+            finally:
+                if self.stack and self.stack[-1] == new_sc:
+                    self.stack.pop()
+            return
+        if isinstance(c, ast.Otherwise):
+            if self._try_enforceable(c.primary, state):
+                return
+            self.exec_cmd(c.handler, state)
+            return
+        if not self._try_enforceable(c, state):
+            # Default secure action: the violating operation becomes a
+            # no-op (section 3.6); a blocked goto still ends the cycle,
+            # a blocked fall ends the cycle without running the child.
+            if isinstance(c, ast.Goto):
+                raise _CycleEnd()
+            if isinstance(c, ast.Fall):
+                raise _CycleEnd()
+        return
+
+    def _try_enforceable(self, c: ast.Cmd, state: str) -> bool:
+        """Execute an enforceable command; return False if its dynamic
+        check failed (so the caller can run an ``otherwise`` handler)."""
+        lat = self.lattice
+        sc = self.sc
+        if isinstance(c, ast.AssignReg):
+            value, t = self.eval(c.value)
+            decl = self.info.regs[c.target]
+            tag = lat.join(t, sc)
+            value = _mask(value, decl.width)
+            if decl.enforced:
+                if not lat.leq(tag, self.theta_reg[c.target]):
+                    self.violations.append(
+                        Violation(self.delta, "assign", c.target, tag, self.theta_reg[c.target])
+                    )
+                    return False
+                self.sigma[c.target] = value
+            else:
+                self.sigma[c.target] = value
+                self.theta_reg[c.target] = tag
+            return True
+        if isinstance(c, ast.AssignArr):
+            idx, t_idx = self.eval(c.index)
+            value, t_val = self.eval(c.value)
+            decl = self.info.arrays[c.target]
+            idx %= decl.size
+            tag = lat.join(t_idx, t_val, sc)
+            value = _mask(value, decl.width)
+            if decl.enforced:
+                cell = self.arr_tag(c.target, idx)
+                if not lat.leq(tag, cell):
+                    self.violations.append(
+                        Violation(self.delta, "assign-arr", f"{c.target}[{idx}]", tag, cell)
+                    )
+                    return False
+                self.arrays[c.target][idx] = value
+            else:
+                self.arrays[c.target][idx] = value
+                self.set_arr_tag(c.target, idx, tag)
+            return True
+        if isinstance(c, ast.Goto):
+            src_tag = self.theta_state[state]
+            if not lat.leq(sc, src_tag):
+                self.violations.append(Violation(self.delta, "goto", c.target, sc, src_tag))
+                return False
+            if self.info.is_enforced_state(c.target):
+                tgt_tag = self.theta_state[c.target]
+                if not lat.leq(sc, tgt_tag):
+                    self.violations.append(Violation(self.delta, "goto", c.target, sc, tgt_tag))
+                    return False
+            else:
+                self.theta_state[c.target] = sc
+            raise _CycleEnd(goto=(state, c.target, sc))
+        if isinstance(c, ast.Fall):
+            child = self.rho[state]
+            if child is None:
+                raise SapperRuntimeError(f"fall in leaf state {state!r}")
+            if self.info.is_enforced_state(child):
+                if not lat.leq(sc, self.theta_state[child]):
+                    self.violations.append(
+                        Violation(self.delta, "fall", child, sc, self.theta_state[child])
+                    )
+                    return False
+                child_sc = self.theta_state[child]
+            else:
+                child_sc = lat.join(sc, self.theta_state[child])
+                self.theta_state[child] = child_sc
+            self.stack.append(child_sc)
+            self.exec_cmd(self.info.states[child].body, child)
+            # All paths end in goto or fall, so reaching here means a
+            # nested blocked fall already ended the cycle via _CycleEnd.
+            raise _CycleEnd()
+        if isinstance(c, ast.SetTag):
+            new_tag, t_phi = self.eval_tagexp(c.tag)
+            write_sc = lat.join(sc, t_phi)
+            ent = c.entity
+            if isinstance(ent, ast.EntReg):
+                cur = self.theta_reg[ent.name]
+                if not (lat.leq(write_sc, cur) and lat.leq(write_sc, new_tag)):
+                    self.violations.append(Violation(self.delta, "settag", ent.name, write_sc, cur))
+                    return False
+                if not lat.leq(cur, new_tag):
+                    self.sigma[ent.name] = 0  # zero on downgrade
+                self.theta_reg[ent.name] = new_tag
+                return True
+            if isinstance(ent, ast.EntState):
+                cur = self.theta_state[ent.name]
+                if not (lat.leq(write_sc, cur) and lat.leq(write_sc, new_tag)):
+                    self.violations.append(Violation(self.delta, "settag", ent.name, write_sc, cur))
+                    return False
+                self.theta_state[ent.name] = new_tag
+                return True
+            if isinstance(ent, ast.EntArr):
+                idx, t_idx = self.eval(ent.index)
+                idx %= self.info.arrays[ent.name].size
+                write_sc = lat.join(write_sc, t_idx)
+                cur = self.arr_tag(ent.name, idx)
+                if not (lat.leq(write_sc, cur) and lat.leq(write_sc, new_tag)):
+                    self.violations.append(
+                        Violation(self.delta, "settag", f"{ent.name}[{idx}]", write_sc, cur)
+                    )
+                    return False
+                if not lat.leq(cur, new_tag):
+                    self.arrays[ent.name][idx] = 0
+                self.set_arr_tag(ent.name, idx, new_tag)
+                return True
+        raise SapperRuntimeError(f"not an enforceable command: {c!r}")
+
+    # -- cycles ------------------------------------------------------------------------
+
+    def run_cycle(
+        self, inputs: Optional[dict[str, Union[int, tuple[int, str]]]] = None
+    ) -> dict[str, tuple[int, str]]:
+        """Execute one clock cycle.
+
+        ``inputs`` maps input-port names to either a value (tag defaults
+        to the declared label, or bottom for dynamic inputs) or a
+        ``(value, label)`` pair for dynamic inputs.  Returns the output
+        ports as ``{name: (value, label)}``.
+        """
+        lat = self.lattice
+        # Wires reset every cycle; inputs latch externally supplied values.
+        for name, decl in self.info.regs.items():
+            if decl.kind in ("wire", "output"):
+                self.sigma[name] = 0
+                if not decl.enforced:
+                    self.theta_reg[name] = lat.bottom
+            elif decl.kind == "input":
+                self.sigma[name] = 0
+                if not decl.enforced:
+                    self.theta_reg[name] = lat.bottom
+        if inputs:
+            for name, spec in inputs.items():
+                decl = self.info.regs.get(name)
+                if decl is None or decl.kind != "input":
+                    raise SapperRuntimeError(f"{name!r} is not an input port")
+                if isinstance(spec, tuple):
+                    value, label = spec
+                    if decl.enforced and label != decl.label:
+                        raise SapperRuntimeError(
+                            f"input {name!r} is enforced at {decl.label!r}; cannot supply {label!r}"
+                        )
+                    self.theta_reg[name] = lat.check(label)
+                else:
+                    value = spec
+                self.sigma[name] = _mask(value, decl.width)
+
+        self.stack = [self.theta_state[ast.ROOT]]
+        pending_goto: Optional[tuple[str, str, str]] = None
+        try:
+            self.exec_cmd(self.info.root.body, ast.ROOT)
+        except _CycleEnd as end:
+            pending_goto = end.goto
+        if pending_goto is not None:
+            source, target, _sc = pending_goto
+            self.rho[self.info.parent[target]] = target
+        self.delta += 1
+        return {
+            name: (self.sigma[name], self.theta_reg[name])
+            for name, decl in self.info.regs.items()
+            if decl.kind == "output"
+        }
+
+    def run(self, cycles: int) -> None:
+        """Run *cycles* cycles with no external input."""
+        for _ in range(cycles):
+            self.run_cycle()

@@ -1,0 +1,608 @@
+"""The six validation workloads (see package docstring)."""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mips import softfloat as sf
+
+OUT = """
+    li   $t8, 0x40000000
+    sw   $v0, 0($t8)
+"""
+
+HALT = """
+    li   $t9, 0x40000004
+    sw   $zero, 0($t9)
+"""
+
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    description: str
+    source: str
+    expected: tuple[int, ...]    # golden MMIO output sequence
+    max_cycles: int = 400_000
+    uses_fpu: bool = False
+
+
+# -- specrand -------------------------------------------------------------------
+
+
+def _build_specrand() -> Workload:
+    seed = 0x5EED
+    a, c = 1103515245, 12345
+    state = seed
+    expected = []
+    for _ in range(12):
+        state = (a * state + c) & MASK32
+        expected.append(state >> 16 & 0x7FFF)
+    src = f"""
+.org 0x400
+    li   $s0, {seed}        # state
+    li   $s1, {a}           # multiplier
+    li   $s2, {c}           # increment
+    li   $s3, 12            # draws
+loop:
+    mult $s0, $s1
+    mflo $s0
+    addu $s0, $s0, $s2
+    srl  $v0, $s0, 16
+    andi $v0, $v0, 0x7FFF
+{OUT}
+    addiu $s3, $s3, -1
+    bgt  $s3, $zero, loop
+{HALT}
+"""
+    return Workload(
+        "specrand",
+        "SPEC-style pseudo-random number generator (LCG), 12 draws",
+        src,
+        tuple(expected),
+        max_cycles=120_000,
+    )
+
+
+# -- sha (real SHA-1, one padded block) ----------------------------------------
+
+
+def _sha1_pad(message: bytes) -> list[int]:
+    assert len(message) <= 55
+    padded = message + b"\x80" + b"\x00" * (55 - len(message)) + struct.pack(">Q", len(message) * 8)
+    return list(struct.unpack(">16I", padded))
+
+
+def _build_sha() -> Workload:
+    message = b"Sapper @ ASPLOS14"
+    block = _sha1_pad(message)
+    digest = hashlib.sha1(message).digest()
+    expected = struct.unpack(">5I", digest)
+    words = ", ".join(f"0x{w:08x}" for w in block)
+    src = f"""
+.org 0x400
+    # h0..h4 in $s0..$s4
+    li   $s0, 0x67452301
+    li   $s1, 0xEFCDAB89
+    li   $s2, 0x98BADCFE
+    li   $s3, 0x10325476
+    li   $s4, 0xC3D2E1F0
+    # expand the schedule: W[0..15] are the block, W[16..79] computed
+    la   $t0, wsched
+    li   $t1, 16
+expand:
+    sll  $t2, $t1, 2
+    addu $t2, $t2, $t0
+    lw   $t3, -12($t2)      # W[t-3]
+    lw   $t4, -32($t2)      # W[t-8]
+    lw   $t5, -56($t2)      # W[t-14]
+    lw   $t6, -64($t2)      # W[t-16]
+    xor  $t3, $t3, $t4
+    xor  $t3, $t3, $t5
+    xor  $t3, $t3, $t6
+    sll  $t4, $t3, 1        # rotl 1
+    srl  $t3, $t3, 31
+    or   $t3, $t3, $t4
+    sw   $t3, 0($t2)
+    addiu $t1, $t1, 1
+    li   $t7, 80
+    blt  $t1, $t7, expand
+    # main loop: a..e in $a0..$a3, $v1
+    move $a0, $s0
+    move $a1, $s1
+    move $a2, $s2
+    move $a3, $s3
+    move $v1, $s4
+    li   $t1, 0             # t
+round:
+    li   $t7, 20
+    blt  $t1, $t7, f_ch
+    li   $t7, 40
+    blt  $t1, $t7, f_par1
+    li   $t7, 60
+    blt  $t1, $t7, f_maj
+    # parity 2
+    xor  $t2, $a1, $a2
+    xor  $t2, $t2, $a3
+    li   $t3, 0xCA62C1D6
+    b    have_f
+f_ch:
+    and  $t2, $a1, $a2
+    not  $t4, $a1
+    and  $t4, $t4, $a3
+    or   $t2, $t2, $t4
+    li   $t3, 0x5A827999
+    b    have_f
+f_par1:
+    xor  $t2, $a1, $a2
+    xor  $t2, $t2, $a3
+    li   $t3, 0x6ED9EBA1
+    b    have_f
+f_maj:
+    and  $t2, $a1, $a2
+    and  $t4, $a1, $a3
+    or   $t2, $t2, $t4
+    and  $t4, $a2, $a3
+    or   $t2, $t2, $t4
+    li   $t3, 0x8F1BBCDC
+have_f:
+    sll  $t4, $a0, 5        # rotl(a,5)
+    srl  $t5, $a0, 27
+    or   $t4, $t4, $t5
+    addu $t4, $t4, $t2
+    addu $t4, $t4, $v1
+    addu $t4, $t4, $t3
+    la   $t6, wsched
+    sll  $t5, $t1, 2
+    addu $t6, $t6, $t5
+    lw   $t5, 0($t6)
+    addu $t4, $t4, $t5      # temp
+    move $v1, $a3
+    move $a3, $a2
+    sll  $t5, $a1, 30       # rotl(b,30)
+    srl  $a2, $a1, 2
+    or   $a2, $a2, $t5
+    move $a1, $a0
+    move $a0, $t4
+    addiu $t1, $t1, 1
+    li   $t7, 80
+    blt  $t1, $t7, round
+    addu $s0, $s0, $a0
+    addu $s1, $s1, $a1
+    addu $s2, $s2, $a2
+    addu $s3, $s3, $a3
+    addu $s4, $s4, $v1
+    move $v0, $s0
+{OUT}
+    move $v0, $s1
+{OUT}
+    move $v0, $s2
+{OUT}
+    move $v0, $s3
+{OUT}
+    move $v0, $s4
+{OUT}
+{HALT}
+.org 0x10000
+wsched: .word {words}
+        .space 256
+"""
+    return Workload(
+        "sha",
+        f"SHA-1 of {message!r} (one padded block, golden: hashlib)",
+        src,
+        tuple(expected),
+        max_cycles=400_000,
+    )
+
+
+# -- rijndael-class cipher (XTEA substitution) ----------------------------------
+
+
+def _xtea_encrypt(v0: int, v1: int, key: tuple[int, int, int, int]) -> tuple[int, int]:
+    delta = 0x9E3779B9
+    total = 0
+    for _ in range(32):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + key[total & 3]))) & MASK32
+        total = (total + delta) & MASK32
+        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + key[(total >> 11) & 3]))) & MASK32
+    return v0, v1
+
+
+def _build_cipher() -> Workload:
+    key = (0x0F0E0D0C, 0x0B0A0908, 0x07060504, 0x03020100)
+    blocks = [(0x01234567, 0x89ABCDEF), (0xDEADBEEF, 0xFEEDC0DE)]
+    expected: list[int] = []
+    for b0, b1 in blocks:
+        c0, c1 = _xtea_encrypt(b0, b1, key)
+        expected.extend((c0, c1))
+    key_words = ", ".join(f"0x{k:08x}" for k in key)
+    blk_words = ", ".join(f"0x{b:08x}" for pair in blocks for b in pair)
+    src = f"""
+.org 0x400
+    la   $s7, blocks
+    li   $s6, {len(blocks)}
+next_block:
+    lw   $s0, 0($s7)        # v0
+    lw   $s1, 4($s7)        # v1
+    li   $s2, 0             # sum
+    li   $s3, 32            # rounds
+    la   $s5, key
+xtea_round:
+    sll  $t0, $s1, 4
+    srl  $t1, $s1, 5
+    xor  $t0, $t0, $t1
+    addu $t0, $t0, $s1
+    andi $t2, $s2, 3
+    sll  $t2, $t2, 2
+    addu $t2, $t2, $s5
+    lw   $t3, 0($t2)
+    addu $t3, $t3, $s2
+    xor  $t0, $t0, $t3
+    addu $s0, $s0, $t0
+    li   $t4, 0x9E3779B9
+    addu $s2, $s2, $t4
+    sll  $t0, $s0, 4
+    srl  $t1, $s0, 5
+    xor  $t0, $t0, $t1
+    addu $t0, $t0, $s0
+    srl  $t2, $s2, 11
+    andi $t2, $t2, 3
+    sll  $t2, $t2, 2
+    addu $t2, $t2, $s5
+    lw   $t3, 0($t2)
+    addu $t3, $t3, $s2
+    xor  $t0, $t0, $t3
+    addu $s1, $s1, $t0
+    addiu $s3, $s3, -1
+    bgt  $s3, $zero, xtea_round
+    move $v0, $s0
+{OUT}
+    move $v0, $s1
+{OUT}
+    addiu $s7, $s7, 8
+    addiu $s6, $s6, -1
+    bgt  $s6, $zero, next_block
+{HALT}
+.org 0x10000
+key:    .word {key_words}
+blocks: .word {blk_words}
+"""
+    return Workload(
+        "rijndael_xtea",
+        "block-cipher benchmark (XTEA substitution for MiBench rijndael)",
+        src,
+        tuple(expected),
+        max_cycles=300_000,
+    )
+
+
+# -- fft (FP32, radix-2 DIT, 8 points) ------------------------------------------
+
+
+def _fft_golden(values: list[float]) -> list[int]:
+    """8-point FFT computed with the architectural softfloat model."""
+    n = 8
+    re = [sf.from_python(v) for v in values]
+    im = [0] * n
+    # bit-reversal permutation
+    order = [0, 4, 2, 6, 1, 5, 3, 7]
+    re = [re[i] for i in order]
+    im = [im[i] for i in order]
+    import math
+
+    size = 2
+    while size <= n:
+        half = size // 2
+        step = n // size
+        for start in range(0, n, size):
+            for k in range(half):
+                angle = -2 * math.pi * k / size
+                wr = sf.from_python(math.cos(angle))
+                wi = sf.from_python(math.sin(angle))
+                i = start + k
+                j = i + half
+                tr = sf.fsub(sf.fmul(wr, re[j]), sf.fmul(wi, im[j]))
+                ti = sf.fadd(sf.fmul(wr, im[j]), sf.fmul(wi, re[j]))
+                re[j] = sf.fsub(re[i], tr)
+                im[j] = sf.fsub(im[i], ti)
+                re[i] = sf.fadd(re[i], tr)
+                im[i] = sf.fadd(im[i], ti)
+        size *= 2
+    out = []
+    for k in range(n):
+        out.append(re[k])
+        out.append(im[k])
+    return out
+
+
+def _build_fft() -> Workload:
+    import math
+
+    values = [1.0, 0.5, -0.25, 2.0, -1.5, 0.75, 0.125, -2.0]
+    expected = _fft_golden(values)
+    order = [0, 4, 2, 6, 1, 5, 3, 7]
+    permuted = ", ".join(f"{values[i]!r}" for i in order)
+    # twiddle table: for each size stage (2, 4, 8), cos/sin pairs
+    twiddles: list[float] = []
+    for size in (2, 4, 8):
+        for k in range(size // 2):
+            angle = -2 * math.pi * k / size
+            twiddles.extend((math.cos(angle), math.sin(angle)))
+    twid = ", ".join(repr(t) for t in twiddles)
+    src = f"""
+.org 0x400
+    # arrays: re[8], im[8] (already bit-reversed), twiddles per stage
+    la   $s0, re_data
+    la   $s1, im_data
+    la   $s2, twid
+    li   $s3, 2             # size
+stage:
+    srl  $s4, $s3, 1        # half
+    li   $s5, 0             # start
+group:
+    li   $s6, 0             # k
+butterfly:
+    # twiddle for (stage, k): cos at twid + 8*k, sin at +4
+    sll  $t0, $s6, 3
+    addu $t0, $t0, $s2
+    lwc1 $f10, 0($t0)       # wr
+    lwc1 $f11, 4($t0)       # wi
+    addu $t1, $s5, $s6      # i
+    addu $t2, $t1, $s4      # j
+    sll  $t3, $t1, 2
+    sll  $t4, $t2, 2
+    addu $t5, $s0, $t3      # &re[i]
+    addu $t6, $s0, $t4      # &re[j]
+    addu $t7, $s1, $t3      # &im[i]
+    addu $t8, $s1, $t4      # &im[j]? ($t8 reserved -> use $t9)
+    lwc1 $f0, 0($t5)        # re[i]
+    lwc1 $f1, 0($t6)        # re[j]
+    lwc1 $f2, 0($t7)        # im[i]
+    addu $t4, $s1, $t4
+    lwc1 $f3, 0($t4)        # im[j]
+    mul.s $f4, $f10, $f1    # wr*re[j]
+    mul.s $f5, $f11, $f3    # wi*im[j]
+    sub.s $f4, $f4, $f5     # tr
+    mul.s $f5, $f10, $f3    # wr*im[j]
+    mul.s $f6, $f11, $f1    # wi*re[j]
+    add.s $f5, $f5, $f6     # ti
+    sub.s $f7, $f0, $f4     # re[j] = re[i]-tr
+    swc1 $f7, 0($t6)
+    sub.s $f7, $f2, $f5     # im[j] = im[i]-ti
+    swc1 $f7, 0($t4)
+    add.s $f7, $f0, $f4     # re[i] += tr
+    swc1 $f7, 0($t5)
+    add.s $f7, $f2, $f5     # im[i] += ti
+    swc1 $f7, 0($t7)
+    addiu $s6, $s6, 1
+    blt  $s6, $s4, butterfly
+    addu $s5, $s5, $s3      # next group
+    li   $t0, 8
+    blt  $s5, $t0, group
+    # advance twiddle table by half entries (8 bytes each)
+    sll  $t0, $s4, 3
+    addu $s2, $s2, $t0
+    sll  $s3, $s3, 1        # size *= 2
+    li   $t0, 8
+    ble  $s3, $t0, stage
+    # emit re/im pairs
+    li   $s5, 0
+emit:
+    sll  $t0, $s5, 2
+    addu $t1, $s0, $t0
+    lw   $v0, 0($t1)
+{OUT}
+    addu $t1, $s1, $t0
+    lw   $v0, 0($t1)
+{OUT}
+    addiu $s5, $s5, 1
+    li   $t0, 8
+    blt  $s5, $t0, emit
+{HALT}
+.org 0x10000
+re_data: .float {permuted}
+im_data: .float 0, 0, 0, 0, 0, 0, 0, 0
+twid:    .float {twid}
+"""
+    return Workload(
+        "fft",
+        "8-point radix-2 FP32 FFT (MiBench-class floating point)",
+        src,
+        tuple(expected),
+        max_cycles=400_000,
+        uses_fpu=True,
+    )
+
+
+# -- bzip2-class compressor (RLE) -------------------------------------------------
+
+
+def _rle_compress(data: bytes) -> list[int]:
+    out = []
+    i = 0
+    while i < len(data):
+        run = 1
+        while i + run < len(data) and data[i + run] == data[i] and run < 255:
+            run += 1
+        out.extend((run, data[i]))
+        i += run
+    return out
+
+
+def _build_compress() -> Workload:
+    data = bytes([7] * 9 + [3] * 4 + list(range(10, 20)) + [42] * 17 + [0] * 8 + [9, 9, 5])
+    compressed = _rle_compress(data)
+    checksum = 0
+    for byte in compressed:
+        checksum = (checksum * 31 + byte) & MASK32
+    expected = (len(compressed), checksum)
+    data_bytes = ", ".join(str(b) for b in data)
+    src = f"""
+.org 0x400
+    la   $s0, input
+    li   $s1, {len(data)}     # remaining
+    la   $s2, outbuf
+    li   $s3, 0               # out length
+run_start:
+    ble  $s1, $zero, finish
+    lbu  $t0, 0($s0)          # current byte
+    li   $t1, 1               # run length
+scan:
+    bge  $t1, $s1, run_done
+    addu $t2, $s0, $t1
+    lbu  $t3, 0($t2)
+    bne  $t3, $t0, run_done
+    li   $t4, 255
+    bge  $t1, $t4, run_done
+    addiu $t1, $t1, 1
+    b    scan
+run_done:
+    sb   $t1, 0($s2)
+    sb   $t0, 1($s2)
+    addiu $s2, $s2, 2
+    addiu $s3, $s3, 2
+    addu $s0, $s0, $t1
+    subu $s1, $s1, $t1
+    b    run_start
+finish:
+    move $v0, $s3
+{OUT}
+    # checksum the compressed buffer
+    la   $s2, outbuf
+    li   $t5, 0               # checksum
+    li   $t6, 0               # index
+cksum:
+    bge  $t6, $s3, done
+    addu $t7, $s2, $t6
+    lbu  $t0, 0($t7)
+    li   $t1, 31
+    mult $t5, $t1
+    mflo $t5
+    addu $t5, $t5, $t0
+    addiu $t6, $t6, 1
+    b    cksum
+done:
+    move $v0, $t5
+{OUT}
+{HALT}
+.org 0x10000
+input:  .byte {data_bytes}
+.org 0x11000
+outbuf: .space 256
+"""
+    return Workload(
+        "bzip2_rle",
+        "byte-granular run-length compressor (bzip2-class substitution)",
+        src,
+        expected,
+        max_cycles=400_000,
+    )
+
+
+# -- mcf-class graph kernel (Bellman-Ford) ------------------------------------------
+
+
+def _build_mincost() -> Workload:
+    nodes = 8
+    edges = [
+        (0, 1, 4), (0, 2, 7), (1, 2, 2), (1, 3, 5), (2, 4, 3),
+        (3, 5, 6), (4, 3, 1), (4, 5, 8), (4, 6, 5), (5, 7, 2),
+        (6, 5, 1), (6, 7, 9), (2, 6, 12), (1, 4, 11), (3, 7, 14), (0, 6, 30),
+    ]
+    inf = 0x3FFFFFFF
+    dist = [inf] * nodes
+    dist[0] = 0
+    for _ in range(nodes - 1):
+        for u, v, w in edges:
+            if dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+    expected = tuple(dist)
+    edge_words = ", ".join(f"{u}, {v}, {w}" for u, v, w in edges)
+    src = f"""
+.org 0x400
+    # init distances
+    la   $s0, dist
+    li   $t0, 0
+    li   $t1, {inf}
+initd:
+    sll  $t2, $t0, 2
+    addu $t2, $t2, $s0
+    sw   $t1, 0($t2)
+    addiu $t0, $t0, 1
+    li   $t3, {nodes}
+    blt  $t0, $t3, initd
+    sw   $zero, 0($s0)       # dist[0] = 0
+    li   $s1, {nodes - 1}    # passes
+pass_loop:
+    la   $s2, edges
+    li   $s3, {len(edges)}   # edge count
+edge_loop:
+    lw   $t0, 0($s2)         # u
+    lw   $t1, 4($s2)         # v
+    lw   $t2, 8($s2)         # w
+    sll  $t3, $t0, 2
+    addu $t3, $t3, $s0
+    lw   $t4, 0($t3)         # dist[u]
+    addu $t4, $t4, $t2       # candidate
+    sll  $t5, $t1, 2
+    addu $t5, $t5, $s0
+    lw   $t6, 0($t5)         # dist[v]
+    bge  $t4, $t6, no_relax
+    sw   $t4, 0($t5)
+no_relax:
+    addiu $s2, $s2, 12
+    addiu $s3, $s3, -1
+    bgt  $s3, $zero, edge_loop
+    addiu $s1, $s1, -1
+    bgt  $s1, $zero, pass_loop
+    # emit distances
+    li   $t0, 0
+emit:
+    sll  $t2, $t0, 2
+    addu $t2, $t2, $s0
+    lw   $v0, 0($t2)
+{OUT}
+    addiu $t0, $t0, 1
+    li   $t3, {nodes}
+    blt  $t0, $t3, emit
+{HALT}
+.org 0x10000
+dist:  .space 64
+edges: .word {edge_words}
+"""
+    return Workload(
+        "mcf_bellmanford",
+        "min-cost relaxation kernel (mcf-class substitution, Bellman-Ford)",
+        src,
+        expected,
+        max_cycles=700_000,
+    )
+
+
+def _build_all() -> dict[str, Workload]:
+    builders: list[Callable[[], Workload]] = [
+        _build_specrand,
+        _build_sha,
+        _build_cipher,
+        _build_fft,
+        _build_compress,
+        _build_mincost,
+    ]
+    out = {}
+    for build in builders:
+        wl = build()
+        out[wl.name] = wl
+    return out
+
+
+ALL_WORKLOADS: dict[str, Workload] = _build_all()
+
+
+def get_workload(name: str) -> Workload:
+    return ALL_WORKLOADS[name]

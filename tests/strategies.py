@@ -1,0 +1,140 @@
+"""Hypothesis strategies generating random well-formed Sapper programs.
+
+Used by the noninterference property tests (Theorem 1) and by the
+randomized compiler-conformance tests.  Generated programs always
+satisfy the Appendix A.1 well-formedness conditions by construction:
+every state body ends in a terminator, branch arms agree on
+termination, gotos stay within sibling groups, and only non-leaf states
+fall.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.sapper import ast
+
+LABELS = [None, "L", "H"]  # None = dynamic tagged
+
+REG_NAMES = ["r0", "r1", "r2", "r3"]
+INPUT_SPECS = [("in_lo", "L"), ("in_hi", "H"), ("in_dyn", None)]
+ARRAY = "buf"
+
+
+@st.composite
+def expressions(draw, depth: int = 0) -> ast.Exp:
+    choices = ["const", "reg", "input"]
+    if depth < 2:
+        choices += ["binop", "binop", "cond", "slice", "arr"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "const":
+        return ast.Const(draw(st.integers(0, 255)), 8)
+    if kind == "reg":
+        return ast.RegRef(draw(st.sampled_from(REG_NAMES)))
+    if kind == "input":
+        return ast.RegRef(draw(st.sampled_from([n for n, _ in INPUT_SPECS])))
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "-", "&", "|", "^", "==", "<", "*", ">>", "%"]))
+        return ast.BinOp(op, draw(expressions(depth + 1)), draw(expressions(depth + 1)))
+    if kind == "cond":
+        return ast.Cond(
+            draw(expressions(depth + 1)), draw(expressions(depth + 1)), draw(expressions(depth + 1))
+        )
+    if kind == "slice":
+        hi = draw(st.integers(1, 7))
+        lo = draw(st.integers(0, hi))
+        return ast.Slice(ast.RegRef(draw(st.sampled_from(REG_NAMES))), hi, lo)
+    return ast.ArrIndex(ARRAY, draw(expressions(depth + 1)))
+
+
+@st.composite
+def plain_commands(draw, labeller, depth: int = 0) -> ast.Cmd:
+    """Commands with no goto/fall (usable anywhere in a body)."""
+    choices = ["assign", "assign", "arr", "settag"]
+    if depth < 2:
+        choices += ["if", "if", "otherwise"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "assign":
+        return ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions()))
+    if kind == "arr":
+        return ast.AssignArr(ARRAY, draw(expressions(2)), draw(expressions(1)))
+    if kind == "settag":
+        return ast.SetTag(
+            ast.EntReg(draw(st.sampled_from(REG_NAMES))),
+            ast.TagConst(draw(st.sampled_from(["L", "H"]))),
+        )
+    if kind == "otherwise":
+        primary = ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions()))
+        handler = ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions()))
+        return ast.Otherwise(primary, handler)
+    then = draw(st.lists(plain_commands(labeller, depth + 1), min_size=1, max_size=2))
+    els = draw(st.lists(plain_commands(labeller, depth + 1), min_size=0, max_size=2))
+    return ast.If(labeller(), draw(expressions(1)), ast.seq(*then), ast.seq(*els))
+
+
+@st.composite
+def terminators(draw, labeller, siblings: list[str], can_fall: bool) -> ast.Cmd:
+    """A command that always ends in goto/fall, possibly conditionally."""
+    targets = st.sampled_from(siblings)
+    shape = draw(st.sampled_from(["goto", "goto", "fall", "cond"]))
+    if shape == "fall" and can_fall:
+        return ast.Fall()
+    if shape == "cond":
+        then_t = ast.Goto(draw(targets))
+        els_t = ast.Fall() if (can_fall and draw(st.booleans())) else ast.Goto(draw(targets))
+        return ast.If(labeller(), draw(expressions(1)), then_t, els_t)
+    return ast.Goto(draw(targets))
+
+
+@st.composite
+def programs(draw) -> ast.Program:
+    counter = [0]
+
+    def labeller() -> str:
+        counter[0] += 1
+        return f"gif{counter[0]}"
+
+    decls: list = []
+    for name in REG_NAMES:
+        decls.append(ast.RegDecl(name, 8, "reg", draw(st.sampled_from(LABELS))))
+    for name, label in INPUT_SPECS:
+        decls.append(ast.RegDecl(name, 8, "input", label))
+    decls.append(ast.RegDecl("out_lo", 8, "output", "L"))
+    decls.append(ast.ArrDecl(ARRAY, 8, 8, draw(st.sampled_from(["L", "H"]))))
+
+    def body(siblings: list[str], can_fall: bool) -> ast.Cmd:
+        cmds = draw(st.lists(plain_commands(labeller), min_size=0, max_size=3))
+        maybe_out = draw(st.booleans())
+        if maybe_out:
+            cmds.append(ast.AssignReg("out_lo", draw(expressions())))
+        cmds.append(draw(terminators(labeller, siblings, can_fall)))
+        return ast.seq(*cmds)
+
+    # state A (enforced L, with 1-2 dynamic/enforced children), state B (enforced)
+    kid_names = [f"k{i}" for i in range(draw(st.integers(1, 2)))]
+    kids = tuple(
+        ast.StateDef(
+            k,
+            body(kid_names, can_fall=False),
+            label=draw(st.sampled_from([None, None, "H"])),
+        )
+        for k in kid_names
+    )
+    tops = ["A", "B"]
+    state_a = ast.StateDef("A", body(tops, can_fall=True), label="L", children=kids)
+    state_b = ast.StateDef("B", body(tops, can_fall=False), label=draw(st.sampled_from(["L", "H"])))
+    return ast.Program(tuple(decls), (state_a, state_b), name="random")
+
+
+@st.composite
+def stimulus_traces(draw, cycles: int):
+    """Per-cycle (value, label) pairs for each input port."""
+    trace = []
+    for _ in range(cycles):
+        entry = {}
+        for name, fixed in INPUT_SPECS:
+            value = draw(st.integers(0, 255))
+            label = fixed or draw(st.sampled_from(["L", "H"]))
+            entry[name] = (value, label)
+        trace.append(entry)
+    return trace

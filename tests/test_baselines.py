@@ -1,0 +1,171 @@
+"""Tests for the GLIFT and Caisson baselines."""
+
+import pytest
+
+from repro.caisson import caisson_transform
+from repro.glift import GliftSimulator, glift_augment, glift_transform
+from repro.hdl import HConst, HOp, Module, Simulator, synthesize
+from repro.hdl.netlist import bit_blast
+from repro.lattice import diamond, two_level
+
+
+def and_module() -> Module:
+    m = Module("and8")
+    a = m.add_input("a", 8)
+    b = m.add_input("b", 8)
+    m.set_output("y", m.fresh(HOp("and", (a, b), 8), "y"))
+    return m
+
+
+def adder_module() -> Module:
+    m = Module("add8")
+    a = m.add_input("a", 8)
+    b = m.add_input("b", 8)
+    r = m.add_reg("acc", 8)
+    s = m.fresh(HOp("add", (a, HOp("add", (b, r), 8)), 8), "s")
+    m.set_reg_next("acc", s)
+    m.set_output("y", s)
+    return m
+
+
+class TestGliftShadow:
+    def test_untainted_stays_untainted(self):
+        sim = GliftSimulator(bit_blast(and_module()))
+        values, taints = sim.step_tainted({"a": 0xF0, "b": 0x3C}, {})
+        assert values["y"] == 0x30
+        assert taints["y"] == 0
+
+    def test_taint_propagates_through_and(self):
+        sim = GliftSimulator(bit_blast(and_module()))
+        # bit 4: both inputs 1, a tainted -> output tainted
+        values, taints = sim.step_tainted({"a": 0x10, "b": 0x10}, {"a": 0x10})
+        assert values["y"] == 0x10
+        assert taints["y"] & 0x10
+
+    def test_precision_controlling_zero(self):
+        # GLIFT's hallmark: a LOW 0 on one AND input makes the output
+        # untainted even when the other input is tainted.
+        sim = GliftSimulator(bit_blast(and_module()))
+        _, taints = sim.step_tainted({"a": 0xFF, "b": 0x00}, {"a": 0xFF})
+        assert taints["y"] == 0
+
+    def test_taint_through_register(self):
+        sim = GliftSimulator(bit_blast(adder_module()))
+        _, taints = sim.step_tainted({"a": 1, "b": 0}, {"a": 0xFF})
+        # taint appears at the output combinationally and is latched
+        _, taints2 = sim.step_tainted({"a": 0, "b": 0}, {})
+        assert taints2["y"] != 0  # the accumulator remembers the taint
+
+    def test_shadow_netlist_is_larger(self):
+        base = bit_blast(adder_module())
+        shadowed = glift_transform(base)
+        assert len(shadowed.gates) > 2 * len(base.gates)
+
+    def test_soundness_against_exhaustive_flip(self):
+        """Flip a tainted input bit; any output bit that changes must be
+        tainted (tracking is conservative/complete)."""
+        base = bit_blast(and_module())
+        for taint_bit in range(8):
+            mask = 1 << taint_bit
+            for a in (0x00, 0x5A, 0xFF):
+                for b in (0x0F, 0xA5, 0xFF):
+                    ref = Simulator.__new__(Simulator)  # not needed; compute directly
+                    y0 = a & b
+                    y1 = (a ^ mask) & b
+                    sim = GliftSimulator(base)
+                    _, taints = sim.step_tainted({"a": a, "b": b}, {"a": mask})
+                    changed = y0 ^ y1
+                    assert changed & ~taints["y"] == 0
+
+    def test_analytical_matches_shadow_structure(self):
+        """The analytical per-gate augmentation must agree with the real
+        shadow netlist's census on gate-for-gate designs."""
+        base = bit_blast(and_module())
+        shadowed = glift_transform(base)
+        base_counts = base.counts()
+        shadow_counts = shadowed.counts()
+        # 8 AND gates -> 8*(3 and + 2 or) shadow cells
+        assert shadow_counts["and"] - base_counts["and"] == 8 * 3
+        assert shadow_counts.get("or", 0) == 8 * 2
+
+
+class TestGliftAnalytical:
+    def test_area_blowup_in_expected_range(self):
+        rpt = synthesize(adder_module())
+        aug = glift_augment(rpt)
+        ratio = aug.area_um2 / rpt.area_um2
+        assert 2.0 < ratio < 12.0  # the paper reports 7.6x on a full processor
+
+    def test_delay_doubles(self):
+        rpt = synthesize(adder_module())
+        aug = glift_augment(rpt)
+        assert aug.levels == 2 * rpt.levels + 2
+
+    def test_memory_doubles(self):
+        m = Module("mem")
+        addr = m.add_input("addr", 16)
+        m.add_array("ram", 32, 65536)
+        m.set_output("q", m.fresh(HOp("read", (addr,), 32, array="ram"), "q"))
+        rpt = synthesize(m)
+        aug = glift_augment(rpt)
+        assert aug.counts.sram_bits == 2 * rpt.counts.sram_bits
+
+
+class TestCaisson:
+    def test_two_level_duplicates_registers(self):
+        base = adder_module()
+        part = caisson_transform(base, two_level())
+        assert "acc__p0" in part.regs and "acc__p1" in part.regs
+        assert "ctx" in part.inputs
+
+    def test_partition_isolation(self):
+        base = adder_module()
+        part = caisson_transform(base, two_level())
+        sim = Simulator(part)
+        sim.step({"ctx": 0, "a": 5, "b": 0})
+        sim.step({"ctx": 1, "a": 7, "b": 0})
+        # each partition accumulated only its own context's additions
+        assert sim.regs["acc__p0"] == 5
+        assert sim.regs["acc__p1"] == 7
+
+    def test_output_follows_context(self):
+        base = adder_module()
+        part = caisson_transform(base, two_level())
+        sim = Simulator(part)
+        sim.step({"ctx": 0, "a": 5, "b": 0})
+        out = sim.step({"ctx": 1, "a": 7, "b": 0})
+        assert out["y"] == 7  # partition 1's view
+
+    def test_matches_base_when_single_context(self):
+        base = adder_module()
+        part = caisson_transform(base, two_level())
+        ref = Simulator(base)
+        sim = Simulator(part)
+        for a, b in [(1, 2), (3, 4), (250, 10)]:
+            want = ref.step({"a": a, "b": b})["y"]
+            got = sim.step({"ctx": 0, "a": a, "b": b})["y"]
+            assert want == got
+
+    def test_area_scales_with_levels(self):
+        base = adder_module()
+        cost_base = synthesize(base).area_um2
+        cost_2 = synthesize(caisson_transform(base, two_level())).area_um2
+        cost_4 = synthesize(caisson_transform(base, diamond())).area_um2
+        assert cost_2 > 1.7 * cost_base
+        assert cost_4 > 1.7 * cost_2
+
+    def test_arrays_duplicated(self):
+        m = Module("mem")
+        addr = m.add_input("addr", 4)
+        data = m.add_input("data", 8)
+        we = m.add_input("we", 1)
+        m.add_array("ram", 8, 16)
+        m.write_array("ram", addr, data, we)
+        m.set_output("q", m.fresh(HOp("read", (addr,), 8, array="ram"), "q"))
+        part = caisson_transform(m, two_level())
+        assert "ram__p0" in part.arrays and "ram__p1" in part.arrays
+        sim = Simulator(part)
+        sim.step({"ctx": 0, "addr": 2, "data": 11, "we": 1})
+        sim.step({"ctx": 1, "addr": 2, "data": 22, "we": 1})
+        assert sim.arrays["ram__p0"][2] == 11
+        assert sim.arrays["ram__p1"][2] == 22

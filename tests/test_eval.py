@@ -1,0 +1,78 @@
+"""Tests for the evaluation harness (tables/figures regeneration)."""
+
+import pytest
+
+from repro.eval.figures import (
+    fig3_adder_verilog,
+    fig7_isa_table,
+    fig8_loc_table,
+    fig9_overhead,
+    format_fig9,
+    format_table,
+    sec46_diamond_overhead,
+)
+from repro.lattice import diamond, two_level
+
+
+class TestFig3:
+    def test_both_variants_emit(self):
+        out = fig3_adder_verilog()
+        assert "module adder_check" in out["check"]
+        assert "module adder_track" in out["track"]
+        assert "always @(posedge clk)" in out["check"]
+
+
+class TestFig7:
+    def test_nine_groups(self):
+        table = fig7_isa_table()
+        assert len(table) == 9
+        groups = dict(table)
+        assert "setrtag" in groups["Security Related"]
+        assert "bc1t" in groups["Branch"]
+        assert len(groups["FPU instructions"]) == 13
+
+
+class TestFig8:
+    def test_totals(self):
+        rows = fig8_loc_table()
+        by_name = dict(rows)
+        assert by_name["Total"] == sum(v for k, v in rows if k != "Total")
+        assert by_name["Execute + ALU + FPU"] > 100
+
+    def test_diamond_variant_counts(self):
+        rows = fig8_loc_table(diamond())
+        assert dict(rows)["Total"] > 500
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig9_overhead(two_level())
+
+    def test_ordering(self, rows):
+        base = rows["Base Processor"]
+        assert rows["GLIFT"].area_um2 > rows["Caisson"].area_um2 > rows["Sapper"].area_um2 > base.area_um2
+
+    def test_sapper_close_to_base(self, rows):
+        base = rows["Base Processor"]
+        n = rows["Sapper"].normalized(base)
+        assert n["area"] < 1.5
+        assert n["delay"] < 1.05
+
+    def test_memory_column(self, rows):
+        base = rows["Base Processor"]
+        assert rows["GLIFT"].normalized(base)["memory"] == 2.0
+        assert rows["Caisson"].normalized(base)["memory"] == 2.0
+        assert abs(rows["Sapper"].normalized(base)["memory"] - 1.03125) < 1e-9
+
+    def test_format(self, rows):
+        text = format_fig9(rows)
+        assert "Base Processor" in text and "Sapper" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])

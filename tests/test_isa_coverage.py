@@ -1,0 +1,306 @@
+"""E3 depth: every Figure-7 instruction group executes on the compiled
+processor with results equal to the golden reference machine."""
+
+import pytest
+
+from repro.mips.assembler import assemble
+from repro.proc.machine import SapperMachine, run_on_iss
+
+HALT = """
+    li   $t9, 0x40000004
+    sw   $zero, 0($t9)
+"""
+
+OUT = """
+    li   $t8, 0x40000000
+    sw   $v0, 0($t8)
+"""
+
+
+def run_both(body: str, max_cycles: int = 80_000):
+    src = f".org 0x400\n{body}\n{HALT}"
+    iss = run_on_iss(assemble(src))
+    machine = SapperMachine()
+    machine.load(assemble(src))
+    res = machine.run(max_cycles)
+    assert res.halted
+    assert tuple(res.outputs) == tuple(iss.outputs), f"hw={res.outputs} iss={iss.outputs}"
+    assert len(res.outputs) > 0
+    return res
+
+
+class TestAdditiveArithmetic:
+    def test_add_addu_addiu_sub_subu(self):
+        run_both(
+            f"""
+            li   $t0, 2000000000
+            li   $t1, 1999999999
+            addu $v0, $t0, $t1
+            {OUT}
+            add  $v0, $t0, $t1
+            {OUT}
+            addiu $v0, $t0, -5
+            {OUT}
+            sub  $v0, $t1, $t0
+            {OUT}
+            subu $v0, $t0, $t1
+            {OUT}
+            """
+        )
+
+
+class TestBinaryArithmetic:
+    def test_logic_ops(self):
+        run_both(
+            f"""
+            li   $t0, 0xF0F0A5A5
+            li   $t1, 0x0FF0FF00
+            and  $v0, $t0, $t1
+            {OUT}
+            andi $v0, $t0, 0xFFFF
+            {OUT}
+            or   $v0, $t0, $t1
+            {OUT}
+            ori  $v0, $t0, 0x1234
+            {OUT}
+            xor  $v0, $t0, $t1
+            {OUT}
+            xori $v0, $t0, 0xFF00
+            {OUT}
+            nor  $v0, $t0, $t1
+            {OUT}
+            """
+        )
+
+    def test_all_shift_forms(self):
+        run_both(
+            f"""
+            li   $t0, 0x80000013
+            li   $t1, 7
+            sll  $v0, $t0, 3
+            {OUT}
+            srl  $v0, $t0, 3
+            {OUT}
+            sra  $v0, $t0, 3
+            {OUT}
+            sllv $v0, $t0, $t1
+            {OUT}
+            srlv $v0, $t0, $t1
+            {OUT}
+            srav $v0, $t0, $t1
+            {OUT}
+            """
+        )
+
+
+class TestMultiplicative:
+    def test_mult_multu_div(self):
+        run_both(
+            f"""
+            li   $t0, -123456
+            li   $t1, 789
+            mult $t0, $t1
+            mflo $v0
+            {OUT}
+            mfhi $v0
+            {OUT}
+            multu $t0, $t1
+            mfhi $v0
+            {OUT}
+            div  $t0, $t1
+            mflo $v0
+            {OUT}
+            mfhi $v0
+            {OUT}
+            """
+        )
+
+
+class TestFpu:
+    def test_all_fp_ops(self):
+        run_both(
+            f"""
+            la    $t0, vals
+            lwc1  $f0, 0($t0)
+            lwc1  $f1, 4($t0)
+            add.s $f2, $f0, $f1
+            swc1  $f2, 8($t0)
+            lw    $v0, 8($t0)
+            {OUT}
+            sub.s $f3, $f0, $f1
+            mul.s $f4, $f3, $f2
+            div.s $f5, $f4, $f1
+            neg.s $f6, $f5
+            abs.s $f7, $f6
+            mov.s $f8, $f7
+            cvt.w.s $f9, $f8
+            mfc1  $v0, $f9
+            {OUT}
+            li    $t1, -9
+            mtc1  $t1, $f10
+            cvt.s.w $f11, $f10
+            mfc1  $v0, $f11
+            {OUT}
+            lt.s  $f0, $f1
+            bc1t  l1
+            li    $v0, 100
+            b     l2
+            l1: li $v0, 200
+            l2:
+            {OUT}
+            ge.s  $f0, $f1
+            bc1f  l3
+            li    $v0, 300
+            b     l4
+            l3: li $v0, 400
+            l4:
+            {OUT}
+            gt.s  $f1, $f0
+            bc1t  l5
+            li    $v0, 500
+            b     l6
+            l5: li $v0, 600
+            l6:
+            {OUT}
+            le.s  $f1, $f1
+            bc1t  l7
+            li    $v0, 700
+            b     l8
+            l7: li $v0, 800
+            l8:
+            {OUT}
+            .org 0x10000
+            vals: .float 2.75, -1.25, 0
+            """,
+        )
+
+
+class TestBranches:
+    def test_all_branch_forms(self):
+        run_both(
+            f"""
+            li   $t0, -3
+            li   $t1, 5
+            li   $v0, 0
+            beq  $t0, $t0, b1
+            li   $v0, 1
+            b1:
+            {OUT}
+            bne  $t0, $t1, b2
+            li   $v0, 2
+            b2:
+            {OUT}
+            bgt  $t1, $t0, b3
+            li   $v0, 3
+            b3:
+            {OUT}
+            ble  $t0, $t1, b4
+            li   $v0, 4
+            b4:
+            {OUT}
+            bltz $t0, b5
+            li   $v0, 5
+            b5:
+            {OUT}
+            bgez $t1, b6
+            li   $v0, 6
+            b6:
+            {OUT}
+            beql $t0, $t0, b7
+            li   $v0, 7
+            b7:
+            {OUT}
+            bnel $t0, $t1, b8
+            li   $v0, 8
+            b8:
+            {OUT}
+            blel $t0, $t1, b9
+            li   $v0, 9
+            b9:
+            {OUT}
+            bltzl $t0, b10
+            li   $v0, 10
+            b10:
+            {OUT}
+            """
+        )
+
+
+class TestJumps:
+    def test_j_jal_jr_jalr(self):
+        run_both(
+            f"""
+            li   $v0, 1
+            j    skip1
+            li   $v0, 99
+            skip1:
+            {OUT}
+            jal  sub1
+            {OUT}
+            la   $t0, sub2
+            jalr $t1, $t0
+            {OUT}
+            b    done
+            sub1:
+            li   $v0, 2
+            jr   $ra
+            sub2:
+            li   $v0, 3
+            jr   $t1
+            done:
+            """
+        )
+
+
+class TestMemoryOps:
+    def test_all_loads_stores(self):
+        run_both(
+            f"""
+            li   $t0, 0x10000
+            li   $t1, 0x8899AABB
+            sw   $t1, 0($t0)
+            sh   $t1, 4($t0)
+            sb   $t1, 6($t0)
+            lw   $v0, 0($t0)
+            {OUT}
+            lb   $v0, 3($t0)
+            {OUT}
+            lbu  $v0, 3($t0)
+            {OUT}
+            lhu  $v0, 0($t0)
+            {OUT}
+            lw   $v0, 4($t0)
+            {OUT}
+            li   $v0, 0
+            lwl  $v0, 6($t0)
+            {OUT}
+            li   $v0, 0
+            lwr  $v0, 1($t0)
+            {OUT}
+            swl  $t1, 9($t0)
+            lw   $v0, 8($t0)
+            {OUT}
+            swr  $t1, 13($t0)
+            lw   $v0, 12($t0)
+            {OUT}
+            """
+        )
+
+
+class TestOthers:
+    def test_slti_sltiu_lui(self):
+        run_both(
+            f"""
+            li   $t0, -7
+            slti $v0, $t0, 5
+            {OUT}
+            sltiu $v0, $t0, 5
+            {OUT}
+            lui  $v0, 0xBEEF
+            {OUT}
+            slt  $v0, $t0, $zero
+            {OUT}
+            sltu $v0, $t0, $zero
+            {OUT}
+            """
+        )

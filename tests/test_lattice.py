@@ -1,0 +1,229 @@
+"""Unit tests for security lattices and their hardware encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lattice import (
+    BitEncoding,
+    Lattice,
+    LatticeError,
+    LutEncoding,
+    diamond,
+    encode,
+    from_order,
+    powerset,
+    product,
+    total_order,
+    two_level,
+)
+
+
+class TestTwoLevel:
+    def test_order(self):
+        lat = two_level()
+        assert lat.leq("L", "H")
+        assert not lat.leq("H", "L")
+        assert lat.leq("L", "L") and lat.leq("H", "H")
+
+    def test_join_meet(self):
+        lat = two_level()
+        assert lat.join("L", "H") == "H"
+        assert lat.join("L", "L") == "L"
+        assert lat.meet("L", "H") == "L"
+
+    def test_extremes(self):
+        lat = two_level()
+        assert lat.bottom == "L"
+        assert lat.top == "H"
+
+    def test_join_of_nothing_is_bottom(self):
+        assert two_level().join() == "L"
+
+    def test_custom_names(self):
+        lat = two_level("untrusted", "trusted")
+        assert lat.join("untrusted", "trusted") == "trusted"
+
+
+class TestDiamond:
+    def test_structure(self):
+        lat = diamond()
+        assert lat.bottom == "L" and lat.top == "H"
+        assert lat.join("M1", "M2") == "H"
+        assert lat.meet("M1", "M2") == "L"
+        assert not lat.leq("M1", "M2") and not lat.leq("M2", "M1")
+
+    def test_four_elements(self):
+        assert len(diamond()) == 4
+
+    def test_distributive(self):
+        assert diamond().is_distributive()
+
+    def test_upset_downset(self):
+        lat = diamond()
+        assert lat.downset("M1") == {"L", "M1"}
+        assert lat.upset("M1") == {"M1", "H"}
+        assert lat.downset("H") == {"L", "M1", "M2", "H"}
+
+
+class TestConstructors:
+    def test_total_order(self):
+        lat = total_order(["U", "S", "TS"])
+        assert lat.leq("U", "TS")
+        assert lat.join("S", "U") == "S"
+        assert lat.top == "TS"
+
+    def test_powerset(self):
+        lat = powerset(["a", "b"])
+        assert len(lat) == 4
+        assert lat.join("{a}", "{b}") == "{a,b}"
+        assert lat.bottom == "{}"
+        assert lat.is_distributive()
+
+    def test_product(self):
+        lat = product(two_level(), two_level("lo", "hi"))
+        assert len(lat) == 4
+        assert lat.join("L*hi", "H*lo") == "H*hi"
+        assert lat.bottom == "L*lo"
+
+    def test_not_a_lattice_rejected(self):
+        # two maximal elements -> no unique join
+        with pytest.raises(LatticeError):
+            from_order(["a", "b", "c"], [("a", "b"), ("a", "c")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(LatticeError):
+            from_order(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_unknown_element_in_order(self):
+        with pytest.raises(LatticeError):
+            from_order(["a"], [("a", "zzz")])
+
+    def test_duplicate_elements(self):
+        with pytest.raises(LatticeError):
+            Lattice(["a", "a"], [])
+
+    def test_check_unknown_label(self):
+        with pytest.raises(LatticeError):
+            two_level().check("M")
+
+
+def m3() -> Lattice:
+    """The smallest non-distributive (modular) lattice."""
+    return from_order(
+        ["bot", "x", "y", "z", "top"],
+        [("bot", "x"), ("bot", "y"), ("bot", "z"), ("x", "top"), ("y", "top"), ("z", "top")],
+    )
+
+
+class TestEncodings:
+    def test_two_level_bit_encoding_is_one_bit(self):
+        enc = encode(two_level())
+        assert isinstance(enc, BitEncoding)
+        assert enc.width == 1
+        assert enc.encode("L") == 0 and enc.encode("H") == 1
+
+    def test_diamond_encoding_is_two_bits(self):
+        # section 4.6: "one more bit for each tag" going from 2-level to diamond
+        enc = encode(diamond())
+        assert isinstance(enc, BitEncoding)
+        assert enc.width == 2
+
+    def test_bit_encoding_join_is_or(self):
+        lat = diamond()
+        enc = BitEncoding(lat)
+        for a in lat.elements:
+            for b in lat.elements:
+                joined = enc.decode(enc.join_bits(enc.encode(a), enc.encode(b)))
+                assert joined == lat.join(a, b)
+
+    def test_bit_encoding_leq_is_subset(self):
+        lat = diamond()
+        enc = BitEncoding(lat)
+        for a in lat.elements:
+            for b in lat.elements:
+                assert enc.leq_bits(enc.encode(a), enc.encode(b)) == lat.leq(a, b)
+
+    def test_non_distributive_falls_back_to_lut(self):
+        assert not m3().is_distributive()
+        enc = encode(m3())
+        assert isinstance(enc, LutEncoding)
+
+    def test_bit_encoding_rejects_non_distributive(self):
+        with pytest.raises(ValueError):
+            BitEncoding(m3())
+
+    def test_lut_encoding_tables(self):
+        lat = m3()
+        enc = LutEncoding(lat)
+        for a in lat.elements:
+            for b in lat.elements:
+                assert enc.decode(enc.join_bits(enc.encode(a), enc.encode(b))) == lat.join(a, b)
+                assert enc.leq_bits(enc.encode(a), enc.encode(b)) == lat.leq(a, b)
+
+    def test_powerset_encoding_roundtrip(self):
+        lat = powerset(["a", "b", "c"])
+        enc = encode(lat)
+        for e in lat.elements:
+            assert enc.decode(enc.encode(e)) == e
+
+
+@st.composite
+def lattice_and_elements(draw):
+    lat = draw(
+        st.sampled_from(
+            [two_level(), diamond(), total_order(["a", "b", "c", "d"]), powerset(["p", "q"]), m3()]
+        )
+    )
+    a = draw(st.sampled_from(lat.elements))
+    b = draw(st.sampled_from(lat.elements))
+    c = draw(st.sampled_from(lat.elements))
+    return lat, a, b, c
+
+
+class TestLatticeLaws:
+    @given(lattice_and_elements())
+    def test_join_commutative(self, data):
+        lat, a, b, _ = data
+        assert lat.join(a, b) == lat.join(b, a)
+
+    @given(lattice_and_elements())
+    def test_join_associative(self, data):
+        lat, a, b, c = data
+        assert lat.join(lat.join(a, b), c) == lat.join(a, lat.join(b, c))
+
+    @given(lattice_and_elements())
+    def test_join_idempotent(self, data):
+        lat, a, _, _ = data
+        assert lat.join(a, a) == a
+
+    @given(lattice_and_elements())
+    def test_join_is_upper_bound(self, data):
+        lat, a, b, _ = data
+        j = lat.join(a, b)
+        assert lat.leq(a, j) and lat.leq(b, j)
+
+    @given(lattice_and_elements())
+    def test_join_is_least_upper_bound(self, data):
+        lat, a, b, c = data
+        if lat.leq(a, c) and lat.leq(b, c):
+            assert lat.leq(lat.join(a, b), c)
+
+    @given(lattice_and_elements())
+    def test_absorption(self, data):
+        lat, a, b, _ = data
+        assert lat.join(a, lat.meet(a, b)) == a
+        assert lat.meet(a, lat.join(a, b)) == a
+
+    @given(lattice_and_elements())
+    def test_leq_antisymmetric(self, data):
+        lat, a, b, _ = data
+        if lat.leq(a, b) and lat.leq(b, a):
+            assert a == b
+
+    @given(lattice_and_elements())
+    def test_encoding_roundtrip_and_ops(self, data):
+        lat, a, b, _ = data
+        enc = encode(lat)
+        assert enc.decode(enc.encode(a)) == a
+        assert enc.decode(enc.join_bits(enc.encode(a), enc.encode(b))) == lat.join(a, b)
+        assert enc.leq_bits(enc.encode(a), enc.encode(b)) == lat.leq(a, b)

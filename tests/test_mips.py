@@ -1,0 +1,393 @@
+"""Tests for the MIPS toolchain: ISA, softfloat, assembler, ISS."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mips import assemble, decode, AsmError, Iss, MMIO_HALT, MMIO_OUT
+from repro.mips import softfloat as sf
+from repro.mips.isa import ENCODINGS, FIGURE7_INSTRUCTIONS, Instruction, encode
+
+
+class TestIsaRoundtrip:
+    @pytest.mark.parametrize("name", sorted(ENCODINGS))
+    def test_encode_decode_roundtrip(self, name):
+        fmt = ENCODINGS[name][0]
+        inst = Instruction(
+            name,
+            rs=5 if fmt != "FB" else 0,
+            rt=7 if fmt not in ("RI", "FB") else 0,
+            rd=9 if fmt in ("R", "F", "FW") else 0,
+            shamt=3 if name in ("sll", "srl", "sra") else 0,
+            imm=0x1234 if fmt in ("I", "RI", "FB") else 0,
+            target=0x12345 if fmt == "J" else 0,
+        )
+        word = encode(inst)
+        back = decode(word)
+        assert back is not None
+        assert back.name == name
+
+    def test_figure7_complete(self):
+        for group, names in FIGURE7_INSTRUCTIONS.items():
+            for name in names:
+                assert name in ENCODINGS, f"{name} ({group}) missing"
+
+    def test_nop_is_sll_zero(self):
+        assert decode(0).name == "sll"
+
+    def test_unknown_decodes_none(self):
+        assert decode(0xFC000000) is None
+
+
+def f32(x: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def approx_equal(bits: int, value: float, rel=2e-6):
+    got = sf.to_python(bits)
+    assert got == pytest.approx(value, rel=rel, abs=1e-30), f"{got} != {value}"
+
+
+class TestSoftFloat:
+    def test_exact_adds(self):
+        assert sf.fadd(f32(1.0), f32(2.0)) == f32(3.0)
+        assert sf.fadd(f32(1.5), f32(0.25)) == f32(1.75)
+        assert sf.fadd(f32(1.0), f32(-1.0)) == 0
+
+    def test_exact_muls(self):
+        assert sf.fmul(f32(3.0), f32(4.0)) == f32(12.0)
+        assert sf.fmul(f32(-2.0), f32(0.5)) == f32(-1.0)
+        assert sf.fmul(f32(0.0), f32(1e30)) == 0
+
+    def test_exact_divs(self):
+        assert sf.fdiv(f32(12.0), f32(4.0)) == f32(3.0)
+        assert sf.fdiv(f32(1.0), f32(2.0)) == f32(0.5)
+
+    def test_div_by_zero_is_inf(self):
+        assert sf.fdiv(f32(1.0), 0) == sf.inf(0)
+        assert sf.fdiv(f32(-1.0), 0) == sf.inf(1)
+
+    def test_overflow_saturates(self):
+        big = f32(3e38)
+        assert sf.fmul(big, big) == sf.inf(0)
+
+    def test_underflow_flushes(self):
+        tiny = f32(1e-38)
+        assert sf.fmul(tiny, tiny) == 0
+
+    def test_conversions(self):
+        assert sf.cvt_s_w(5) == f32(5.0)
+        assert sf.cvt_s_w((-7) & 0xFFFFFFFF) == f32(-7.0)
+        assert sf.cvt_w_s(f32(42.9)) == 42
+        assert sf.cvt_w_s(f32(-42.9)) == (-42) & 0xFFFFFFFF
+        assert sf.cvt_w_s(f32(1e20)) == 0x7FFFFFFF
+
+    def test_compares(self):
+        assert sf.flt(f32(1.0), f32(2.0)) == 1
+        assert sf.flt(f32(-1.0), f32(1.0)) == 1
+        assert sf.fge(f32(2.0), f32(2.0)) == 1
+        assert sf.fgt(f32(-1.0), f32(-2.0)) == 1
+        assert sf.fle(f32(-5.0), f32(-5.0)) == 1
+
+    @given(st.floats(min_value=-2.0**96, max_value=2.0**96, allow_nan=False, allow_subnormal=False, width=32),
+           st.floats(min_value=-2.0**96, max_value=2.0**96, allow_nan=False, allow_subnormal=False, width=32))
+    def test_add_close_to_ieee(self, a, b):
+        result = sf.to_python(sf.fadd(f32(a), f32(b)))
+        expect = struct.unpack("<f", struct.pack("<f", a + b))[0]
+        if abs(expect) < 1e-35:
+            assert abs(result) < 1e-30 or abs(result - expect) <= abs(expect)
+        else:
+            assert result == pytest.approx(expect, rel=4e-7) or abs(result - expect) <= abs(expect) * 4e-7 + 1e-30
+
+    @given(st.floats(min_value=-2.0**48, max_value=2.0**48, allow_nan=False, allow_subnormal=False, width=32),
+           st.floats(min_value=-2.0**48, max_value=2.0**48, allow_nan=False, allow_subnormal=False, width=32))
+    def test_mul_close_to_ieee(self, a, b):
+        result = sf.to_python(sf.fmul(f32(a), f32(b)))
+        expect = a * b
+        if abs(expect) < 1e-35:
+            assert abs(result) < 1e-30
+        else:
+            assert result == pytest.approx(expect, rel=4e-7)
+
+    @given(st.integers(-2**31, 2**31 - 1))
+    def test_cvt_roundtrip_small(self, x):
+        bits = sf.cvt_s_w(x & 0xFFFFFFFF)
+        back = sf.cvt_w_s(bits)
+        # truncation loses low bits only for |x| > 2^24
+        if abs(x) < (1 << 24):
+            assert back == x & 0xFFFFFFFF
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        exe = assemble(
+            """
+            .org 0x400
+            start:
+                li   $t0, 7
+                li   $t1, 5
+                add  $t2, $t0, $t1
+            """
+        )
+        assert exe.symbols["start"] == 0x400
+        assert len(exe.words) == 5  # two li pairs + add
+
+    def test_branch_offsets(self):
+        exe = assemble(
+            """
+            .org 0x400
+            loop:
+                addiu $t0, $t0, 1
+                bne   $t0, $t1, loop
+            """
+        )
+        word = exe.words[(0x404) >> 2]
+        inst = decode(word)
+        assert inst.name == "bne"
+        assert inst.simm == -2
+
+    def test_data_directives(self):
+        exe = assemble(
+            """
+            .org 0x1000
+            table: .word 1, 2, 0x30
+            bytes: .byte 1, 2, 3, 4
+            text:  .asciiz "hi"
+            """
+        )
+        assert exe.words[0x1000 >> 2] == 1
+        assert exe.words[0x1008 >> 2] == 0x30
+        assert exe.words[0x100C >> 2] == 0x04030201  # little-endian
+        assert exe.words[0x1010 >> 2] & 0xFFFFFF == 0x006968  # "hi\0"
+
+    def test_float_directive(self):
+        exe = assemble(".org 0x100\nf: .float 1.5")
+        assert exe.words[0x100 >> 2] == f32(1.5)
+
+    def test_hi_lo_relocs(self):
+        exe = assemble(
+            """
+            .org 0x400
+            la $t0, data
+            lw $t1, %lo(data)($t0)
+            .org 0x12340
+            data: .word 99
+            """
+        )
+        assert exe.symbols["data"] == 0x12340
+
+    def test_mem_operand(self):
+        exe = assemble(".org 0\nlw $t0, 8($sp)")
+        inst = decode(exe.words[0])
+        assert (inst.name, inst.rs, inst.simm) == ("lw", 29, 8)
+
+    def test_unknown_instruction(self):
+        with pytest.raises(AsmError):
+            assemble("frobnicate $t0, $t1")
+
+    def test_unknown_register(self):
+        with pytest.raises(AsmError):
+            assemble("add $t0, $bogus, $t1")
+
+    def test_fp_instructions(self):
+        exe = assemble(
+            """
+            .org 0
+            lwc1 $f0, 0($t0)
+            add.s $f2, $f0, $f1
+            cvt.w.s $f3, $f2
+            mfc1 $t1, $f3
+            lt.s $f0, $f1
+            bc1t 0
+            """
+        )
+        names = [decode(w).name for _, w in sorted(exe.words.items())]
+        assert names == ["lwc1", "add.s", "cvt.w.s", "mfc1", "lt.s", "bc1t"]
+
+
+def run_program(src: str, max_steps=100000) -> Iss:
+    exe = assemble(src)
+    iss = Iss.load(exe)
+    iss.run(max_steps)
+    return iss
+
+
+HALT = """
+    li   $t9, 0x40000004
+    sw   $zero, 0($t9)
+"""
+
+PRINT_V0 = """
+    li   $t8, 0x40000000
+    sw   $v0, 0($t8)
+"""
+
+
+class TestIss:
+    def test_arith_loop(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                li   $t0, 0        # sum
+                li   $t1, 1        # i
+            loop:
+                add  $t0, $t0, $t1
+                addiu $t1, $t1, 1
+                ble  $t1, $t2, loop   # t2 == 0 -> falls through at once? set below
+                li   $t2, 10
+                ble  $t1, $t2, loop
+                move $v0, $t0
+            {PRINT_V0}
+            {HALT}
+            """
+        )
+        assert iss.outputs == [55]
+
+    def test_memory_and_bytes(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                li   $t0, 0x10000
+                li   $t1, 0x11223344
+                sw   $t1, 0($t0)
+                lbu  $t2, 0($t0)
+                lbu  $t3, 3($t0)
+                lhu  $t4, 2($t0)
+                sb   $t3, 4($t0)
+                lw   $v0, 4($t0)
+            {PRINT_V0}
+            {HALT}
+            """
+        )
+        assert iss.regs[10] == 0x44
+        assert iss.regs[11] == 0x11
+        assert iss.regs[12] == 0x1122
+        assert iss.outputs == [0x11]
+
+    def test_mult_div_hilo(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                li   $t0, 100000
+                li   $t1, 30000
+                mult $t0, $t1
+                mflo $v0
+            {PRINT_V0}
+                mfhi $v0
+            {PRINT_V0}
+                li   $t0, 17
+                li   $t1, 5
+                div  $t0, $t1
+                mflo $v0
+            {PRINT_V0}
+                mfhi $v0
+            {PRINT_V0}
+            {HALT}
+            """
+        )
+        product = 100000 * 30000
+        assert iss.outputs == [product & 0xFFFFFFFF, product >> 32, 3, 2]
+
+    def test_function_call(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                li   $a0, 6
+                jal  fact
+                move $v0, $v1
+            {PRINT_V0}
+            {HALT}
+            fact:
+                li   $v1, 1
+                li   $t0, 1
+            floop:
+                bgt  $t0, $a0, fdone
+                mult $v1, $t0
+                mflo $v1
+                addiu $t0, $t0, 1
+                b    floop
+            fdone:
+                jr   $ra
+            """
+        )
+        assert iss.outputs == [720]
+
+    def test_fpu_program(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                la    $t0, vals
+                lwc1  $f0, 0($t0)
+                lwc1  $f1, 4($t0)
+                add.s $f2, $f0, $f1
+                mul.s $f3, $f2, $f2
+                cvt.w.s $f4, $f3
+                mfc1  $v0, $f4
+            {PRINT_V0}
+            {HALT}
+            vals: .float 1.5, 2.5
+            """
+        )
+        assert iss.outputs == [16]  # (1.5+2.5)^2
+
+    def test_fp_branch(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                la    $t0, vals
+                lwc1  $f0, 0($t0)
+                lwc1  $f1, 4($t0)
+                lt.s  $f0, $f1
+                bc1t  less
+                li    $v0, 0
+                b     done
+            less:
+                li    $v0, 1
+            done:
+            {PRINT_V0}
+            {HALT}
+            vals: .float -2.0, 3.0
+            """
+        )
+        assert iss.outputs == [1]
+
+    def test_unaligned_loads(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                li   $t0, 0x10000
+                li   $t1, 0x44332211
+                sw   $t1, 0($t0)
+                li   $t2, 0x88776655
+                sw   $t2, 4($t0)
+                li   $v0, 0
+                lwr  $v0, 2($t0)
+                lwl  $v0, 5($t0)
+            {PRINT_V0}
+            {HALT}
+            """
+        )
+        # little-endian unaligned word at byte offset 2: 0x66554433
+        assert iss.outputs == [0x66554433]
+
+    def test_security_instructions_recorded(self):
+        iss = run_program(
+            f"""
+            .org 0x400
+                li   $t0, 0x20000
+                li   $t1, 1
+                setrtag $t0, $t1
+                li   $t2, 500
+                setrtimer $t2
+            {HALT}
+            """
+        )
+        assert iss.tag_requests == [(0x20000, 1)]
+        assert iss.timer_requests == [500]
+
+    def test_halts_on_runaway(self):
+        exe = assemble(".org 0x400\nspin: b spin")
+        iss = Iss.load(exe)
+        with pytest.raises(RuntimeError):
+            iss.run(1000)

@@ -1,0 +1,252 @@
+"""Mechanical check of Theorem 1 (noninterference).
+
+Two executions whose configurations are L-equivalent and whose low
+inputs agree must remain L-equivalent after every cycle -- and in
+particular their low-observable outputs must be identical, cycle for
+cycle (the theorem is timing-sensitive).
+
+We test this three ways:
+
+* hand-written attack programs covering every channel the paper
+  discusses (explicit flows, implicit flows, goto/timing channels, fall
+  channels, array-index channels, setTag laundering);
+* randomized programs via hypothesis (tests/strategies.py);
+* the same property on the *compiled hardware* for the fixed programs,
+  closing the loop on the compiler.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.lattice import two_level
+from repro.sapper import samples
+from repro.sapper.analysis import analyze
+from repro.sapper.noninterference import configs_equivalent
+from repro.sapper.parser import parse_program
+from repro.sapper.semantics import Interpreter
+
+from tests import strategies
+
+
+def paired_run(info, lattice, trace_pairs, observer="L"):
+    """Run two interpreters; inputs agree on labels everywhere and on
+    values wherever the label flows to *observer*.  Assert L-equivalence
+    and equal observable outputs at every cycle."""
+    it1 = Interpreter(info, lattice)
+    it2 = Interpreter(info, lattice)
+    for cycle, (in1, in2) in enumerate(trace_pairs):
+        out1 = it1.run_cycle(in1)
+        out2 = it2.run_cycle(in2)
+        for port in out1:
+            v1, t1 = out1[port]
+            v2, t2 = out2[port]
+            vis1 = lattice.leq(t1, observer)
+            vis2 = lattice.leq(t2, observer)
+            assert vis1 == vis2, f"cycle {cycle}: output {port} visibility differs"
+            if vis1:
+                assert v1 == v2, f"cycle {cycle}: low output {port}: {v1} != {v2}"
+        report = configs_equivalent(it1, it2, observer)
+        assert report, f"cycle {cycle}: " + "; ".join(report.mismatches[:8])
+
+
+def vary_high(trace, observer, lattice, offset=77):
+    """Build the paired trace: same labels, values differ iff label is
+    not observable at *observer*."""
+    pairs = []
+    for entry in trace:
+        e1, e2 = {}, {}
+        for name, (value, label) in entry.items():
+            e1[name] = (value, label)
+            if lattice.leq(label, observer):
+                e2[name] = (value, label)
+            else:
+                e2[name] = ((value + offset) & 0xFF, label)
+        pairs.append((e1, e2))
+    return pairs
+
+
+def build(src):
+    lat = two_level()
+    return analyze(parse_program(src), lat), lat
+
+
+class TestAttackPrograms:
+    def test_explicit_flow(self):
+        info, lat = build(
+            """
+            reg[7:0] lo : L; input[7:0] hi : H; output[7:0] out_lo : L;
+            state s : L = { lo := hi; out_lo := lo; goto s; }
+            """
+        )
+        trace = [{"hi": (i * 13, "H")} for i in range(10)]
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+    def test_implicit_flow(self):
+        info, lat = build(
+            """
+            reg[7:0] lo : L; input h : H; output[7:0] out_lo : L;
+            state s : L = {
+                if (h) { lo := 1; } else { lo := 2; }
+                out_lo := lo;
+                goto s;
+            }
+            """
+        )
+        trace = [{"h": (i & 1, "H")} for i in range(8)]
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+    def test_goto_timing_channel(self):
+        # high data tries to choose which low state runs next cycle
+        info, lat = build(
+            """
+            input h : H; reg[7:0] c1; reg[7:0] c2; output[7:0] out_lo : L;
+            state a : L = {
+                c1 := c1 + 1;
+                out_lo := c1;
+                if (h) { goto b; } else { goto a; }
+            }
+            state b : L = { c2 := c2 + 1; out_lo := c2; goto a; }
+            """
+        )
+        trace = [{"h": (i % 3 == 0, "H")} for i in range(12)]
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+    def test_fall_channel(self):
+        # high data tries to choose which child state runs
+        info, lat = build(
+            """
+            input h : H; reg[7:0] w1; reg[7:0] w2; output[7:0] out_lo : L;
+            state top : L = {
+                let state p = { w1 := w1 + 1; goto q; } in
+                let state q = { w2 := w2 + 1; goto p; } in
+                if (h) { goto top; } else { fall; }
+            }
+            """
+        )
+        trace = [{"h": (i & 1, "H")} for i in range(12)]
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+    def test_array_index_channel(self):
+        # writing at a high-dependent index must not alter low-visible cells
+        info, lat = build(
+            """
+            input[2:0] hidx : H; mem[7:0] buf[8] : L; output[7:0] out_lo : L;
+            state s : L = {
+                buf[hidx] := 1;
+                out_lo := buf[0] + buf[1];
+                goto s;
+            }
+            """
+        )
+        trace = [{"hidx": (i % 8, "H")} for i in range(10)]
+        paired_run(info, lat, vary_high(trace, "L", lat, offset=3))
+
+    def test_settag_laundering(self):
+        # a high context cannot downgrade data to exfiltrate it
+        info, lat = build(
+            """
+            input h : H; reg[7:0] sec : H; input[7:0] hv : H;
+            output[7:0] out_lo : L;
+            state s : L = {
+                sec := hv;
+                if (h) { setTag(sec, L); }
+                out_lo := sec otherwise out_lo := 0;
+                goto s;
+            }
+            """
+        )
+        trace = [{"h": (i & 1, "H"), "hv": (i * 7, "H")} for i in range(10)]
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+    def test_timer_preemption_is_deterministic(self):
+        info, lat = build(samples.TDMA)
+        trace = [{"hi_in": (i * 5, "H"), "lo_in": (i, "L")} for i in range(120)]
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+    def test_dynamic_state_self_goto(self):
+        # a dynamic state branching on high data about whether to re-run itself
+        info, lat = build(
+            """
+            input[7:0] h : H; reg[7:0] c; output[7:0] out_lo : L;
+            state top : L = {
+                let state p = {
+                    if (h > 100) { goto q; } else { goto p; }
+                } in
+                let state q = { c := c + 1; goto p; } in
+                out_lo := out_lo + 1;
+                fall;
+            }
+            """
+        )
+        trace = [{"h": (i * 31, "H")} for i in range(16)]
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+
+class TestRandomizedNoninterference:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(strategies.programs(), strategies.stimulus_traces(cycles=8))
+    def test_theorem1_on_random_programs(self, program, trace):
+        lat = two_level()
+        info = analyze(program, lat)
+        paired_run(info, lat, vary_high(trace, "L", lat))
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(strategies.programs(), strategies.stimulus_traces(cycles=6))
+    def test_compiler_conformance_on_random_programs(self, program, trace):
+        from repro.sapper.crossval import CrossValidation
+
+        lat = two_level()
+        info = analyze(program, lat)
+        cv = CrossValidation.build(info, lat)
+        for entry in trace:
+            cv.run_cycle(entry)
+        assert not cv.mismatches, str(cv.mismatches[:6])
+
+
+class TestHardwareNoninterference:
+    """The same observation on the compiled design: low-tagged registers
+    and outputs of two hardware runs agree when low inputs agree."""
+
+    def _run_pair(self, src, trace_pairs):
+        from repro.hdl import Simulator
+        from repro.sapper.compiler import compile_program
+
+        lat = two_level()
+        design = compile_program(src, lat, name="ni_hw")
+        enc = design.encoding
+        sim1, sim2 = Simulator(design.module), Simulator(design.module)
+        for cycle, (in1, in2) in enumerate(trace_pairs):
+            s1 = {k: v for k, (v, _) in in1.items()}
+            s1.update({f"{k}__tag": enc.encode(t) for k, (_, t) in in1.items()
+                       if f"{k}__tag" in design.module.inputs})
+            s2 = {k: v for k, (v, _) in in2.items()}
+            s2.update({f"{k}__tag": enc.encode(t) for k, (_, t) in in2.items()
+                       if f"{k}__tag" in design.module.inputs})
+            o1, o2 = sim1.step(s1), sim2.step(s2)
+            for port in design.module.outputs:
+                if port.endswith("__tag") or port == "violation":
+                    continue
+                t1, t2 = o1.get(f"{port}__tag", 0), o2.get(f"{port}__tag", 0)
+                if t1 == 0 or t2 == 0:  # L-tagged in either run
+                    assert t1 == t2 and o1[port] == o2[port], f"cycle {cycle}: {port}"
+            for reg, tag_reg in design.reg_tag.items():
+                if sim1.regs[tag_reg] == 0 or sim2.regs[tag_reg] == 0:
+                    assert sim1.regs[tag_reg] == sim2.regs[tag_reg], f"tag {reg}"
+                    assert sim1.regs[reg] == sim2.regs[reg], f"reg {reg}"
+
+    def test_hardware_implicit_flow(self):
+        lat = two_level()
+        src = """
+        reg[7:0] lo : L; reg[7:0] d; input h : H; output[7:0] out_lo : L;
+        state s : L = {
+            if (h) { d := 1; lo := 1; } else { d := 2; }
+            out_lo := lo;
+            goto s;
+        }
+        """
+        trace = [{"h": (i & 1, "H")} for i in range(8)]
+        self._run_pair(src, vary_high(trace, "L", lat))
+
+    def test_hardware_tdma(self):
+        lat = two_level()
+        trace = [{"hi_in": (i * 3, "H"), "lo_in": (i, "L")} for i in range(120)]
+        self._run_pair(samples.TDMA, vary_high(trace, "L", lat))

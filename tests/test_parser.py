@@ -1,0 +1,217 @@
+"""Unit tests for the Sapper lexer and parser."""
+
+import pytest
+
+from repro.sapper import ast
+from repro.sapper.errors import SapperSyntaxError
+from repro.sapper.lexer import tokenize
+from repro.sapper.parser import parse_expression, parse_program
+from repro.sapper import samples
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        toks = tokenize("state foo goto fall")
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert kinds == [
+            ("keyword", "state"),
+            ("ident", "foo"),
+            ("keyword", "goto"),
+            ("keyword", "fall"),
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("42 0x2A 0b101010 8'hFF 4'b1010 32'd7")
+        values = [t.value for t in toks[:-1]]
+        assert values == [42, 42, 42, 255, 10, 7]
+
+    def test_line_comments(self):
+        toks = tokenize("a // comment\nb")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_block_comments_track_lines(self):
+        toks = tokenize("/* one\ntwo */ x")
+        assert toks[0].text == "x"
+        assert toks[0].line == 2
+
+    def test_multichar_punct(self):
+        toks = tokenize(":= == != <= >= << >> && ||")
+        assert [t.text for t in toks[:-1]] == [":=", "==", "!=", "<=", ">=", "<<", ">>", "&&", "||"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SapperSyntaxError):
+            tokenize("/* nope")
+
+    def test_bad_char(self):
+        with pytest.raises(SapperSyntaxError):
+            tokenize("a @ b")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_parens(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "*"
+
+    def test_ternary(self):
+        e = parse_expression("a ? b : c")
+        assert isinstance(e, ast.Cond)
+
+    def test_slice(self):
+        e = parse_expression("x[7:4]")
+        assert isinstance(e, ast.Slice) and e.hi == 7 and e.lo == 4
+
+    def test_index(self):
+        e = parse_expression("x[i]")
+        assert isinstance(e, ast.ArrIndex)
+
+    def test_cat_sext(self):
+        e = parse_expression("cat(a, b)")
+        assert isinstance(e, ast.Cat) and len(e.parts) == 2
+        e = parse_expression("sext(a, 32)")
+        assert isinstance(e, ast.Ext) and e.signed and e.width == 32
+
+    def test_signed_compare_functions(self):
+        e = parse_expression("lts(a, b)")
+        assert isinstance(e, ast.BinOp) and e.op == "lts"
+
+    def test_tag_read_and_label_literal(self):
+        e = parse_expression("tag(x) == `H")
+        assert isinstance(e, ast.BinOp)
+        assert isinstance(e.left, ast.TagOf)
+        assert isinstance(e.right, ast.LabelLit) and e.right.label == "H"
+
+    def test_unary(self):
+        e = parse_expression("~a & -b")
+        assert isinstance(e, ast.BinOp) and e.op == "&"
+        assert isinstance(e.left, ast.UnOp) and e.left.op == "~"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SapperSyntaxError):
+            parse_expression("a + b c")
+
+
+class TestPrograms:
+    def test_adder_check_shape(self):
+        prog = parse_program(samples.ADDER_CHECK, "adder")
+        regs = prog.reg_decls()
+        assert regs["a"].label == "L" and regs["a"].enforced
+        assert regs["b"].label is None
+        assert regs["out"].kind == "output" and regs["out"].enforced
+        assert len(prog.states) == 1 and prog.states[0].name == "main"
+        assert prog.states[0].enforced
+
+    def test_tdma_shape(self):
+        prog = parse_program(samples.TDMA, "tdma")
+        names = [s.name for s in prog.states]
+        assert names == ["Master", "Slave"]
+        slave = prog.states[1]
+        assert [c.name for c in slave.children] == ["Pipeline"]
+        assert not slave.children[0].enforced
+
+    def test_mem_decl(self):
+        prog = parse_program(
+            """
+            mem[31:0] memory[1024] : L;
+            state s : L = { memory[0] := 1; goto s; }
+            """
+        )
+        arrays = prog.arr_decls()
+        assert arrays["memory"].size == 1024
+        assert arrays["memory"].width == 32
+        assert arrays["memory"].enforced
+
+    def test_multi_name_decl(self):
+        prog = parse_program("reg[3:0] x, y, z;\nstate s : L = { goto s; }")
+        assert set(prog.reg_decls()) == {"x", "y", "z"}
+
+    def test_if_labels_unique(self):
+        prog = parse_program(
+            """
+            reg a;
+            state s : L = {
+                if (a) { a := 0; } else { a := 1; }
+                if (a) { a := 1; }
+                goto s;
+            }
+            """
+        )
+        labels = [c.label for c in prog.states[0].body.walk() if isinstance(c, ast.If)]
+        assert len(labels) == len(set(labels)) == 2
+
+    def test_case_desugars_to_if_chain(self):
+        prog = parse_program(
+            """
+            reg[1:0] a; reg[3:0] r;
+            state s : L = {
+                case (a) {
+                    0: { r := 1; }
+                    1: { r := 2; }
+                    default: { r := 3; }
+                }
+                goto s;
+            }
+            """
+        )
+        ifs = [c for c in prog.states[0].body.walk() if isinstance(c, ast.If)]
+        assert len(ifs) == 2  # one per non-default arm
+
+    def test_otherwise(self):
+        prog = parse_program(
+            """
+            reg[7:0] a : L; reg[7:0] b;
+            state s : L = {
+                a := b otherwise a := 0;
+                goto s;
+            }
+            """
+        )
+        others = [c for c in prog.states[0].body.walk() if isinstance(c, ast.Otherwise)]
+        assert len(others) == 1
+        assert isinstance(others[0].primary, ast.AssignReg)
+
+    def test_nested_otherwise(self):
+        prog = parse_program(
+            """
+            reg[7:0] a : L; reg[7:0] b : H; reg[7:0] c;
+            state s : L = {
+                a := c otherwise b := c otherwise skip;
+                goto s;
+            }
+            """
+        )
+        others = [c for c in prog.states[0].body.walk() if isinstance(c, ast.Otherwise)]
+        assert len(others) == 2
+
+    def test_settag_forms(self):
+        prog = parse_program(
+            """
+            reg[7:0] a : L;
+            mem[7:0] arr[16] : L;
+            state s : L = {
+                setTag(a, H);
+                setTag(arr[3], tag(a) | L);
+                goto s;
+            }
+            """
+        )
+        tags = [c for c in prog.states[0].body.walk() if isinstance(c, ast.SetTag)]
+        assert len(tags) == 2
+        assert isinstance(tags[1].entity, ast.EntArr)
+        assert isinstance(tags[1].tag, ast.TagJoin)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SapperSyntaxError):
+            parse_program("reg a;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SapperSyntaxError):
+            parse_program("reg a\nstate s : L = { goto s; }")
+
+    def test_width_must_be_down_to_zero(self):
+        with pytest.raises(SapperSyntaxError):
+            parse_program("reg[7:1] a;\nstate s : L = { goto s; }")

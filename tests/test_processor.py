@@ -1,0 +1,505 @@
+"""Integration tests for the Sapper MIPS processor (sections 4.1-4.2)."""
+
+import pytest
+
+from repro.lattice import diamond, two_level
+from repro.mips.assembler import assemble
+from repro.proc.design import design_sections, generate_design
+from repro.proc.machine import SapperMachine, run_on_iss
+
+HALT = """
+    li   $t9, 0x40000004
+    sw   $zero, 0($t9)
+"""
+
+OUT_V0 = """
+    li   $t8, 0x40000000
+    sw   $v0, 0($t8)
+"""
+
+
+def run_both(src: str, max_cycles: int = 60_000):
+    """Run on the golden ISS and the compiled hardware; require equal output."""
+    exe = assemble(src)
+    iss = run_on_iss(exe)
+    machine = SapperMachine()
+    machine.load(assemble(src))
+    res = machine.run(max_cycles)
+    assert res.halted, "hardware did not halt"
+    assert tuple(res.outputs) == tuple(iss.outputs), (
+        f"hw={res.outputs} iss={iss.outputs}"
+    )
+    return iss, res
+
+
+class TestDesignGeneration:
+    def test_source_parses_and_compiles(self):
+        from repro.sapper.analysis import analyze
+        from repro.sapper.parser import parse_program
+
+        src = generate_design()
+        info = analyze(parse_program(src, "proc"), two_level())
+        assert "Pipeline" in info.states and "Refill" in info.states
+        assert info.parent["Pipeline"] == "Slave"
+
+    def test_sections_cover_figure8_components(self):
+        sections = design_sections()
+        names = set(sections)
+        assert "Fetch" in names and "Write Back" in names
+        assert "Execute + ALU + FPU" in names
+        assert all(text.strip() for text in sections.values())
+
+    def test_diamond_variant_generates(self):
+        src = generate_design(diamond())
+        assert "state Boot" in src
+
+    def test_memory_is_enforced_and_tagged(self):
+        machine = SapperMachine()
+        assert "memory__tags" in machine.design.module.arrays
+        assert machine.design.module.arrays["memory"].is_sram
+
+
+class TestBasicExecution:
+    def test_arith_loop(self):
+        iss, res = run_both(
+            f"""
+            .org 0x400
+                li   $t0, 0
+                li   $t1, 1
+            loop:
+                add  $t0, $t0, $t1
+                addiu $t1, $t1, 1
+                li   $t2, 10
+                ble  $t1, $t2, loop
+                move $v0, $t0
+            {OUT_V0}
+            {HALT}
+            """
+        )
+        assert res.outputs == [55]
+        assert res.violations == 0
+
+    def test_memory_bytes_halfwords(self):
+        run_both(
+            f"""
+            .org 0x400
+                li   $t0, 0x10000
+                li   $t1, 0x11223344
+                sw   $t1, 0($t0)
+                lbu  $v0, 1($t0)
+            {OUT_V0}
+                lhu  $v0, 2($t0)
+            {OUT_V0}
+                lb   $v0, 3($t0)
+            {OUT_V0}
+                sb   $t1, 5($t0)
+                sh   $t1, 6($t0)
+                lw   $v0, 4($t0)
+            {OUT_V0}
+            {HALT}
+            """
+        )
+
+    def test_consecutive_subword_stores(self):
+        # regression: byte-enable masks must be computed at word width
+        iss, res = run_both(
+            f"""
+            .org 0x400
+                li   $s2, 0x11000
+                li   $t1, 0x55
+                li   $t0, 0x77
+                sb   $t1, 0($s2)
+                sb   $t0, 1($s2)
+                sb   $t1, 2($s2)
+                sb   $t0, 3($s2)
+                lw   $v0, 0($s2)
+            {OUT_V0}
+            {HALT}
+            """
+        )
+        assert res.outputs == [0x77557755]
+
+    def test_unaligned_lwl_lwr(self):
+        run_both(
+            f"""
+            .org 0x400
+                li   $t0, 0x10000
+                li   $t1, 0x44332211
+                sw   $t1, 0($t0)
+                li   $t2, 0x88776655
+                sw   $t2, 4($t0)
+                li   $v0, 0
+                lwr  $v0, 2($t0)
+                lwl  $v0, 5($t0)
+            {OUT_V0}
+            {HALT}
+            """
+        )
+
+    def test_mult_div_and_hilo(self):
+        run_both(
+            f"""
+            .org 0x400
+                li   $t0, -77
+                li   $t1, 13
+                div  $t0, $t1
+                mflo $v0
+            {OUT_V0}
+                mfhi $v0
+            {OUT_V0}
+                li   $t0, 100000
+                li   $t1, 30000
+                mult $t0, $t1
+                mfhi $v0
+            {OUT_V0}
+                multu $t0, $t1
+                mflo $v0
+            {OUT_V0}
+            {HALT}
+            """
+        )
+
+    def test_shifts_and_compares(self):
+        run_both(
+            f"""
+            .org 0x400
+                li   $t0, 0x80000001
+                sra  $v0, $t0, 4
+            {OUT_V0}
+                srl  $v0, $t0, 4
+            {OUT_V0}
+                li   $t1, 3
+                sllv $v0, $t0, $t1
+            {OUT_V0}
+                slt  $v0, $t0, $zero
+            {OUT_V0}
+                sltu $v0, $t0, $zero
+            {OUT_V0}
+                slti $v0, $t0, 5
+            {OUT_V0}
+            {HALT}
+            """
+        )
+
+    def test_function_calls(self):
+        iss, res = run_both(
+            f"""
+            .org 0x400
+                li   $a0, 6
+                jal  fact
+                move $v0, $v1
+            {OUT_V0}
+            {HALT}
+            fact:
+                li   $v1, 1
+                li   $t0, 1
+            floop:
+                bgt  $t0, $a0, fdone
+                mult $v1, $t0
+                mflo $v1
+                addiu $t0, $t0, 1
+                b    floop
+            fdone:
+                jr   $ra
+            """
+        )
+        assert res.outputs == [720]
+
+    def test_fpu_pipeline(self):
+        run_both(
+            f"""
+            .org 0x400
+                la    $t0, vals
+                lwc1  $f0, 0($t0)
+                lwc1  $f1, 4($t0)
+                add.s $f2, $f0, $f1
+                mul.s $f3, $f2, $f2
+                div.s $f4, $f3, $f1
+                sub.s $f5, $f4, $f0
+                neg.s $f6, $f5
+                abs.s $f7, $f6
+                cvt.w.s $f8, $f7
+                mfc1  $v0, $f8
+            {OUT_V0}
+                li    $t1, 41
+                mtc1  $t1, $f9
+                cvt.s.w $f10, $f9
+                cvt.w.s $f11, $f10
+                mfc1  $v0, $f11
+            {OUT_V0}
+                le.s  $f0, $f1
+                bc1t  yes
+                li    $v0, 0
+                b     done
+            yes:
+                li    $v0, 1
+            done:
+            {OUT_V0}
+            {HALT}
+            vals: .float 1.5, 2.5
+            """
+        )
+
+    def test_forwarding_chains(self):
+        # back-to-back dependent instructions exercise distance-1 forwarding
+        iss, res = run_both(
+            f"""
+            .org 0x400
+                li   $t0, 1
+                addu $t1, $t0, $t0
+                addu $t2, $t1, $t1
+                addu $t3, $t2, $t2
+                addu $v0, $t3, $t3
+            {OUT_V0}
+                lw   $t4, 0x10000($zero)
+                addu $v0, $t4, $t3
+            {OUT_V0}
+            {HALT}
+            """
+        )
+        assert res.outputs[0] == 16
+
+
+class TestCacheBehaviour:
+    def test_repeated_loop_hits_cache(self):
+        # the second pass over the same code should not refill
+        machine = SapperMachine()
+        machine.load(
+            assemble(
+                f"""
+                .org 0x400
+                    li   $t0, 0
+                    li   $t1, 0
+                loop:
+                    addiu $t0, $t0, 1
+                    li   $t2, 50
+                    blt  $t0, $t2, loop
+                    move $v0, $t0
+                {OUT_V0}
+                {HALT}
+                """
+            )
+        )
+        res = machine.run(30_000)
+        assert res.halted and res.outputs == [50]
+        # 50 iterations of a 3-instruction loop at ~1 CPI plus boot:
+        # gross cycle count stays near boot + instructions + few refills
+        assert res.cycles < 256 + 50 * 5 + 400
+
+    def test_store_then_load_roundtrip_through_cache(self):
+        run_both(
+            f"""
+            .org 0x400
+                li   $t0, 0x18000
+                li   $t1, 0
+                li   $t2, 0
+            fill:
+                sll  $t3, $t1, 2
+                addu $t3, $t3, $t0
+                sw   $t1, 0($t3)
+                addiu $t1, $t1, 1
+                li   $t4, 16
+                blt  $t1, $t4, fill
+                li   $t1, 0
+            sum:
+                sll  $t3, $t1, 2
+                addu $t3, $t3, $t0
+                lw   $t5, 0($t3)
+                addu $t2, $t2, $t5
+                addiu $t1, $t1, 1
+                blt  $t1, $t4, sum
+                move $v0, $t2
+            {OUT_V0}
+            {HALT}
+            """
+        )
+
+
+class TestSecurityInstructions:
+    def test_h_cannot_write_l_memory_or_port(self):
+        machine = SapperMachine()
+        machine.load(
+            assemble(
+                """
+                .org 0x400
+                    li   $t0, 0x10000
+                    li   $t1, 42
+                    sw   $t1, 0($t0)
+                    la   $t2, hcode
+                    jr   $t2
+                .org 0x2000
+                hcode:
+                    li   $t3, 0x10004
+                    li   $t4, 99
+                    sw   $t4, 0($t3)
+                    li   $t5, 0x20000
+                    sw   $t4, 0($t5)
+                    li   $t8, 0x40000000
+                    sw   $t4, 0($t8)
+                spin:
+                    b    spin
+                """
+            )
+        )
+        machine.tag_region(0x2000, 0x2100, "H")
+        machine.tag_region(0x20000, 0x20100, "H")
+        for _ in range(3000):
+            machine.step()
+        assert machine.read_word(0x10000) == 42
+        assert machine.read_word(0x10004) == 0, "H store into L memory must be blocked"
+        assert machine.read_word(0x20000) == 99, "H store into H memory must succeed"
+        assert machine.outputs == [], "H writes to the L output port must be blocked"
+        assert machine.violations > 0
+
+    def test_setrtag_labels_memory(self):
+        machine = SapperMachine()
+        machine.load(
+            assemble(
+                f"""
+                .org 0x400
+                    li   $t0, 0x20000
+                    li   $t1, 1
+                    setrtag $t0, $t1
+                {HALT}
+                """
+            )
+        )
+        res = machine.run(10_000)
+        assert res.halted
+        assert machine.word_tag(0x20000) == "H"
+
+    def test_h_cannot_setrtimer(self):
+        machine = SapperMachine()
+        machine.load(
+            assemble(
+                """
+                .org 0x400
+                    la   $t2, hcode
+                    jr   $t2
+                .org 0x2000
+                hcode:
+                    li   $t0, 5000
+                    setrtimer $t0
+                spin:
+                    b    spin
+                """
+            )
+        )
+        machine.tag_region(0x2000, 0x2100, "H")
+        for _ in range(2000):
+            machine.step()
+        assert machine.sim.regs["timer"] == 0, "H code must not arm the trusted timer"
+        assert machine.violations > 0
+
+    def test_timer_preempts_spinning_h_code(self):
+        machine = SapperMachine()
+        machine.load(
+            assemble(
+                """
+                .org 0x400
+                    li   $t7, 0x30000
+                    lw   $t6, 0($t7)
+                    addiu $t6, $t6, 1
+                    sw   $t6, 0($t7)
+                    li   $t2, 3
+                    ble  $t6, $t2, dispatch
+                    li   $t9, 0x40000004
+                    sw   $zero, 0($t9)
+                dispatch:
+                    li   $t0, 60
+                    setrtimer $t0
+                    la   $t1, hspin
+                    jr   $t1
+                .org 0x2000
+                hspin:
+                    b    hspin
+                """
+            )
+        )
+        machine.tag_region(0x2000, 0x2100, "H")
+        res = machine.run(30_000)
+        assert res.halted
+        assert machine.read_word(0x30000) == 4
+        assert res.violations == 0
+
+
+class TestKernel:
+    def test_kernel_schedules_and_isolates(self):
+        from repro.eval.figures import sec44_security_validation
+
+        result = sec44_security_validation()
+        assert result["halted"]
+        assert result["low_traces_equal"], "low-observable outputs leaked high data"
+        assert result["timing_equal"], "cycle counts leaked high data (timing channel)"
+        assert result["l_results_equal"]
+        assert result["h_results_differ"], "high processes should compute different values"
+        assert result["low_trace"] == (465,)  # sum of 1..30
+
+
+class TestProcessorArtifacts:
+    def test_verilog_emission_of_full_processor(self):
+        from repro.hdl import emit_verilog
+        from repro.proc.machine import compile_processor
+
+        design = compile_processor(two_level(), secure=True)
+        text = emit_verilog(design.module)
+        assert text.startswith("module sapper_mips(")
+        assert "always @(posedge clk)" in text
+        assert "violation" in text
+        assert len(text.splitlines()) > 5000  # the full datapath + security logic
+
+    def test_base_variant_smaller_than_secure(self):
+        from repro.hdl import synthesize
+        from repro.proc.machine import compile_processor
+
+        base = synthesize(compile_processor(two_level(), secure=False).module)
+        secure = synthesize(compile_processor(two_level(), secure=True).module)
+        assert base.area_um2 < secure.area_um2 < base.area_um2 * 1.6
+
+    def test_diamond_processor_boots_and_runs(self):
+        machine = SapperMachine(diamond())
+        machine.load(
+            assemble(
+                f"""
+                .org 0x400
+                    li   $t0, 11
+                    li   $t1, 31
+                    mult $t0, $t1
+                    mflo $v0
+                {OUT_V0}
+                {HALT}
+                """
+            )
+        )
+        res = machine.run(30_000)
+        assert res.halted and res.outputs == [341]
+        assert res.violations == 0
+
+    def test_diamond_m1_m2_isolation(self):
+        machine = SapperMachine(diamond())
+        machine.load(
+            assemble(
+                """
+                .org 0x400
+                    la   $t0, m1code
+                    jr   $t0
+                .org 0x2000
+                m1code:
+                    li   $t1, 0x21000      # M2 memory
+                    li   $t2, 7
+                    sw   $t2, 0($t1)       # blocked: M1 data -> M2 cell
+                    li   $t3, 0x20000      # M1 memory
+                    sw   $t2, 0($t3)       # allowed
+                spin:
+                    b    spin
+                """
+            )
+        )
+        machine.tag_region(0x2000, 0x2100, "M1")
+        machine.tag_region(0x20000, 0x20100, "M1")
+        machine.tag_region(0x21000, 0x21100, "M2")
+        for _ in range(3000):
+            machine.step()
+        assert machine.read_word(0x21000) == 0, "M1 wrote into M2 memory"
+        assert machine.read_word(0x20000) == 7
+        assert machine.violations > 0

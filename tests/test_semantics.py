@@ -1,0 +1,428 @@
+"""Tests for the formal-semantics interpreter (Figure 6)."""
+
+import pytest
+
+from repro.lattice import diamond, two_level
+from repro.sapper.analysis import analyze
+from repro.sapper.parser import parse_program
+from repro.sapper.semantics import Interpreter
+from repro.sapper import samples
+
+
+def interp(src: str, lattice=None) -> Interpreter:
+    lat = lattice or two_level()
+    return Interpreter(analyze(parse_program(src), lat), lat)
+
+
+class TestBasicExecution:
+    def test_counter(self):
+        it = interp(
+            """
+            reg[7:0] n;
+            state s : L = { n := n + 1; goto s; }
+            """
+        )
+        it.run(5)
+        assert it.sigma["n"] == 5
+        assert it.delta == 5
+
+    def test_wraparound(self):
+        it = interp(
+            """
+            reg[3:0] n;
+            state s : L = { n := n + 1; goto s; }
+            """
+        )
+        it.run(20)
+        assert it.sigma["n"] == 4  # 20 mod 16
+
+    def test_wire_resets_each_cycle(self):
+        it = interp(
+            """
+            wire[7:0] w; reg[7:0] r; reg[7:0] snap;
+            state s : L = {
+                snap := w;       // reads the reset value 0
+                w := 42;
+                r := w;
+                goto s;
+            }
+            """
+        )
+        it.run(2)
+        assert it.sigma["snap"] == 0
+        assert it.sigma["r"] == 42
+
+    def test_blocking_read_after_write(self):
+        it = interp(
+            """
+            reg[7:0] a; reg[7:0] b;
+            state s : L = { a := 7; b := a + 1; goto s; }
+            """
+        )
+        it.run(1)
+        assert it.sigma["b"] == 8
+
+    def test_if_else(self):
+        it = interp(
+            """
+            reg[7:0] n; reg[7:0] parity;
+            state s : L = {
+                if (n % 2 == 0) { parity := 0; } else { parity := 1; }
+                n := n + 1;
+                goto s;
+            }
+            """
+        )
+        it.run(3)  # after 3 cycles, parity reflects n=2 (even)
+        assert it.sigma["parity"] == 0
+
+    def test_array_blocking_semantics(self):
+        it = interp(
+            """
+            mem[7:0] arr[8]; reg[7:0] v;
+            state s : L = { arr[3] := 9; v := arr[3]; goto s; }
+            """
+        )
+        it.run(1)
+        assert it.sigma["v"] == 9
+        assert it.arrays["arr"][3] == 9
+
+    def test_inputs_and_outputs(self):
+        it = interp(
+            """
+            input[7:0] x : L; output[7:0] y : L;
+            state s : L = { y := x + 1; goto s; }
+            """
+        )
+        outs = it.run_cycle({"x": 10})
+        assert outs["y"] == (11, "L")
+
+    def test_division_by_zero_convention(self):
+        # all-ones at the dividend's width; remainder returns the dividend
+        it = interp(
+            """
+            reg[7:0] x; reg[7:0] q; reg[7:0] r;
+            state s : L = { x := 5; q := x / 0; r := x % 0; goto s; }
+            """
+        )
+        it.run(1)
+        assert it.sigma["q"] == 0xFF
+        assert it.sigma["r"] == 5
+
+    def test_signed_ops(self):
+        it = interp(
+            """
+            reg[7:0] x; reg[7:0] a; reg b; reg[7:0] sh;
+            state s : L = {
+                x := 4;
+                a := 0 - x;
+                b := lts(a, x);
+                sh := asr(a, 1);
+                goto s;
+            }
+            """
+        )
+        it.run(1)
+        assert it.sigma["a"] == 0xFC       # -4 in 8 bits
+        assert it.sigma["b"] == 1          # -4 < 4 signed
+        assert it.sigma["sh"] == 0xFE      # -4 >> 1 == -2
+
+
+class TestStateMachine:
+    def test_goto_switches_state(self):
+        it = interp(
+            """
+            reg[7:0] master_count; reg[7:0] other_count;
+            state a : L = { m aster := 0; goto b; }
+            state b : L = { other_count := other_count + 1; goto a; }
+            """.replace("m aster := 0", "master_count := master_count + 1")
+        )
+        it.run(4)
+        assert it.sigma["master_count"] == 2
+        assert it.sigma["other_count"] == 2
+
+    def test_fall_runs_child(self):
+        it = interp(
+            """
+            reg[7:0] parent_c; reg[7:0] child_c;
+            state top : L = {
+                let state kid = { child_c := child_c + 1; goto kid; } in
+                parent_c := parent_c + 1;
+                fall;
+            }
+            """
+        )
+        it.run(3)
+        assert it.sigma["parent_c"] == 3
+        assert it.sigma["child_c"] == 3
+
+    def test_tdma_schedule(self):
+        lat = two_level()
+        it = Interpreter(analyze(parse_program(samples.TDMA), lat), lat)
+        # Master arms the timer on cycle 0, then Slave+Pipeline run for
+        # 100 cycles, then one Master cycle again.
+        it.run_cycle({"hi_in": (1, "H"), "lo_in": 0})
+        assert it.rho["_root"] == "Slave"
+        # timer decrements on cycles 1..100; cycle 101 sees 0 and gotos Master
+        for _ in range(101):
+            it.run_cycle({"hi_in": (1, "H"), "lo_in": 0})
+        assert it.rho["_root"] == "Master"
+        # the pipeline accumulated under the high tag
+        assert it.sigma["acc"] == 100
+        assert it.theta_reg["acc"] == "H"
+
+    def test_rho_persists_across_preemption(self):
+        src = """
+        reg[3:0] t;
+        state m : L = { t := 2; goto s; }
+        state s : L = {
+            let state p1 = { goto p2; } in
+            let state p2 = { goto p2; } in
+            if (t == 0) { goto m; } else { t := t - 1; fall; }
+        }
+        """
+        it = interp(src)
+        it.run(2)  # m then s (falls into p1, which gotos p2)
+        assert it.rho["s"] == "p2"
+        it.run(2)  # timer expires -> m; fall map still remembers p2
+        assert it.rho["s"] == "p2"
+
+
+class TestEnforcement:
+    def test_enforced_assign_blocks_high_data(self):
+        it = interp(
+            """
+            reg[7:0] lo : L; input[7:0] hi : H;
+            state s : L = { lo := hi; goto s; }
+            """
+        )
+        it.run_cycle({"hi": 99})
+        assert it.sigma["lo"] == 0  # write suppressed
+        assert len(it.violations) == 1
+        assert it.violations[0].kind == "assign"
+
+    def test_enforced_assign_allows_low_data(self):
+        it = interp(
+            """
+            reg[7:0] lo : L; input[7:0] x : L;
+            state s : L = { lo := x; goto s; }
+            """
+        )
+        it.run_cycle({"x": 7})
+        assert it.sigma["lo"] == 7
+        assert not it.violations
+
+    def test_high_to_high_allowed(self):
+        it = interp(
+            """
+            reg[7:0] sec : H; input[7:0] hi : H;
+            state s : L = { sec := hi; goto s; }
+            """
+        )
+        it.run_cycle({"hi": 3})
+        assert it.sigma["sec"] == 3
+        assert not it.violations
+
+    def test_implicit_flow_blocked(self):
+        # branching on high data must not write low registers
+        it = interp(
+            """
+            reg[7:0] lo : L; input h : H;
+            state s : L = {
+                if (h) { lo := 1; } else { lo := 2; }
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"h": 1})
+        assert it.sigma["lo"] == 0
+        assert it.violations
+
+    def test_implicit_flow_tracked_for_dynamic(self):
+        it = interp(
+            """
+            reg[7:0] d; input h : H;
+            state s : L = {
+                if (h) { d := 1; }
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"h": 0})  # branch NOT taken; tag still rises (Fcd)
+        assert it.theta_reg["d"] == "H"
+        assert it.sigma["d"] == 0
+
+    def test_otherwise_handler_runs_on_violation(self):
+        it = interp(
+            """
+            reg[7:0] lo : L; reg[7:0] fallback : L; input[7:0] hi : H;
+            state s : L = {
+                lo := hi otherwise fallback := 1;
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"hi": 42})
+        assert it.sigma["lo"] == 0
+        assert it.sigma["fallback"] == 1
+
+    def test_otherwise_not_taken_when_ok(self):
+        it = interp(
+            """
+            reg[7:0] lo : L; reg[7:0] fallback : L; input[7:0] x : L;
+            state s : L = {
+                lo := x otherwise fallback := 1;
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"x": 42})
+        assert it.sigma["lo"] == 42
+        assert it.sigma["fallback"] == 0
+
+    def test_nested_otherwise(self):
+        it = interp(
+            """
+            reg[7:0] a : L; reg[7:0] b : L; reg[7:0] c : L; input[7:0] hi : H;
+            state s : L = {
+                a := hi otherwise b := hi otherwise c := 5;
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"hi": 1})
+        assert (it.sigma["a"], it.sigma["b"], it.sigma["c"]) == (0, 0, 5)
+
+    def test_enforced_goto_blocked_from_high_context(self):
+        it = interp(
+            """
+            input h : H;
+            state a : L = {
+                if (h) { goto b; } else { goto a; }
+            }
+            state b : L = { goto b; }
+            """
+        )
+        it.run_cycle({"h": 1})
+        # transition suppressed: rho stays on a
+        assert it.rho["_root"] == "a"
+        assert it.violations
+
+    def test_enforced_array(self):
+        it = interp(
+            """
+            mem[7:0] buf[8] : L; input[7:0] hi : H; reg ignore;
+            state s : L = {
+                buf[0] := hi;
+                buf[1] := 7;
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"hi": 9})
+        assert 0 not in it.arrays["buf"]  # blocked
+        assert it.arrays["buf"][1] == 7
+
+
+class TestSetTag:
+    def test_settag_upgrade_keeps_data(self):
+        it = interp(
+            """
+            reg[7:0] r : L;
+            state s : L = { r := 5; setTag(r, H); goto s; }
+            """
+        )
+        it.run(1)
+        assert it.theta_reg["r"] == "H"
+        assert it.sigma["r"] == 5
+
+    def test_settag_downgrade_zeroes_data(self):
+        it = interp(
+            """
+            reg[7:0] r : H; input[7:0] hi : H; reg phase;
+            state s : L = {
+                if (phase == 0) { r := hi; } else { setTag(r, L); }
+                phase := 1;
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"hi": 77})
+        assert it.sigma["r"] == 77
+        it.run_cycle({"hi": 77})
+        assert it.theta_reg["r"] == "L"
+        assert it.sigma["r"] == 0  # zeroed on downgrade
+
+    def test_settag_blocked_from_high_context(self):
+        # a high context may not downgrade low data (information leak)
+        it = interp(
+            """
+            reg[7:0] r : H; input h : H;
+            state s : L = {
+                if (h) { setTag(r, L); }
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"h": 1})
+        assert it.theta_reg["r"] == "H"
+        assert it.violations
+
+    def test_settag_array_cell(self):
+        it = interp(
+            """
+            mem[7:0] buf[8] : H; input[7:0] hi : H; reg phase;
+            state s : L = {
+                if (phase == 0) { buf[2] := hi; } else { setTag(buf[2], L); }
+                phase := 1;
+                goto s;
+            }
+            """
+        )
+        it.run_cycle({"hi": 12})
+        assert it.arrays["buf"][2] == 12
+        it.run_cycle({"hi": 12})
+        assert it.arr_tag("buf", 2) == "L"
+        assert it.arrays["buf"][2] == 0
+
+    def test_settag_state(self):
+        it = interp(
+            """
+            reg x;
+            state a : L = {
+                let state kid = { goto kid; } in
+                setTag(kid, H);
+                fall;
+            }
+            """
+        )
+        it.run(1)
+        assert it.theta_state["kid"] == "H"
+
+
+class TestDiamondLattice:
+    def test_incomparable_levels_isolated(self):
+        lat = diamond()
+        it = interp(
+            """
+            reg[7:0] m1 : M1; input[7:0] in2 : M2;
+            state s : L = { m1 := in2; goto s; }
+            """,
+            lat,
+        )
+        it.run_cycle({"in2": 5})
+        assert it.sigma["m1"] == 0  # M2 data cannot flow to M1
+        assert it.violations
+
+    def test_join_to_top(self):
+        lat = diamond()
+        it = interp(
+            """
+            reg[7:0] d; input[7:0] in1 : M1; input[7:0] in2 : M2;
+            state s : L = { d := in1 + in2; goto s; }
+            """,
+            lat,
+        )
+        it.run_cycle({"in1": 2, "in2": 3})
+        assert it.sigma["d"] == 5
+        assert it.theta_reg["d"] == "H"

@@ -1,0 +1,58 @@
+"""Functional validation of section 4.3: workloads vs golden vs hardware."""
+
+import pytest
+
+from repro.mips.assembler import assemble
+from repro.proc.machine import SapperMachine, run_on_iss
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+def test_iss_matches_golden(name):
+    wl = ALL_WORKLOADS[name]
+    iss = run_on_iss(assemble(wl.source))
+    assert tuple(iss.outputs) == wl.expected
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+def test_hardware_matches_golden(name):
+    wl = ALL_WORKLOADS[name]
+    machine = SapperMachine()
+    machine.load(assemble(wl.source))
+    res = machine.run(wl.max_cycles)
+    assert res.halted, f"{name} did not halt in {wl.max_cycles} cycles"
+    assert tuple(res.outputs) == wl.expected
+    assert res.violations == 0, "benign workloads must not trip security checks"
+
+
+def test_workload_set_matches_paper_classes():
+    """The six classes of section 4.3: three SPEC-like, crypto x2, FP."""
+    names = set(ALL_WORKLOADS)
+    assert {"specrand", "sha", "rijndael_xtea", "fft", "bzip2_rle", "mcf_bellmanford"} == names
+    assert ALL_WORKLOADS["fft"].uses_fpu
+
+
+def test_fft_close_to_numpy():
+    """The architectural FP model stays within tolerance of IEEE/NumPy."""
+    import numpy as np
+
+    from repro.mips import softfloat as sf
+    from repro.workloads.programs import _fft_golden
+
+    values = [1.0, 0.5, -0.25, 2.0, -1.5, 0.75, 0.125, -2.0]
+    ours = _fft_golden(values)
+    reference = np.fft.fft(np.array(values, dtype=np.float32))
+    for k in range(8):
+        re = sf.to_python(ours[2 * k])
+        im = sf.to_python(ours[2 * k + 1])
+        assert abs(re - reference[k].real) < 1e-4 + 1e-4 * abs(reference[k].real)
+        assert abs(im - reference[k].imag) < 1e-4 + 1e-4 * abs(reference[k].imag)
+
+
+def test_sha_against_hashlib():
+    import hashlib
+    import struct
+
+    wl = ALL_WORKLOADS["sha"]
+    digest = hashlib.sha1(b"Sapper @ ASPLOS14").digest()
+    assert wl.expected == struct.unpack(">5I", digest)
