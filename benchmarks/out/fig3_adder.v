@@ -14,39 +14,21 @@ module adder_check(clk, in_b, in_b__tag, in_c, in_c__tag, out, out__tag, violati
   reg [7:0] c;
   reg c__tag;
 
-  wire fok_1 = ((1'd0 & (~1'd0)) == 1'd0);
-  wire act_main_2 = (1'd1 && (1'd1 && fok_1));
-  wire chk_3 = (((in_b__tag | in_c__tag) & (~1'd0)) == 1'd0);
-  wire [7:0] v_a_4 = (chk_3 ? (in_b & in_c) : a);
-  wire vio_5 = (1'd0 || (act_main_2 && (!chk_3)));
-  wire chk_6 = ((1'd0 & (~1'd0)) == 1'd0);
-  wire [7:0] v_out_7 = (chk_6 ? v_a_4 : 8'd0);
-  wire vio_8 = (vio_5 || (act_main_2 && (!chk_6)));
-  wire gok_9 = (((1'd0 & (~1'd0)) == 1'd0) && ((1'd0 & (~1'd0)) == 1'd0));
-  wire gtk_10 = (act_main_2 && gok_9);
-  wire vio_11 = (vio_8 || (act_main_2 && (!gok_9)));
-  wire [7:0] f_main_12 = (act_main_2 ? v_a_4 : a);
-  wire [7:0] f_main_13 = (act_main_2 ? in_b : b);
-  wire f_main_14 = (act_main_2 ? in_b__tag : b__tag);
-  wire [7:0] f_main_15 = (act_main_2 ? in_c : c);
-  wire f_main_16 = (act_main_2 ? in_c__tag : c__tag);
-  wire [7:0] f_main_17 = (act_main_2 ? v_out_7 : 8'd0);
-  wire f_main_18 = (act_main_2 ? vio_11 : 1'd0);
-  wire fall_ok_19 = (1'd0 || (1'd1 && fok_1));
-  wire vio_20 = (f_main_18 || (1'd1 && (!fall_ok_19)));
+  wire [7:0] v_a_4 = ((in_b__tag | in_c__tag) ? a : (in_b & in_c));
+  wire vio_5 = (in_b__tag | in_c__tag);
   wire ot_out_21 = 1'd0;
 
   always @(posedge clk) begin
-    a <= f_main_12;
-    b <= f_main_13;
-    c <= f_main_15;
-    b__tag <= f_main_14;
-    c__tag <= f_main_16;
+    a <= v_a_4;
+    b <= in_b;
+    c <= in_c;
+    b__tag <= in_b__tag;
+    c__tag <= in_c__tag;
   end
 
-  assign out = f_main_17;
+  assign out = v_a_4;
   assign out__tag = ot_out_21;
-  assign violation = vio_20;
+  assign violation = vio_5;
 endmodule
 
 // ---- TRACK variant ----
@@ -67,38 +49,24 @@ module adder_track(clk, in_b, in_b__tag, in_c, in_c__tag, out, out__tag, violati
   reg c__tag;
   reg stag__main;
 
-  wire act_main_1 = (1'd1 && (1'd1 && 1'd1));
   wire tg_2 = (in_b__tag | stag__main);
   wire tg_3 = (in_c__tag | stag__main);
   wire [7:0] v_a_4 = (in_b & in_c);
   wire tg_5 = ((tg_2 | tg_3) | stag__main);
   wire tg_6 = (tg_5 | stag__main);
-  wire gok_7 = ((stag__main & (~stag__main)) == 1'd0);
-  wire gtk_8 = (act_main_1 && gok_7);
-  wire vio_9 = (1'd0 || (act_main_1 && (!gok_7)));
-  wire [7:0] f_main_10 = (act_main_1 ? v_a_4 : a);
-  wire f_main_11 = (act_main_1 ? tg_5 : a__tag);
-  wire [7:0] f_main_12 = (act_main_1 ? in_b : b);
-  wire f_main_13 = (act_main_1 ? tg_2 : b__tag);
-  wire [7:0] f_main_14 = (act_main_1 ? in_c : c);
-  wire f_main_15 = (act_main_1 ? tg_3 : c__tag);
-  wire [7:0] f_main_16 = (act_main_1 ? v_a_4 : 8'd0);
-  wire f_main_17 = (act_main_1 ? tg_6 : 1'd0);
-  wire f_main_18 = (act_main_1 ? vio_9 : 1'd0);
-  wire fall_ok_19 = (1'd0 || (1'd1 && 1'd1));
-  wire vio_20 = (f_main_18 || (1'd1 && (!fall_ok_19)));
+  wire vio_9 = (stag__main & (~stag__main));
 
   always @(posedge clk) begin
-    a <= f_main_10;
-    b <= f_main_12;
-    c <= f_main_14;
-    a__tag <= f_main_11;
-    b__tag <= f_main_13;
-    c__tag <= f_main_15;
+    a <= v_a_4;
+    b <= in_b;
+    c <= in_c;
+    a__tag <= tg_5;
+    b__tag <= tg_2;
+    c__tag <= tg_3;
     stag__main <= stag__main;
   end
 
-  assign out = f_main_16;
-  assign out__tag = f_main_17;
-  assign violation = vio_20;
+  assign out = v_a_4;
+  assign out__tag = tg_6;
+  assign violation = vio_9;
 endmodule

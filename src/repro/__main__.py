@@ -1,0 +1,5 @@
+"""``python -m repro`` -- the Sapper toolchain CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

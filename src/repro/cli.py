@@ -1,0 +1,174 @@
+"""Command-line interface to the Sapper toolchain.
+
+Built entirely on the :class:`~repro.toolchain.Toolchain` facade::
+
+    python -m repro compile  design.sapper            # emit Verilog
+    python -m repro simulate design.sapper -n 100     # run the simulator
+    python -m repro synth    design.sapper            # gate census report
+    python -m repro stats    design.sapper            # pass-pipeline effect
+
+Common options: ``--lattice two|diamond``, ``--insecure`` (compile the
+Base variant with tracking stripped), ``--no-opt`` (raw compiler
+output), ``--name`` (module name).  ``simulate`` drives constant input
+values given as ``-i port=value`` (tag inputs as ``port__tag=bits``)
+and prints the output ports each cycle plus a violation summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lattice import Lattice, diamond, two_level
+from repro.toolchain import Toolchain
+
+_LATTICES = {"two": two_level, "diamond": diamond}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Sapper hardware security-policy toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("source", help="path to a .sapper source file, or '-' for stdin")
+        p.add_argument("--lattice", choices=sorted(_LATTICES), default="two",
+                       help="security lattice (default: two-level L<H)")
+        p.add_argument("--insecure", action="store_true",
+                       help="compile the Base variant (no tags, no checks)")
+        p.add_argument("--no-opt", action="store_true",
+                       help="skip the optimization pipeline")
+        p.add_argument("--name", default=None, help="module name (default: file stem)")
+
+    common(sub.add_parser("compile", help="compile to synthesizable Verilog"))
+
+    sim = sub.add_parser("simulate", help="run the cycle-accurate simulator")
+    common(sim)
+    sim.add_argument("-n", "--cycles", type=int, default=32, help="cycles to run")
+    sim.add_argument("-i", "--input", action="append", default=[], metavar="PORT=VALUE",
+                     help="constant input drive (repeatable)")
+    sim.add_argument("--quiet", action="store_true", help="only print the summary")
+
+    common(sub.add_parser("synth", help="synthesize to a gate census / cost report"))
+    common(sub.add_parser("stats", help="report what each optimization pass did"))
+    return parser
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _design(args: argparse.Namespace, tc: Toolchain):
+    lattice: Lattice = _LATTICES[args.lattice]()
+    name = args.name or (Path(args.source).stem if args.source != "-" else "design")
+    source = _read_source(args.source)
+    return tc.compile(source, lattice, secure=not args.insecure, name=name), lattice
+
+
+def _parse_inputs(pairs: Sequence[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --input {pair!r}: expected PORT=VALUE")
+        port, _, value = pair.partition("=")
+        try:
+            out[port.strip()] = int(value, 0)
+        except ValueError:
+            raise SystemExit(f"bad --input {pair!r}: {value!r} is not an integer")
+    return out
+
+
+def _cmd_compile(args: argparse.Namespace, tc: Toolchain) -> int:
+    design, _ = _design(args, tc)
+    if args.no_opt:
+        from repro.hdl import emit_verilog
+
+        print(emit_verilog(design.module, optimize=False))
+    else:
+        print(tc.verilog(design))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace, tc: Toolchain) -> int:
+    from repro.hdl import Simulator
+
+    design, _ = _design(args, tc)
+    sim = Simulator(design.module, optimize=False) if args.no_opt else tc.simulator(design)
+    inputs = _parse_inputs(args.input)
+    violations = 0
+    out: dict[str, int] = {}
+    for cycle in range(args.cycles):
+        out = sim.step(inputs)
+        violations += int(bool(out.get("violation", 0)))
+        if not args.quiet:
+            ports = "  ".join(f"{k}={v}" for k, v in out.items())
+            print(f"cycle {cycle:4d}  {ports}")
+    print(f"# {args.cycles} cycles, {violations} violation cycle(s), "
+          f"final outputs: {out}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace, tc: Toolchain) -> int:
+    design, _ = _design(args, tc)
+    if args.no_opt:
+        from repro.hdl import synthesize
+
+        rpt = synthesize(design.module, optimize=False)
+    else:
+        rpt = tc.synthesize(design)
+    print(f"module {rpt.name}")
+    for key, value in rpt.summary().items():
+        print(f"  {key:12s} {value:,.1f}")
+    counts = rpt.counts
+    print(f"  cells        and2={counts.and2} or2={counts.or2} xor2={counts.xor2} "
+          f"inv={counts.inv} dff={counts.dff}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, tc: Toolchain) -> int:
+    from repro.hdl.passes import run_pipeline
+
+    design, _ = _design(args, tc)
+    result = run_pipeline(design.module)
+    before = len(design.module.comb)
+    after = len(result.module.comb)
+    print(f"module {design.module.name}: {before} -> {after} signals "
+          f"({before - after} removed)")
+    for stat in result.stats:
+        flag = "*" if stat.changed else " "
+        print(f" {flag} {stat.name:10s} {stat.signals_before:6d} -> "
+              f"{stat.signals_after:6d}  {stat.seconds * 1000:7.1f} ms")
+    return 0
+
+
+_COMMANDS = {
+    "compile": _cmd_compile,
+    "simulate": _cmd_simulate,
+    "synth": _cmd_synth,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.sapper.errors import SapperError
+
+    args = _build_parser().parse_args(argv)
+    tc = Toolchain()
+    try:
+        return _COMMANDS[args.command](args, tc)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SapperError as exc:
+        print(f"{args.source}: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,11 +11,15 @@ transform it.  Tooling:
 * :mod:`repro.hdl.synth` / :mod:`repro.hdl.techlib` -- structural
   lowering to gate counts with a 90 nm-style cell library; area, critical
   path and power reports (our Design Compiler substitute).
+* :mod:`repro.hdl.passes` -- the shared mid-level optimization pipeline
+  (constant folding, CSE, mux/boolean simplification, dead-signal
+  elimination).  All three backends consume its output by default.
 * :mod:`repro.hdl.netlist` -- an exact gate-level netlist + simulator for
   small designs (used to demonstrate GLIFT executably).
 """
 
 from repro.hdl.ir import ArrayDef, ArrayWrite, HExpr, HOp, HRef, HConst, Module, RegDef
+from repro.hdl.passes import PassManager, optimize
 from repro.hdl.sim import Simulator
 from repro.hdl.synth import CostReport, synthesize
 from repro.hdl.verilog import emit_verilog
@@ -33,4 +37,6 @@ __all__ = [
     "synthesize",
     "CostReport",
     "emit_verilog",
+    "optimize",
+    "PassManager",
 ]

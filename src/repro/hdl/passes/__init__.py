@@ -1,0 +1,100 @@
+"""Mid-level optimization passes over the HDL IR.
+
+One optimized module feeds all three backends -- the cycle-accurate
+simulator, the gate-count synthesizer, and the Verilog emitter -- so
+the redundant tag-join and mux logic the Sapper compiler emits is paid
+for once, here, instead of three times downstream.
+
+* :class:`ConstantFold` -- fold constant operators, propagate constants
+  and aliases (bit-exact with the simulator's semantics);
+* :class:`SimplifyLogic` -- mux/boolean/algebraic identities
+  (``mux(c, x, x)``, ``x & 0``, constant guards, ...);
+* :class:`CommonSubexpr` -- value numbering of duplicated tag joins,
+  Fcd upgrades, and forwarding comparisons;
+* :class:`DeadSignalElim` -- drop signals that feed no register
+  next-value, array port, or output; prune never-firing write ports.
+
+:func:`optimize` runs the standard pipeline with a per-module memo so
+every backend sees the same optimized object without re-running passes.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.ir import Module
+from repro.hdl.passes.base import (
+    OptResult,
+    Pass,
+    PassManager,
+    PassStat,
+    WeakIdMemo,
+    rebuild,
+)
+from repro.hdl.passes.constfold import ConstantFold, eval_op
+from repro.hdl.passes.cse import CommonSubexpr
+from repro.hdl.passes.dce import DeadSignalElim
+from repro.hdl.passes.simplify import SimplifyLogic
+
+#: Highest supported optimization level.
+MAX_OPT_LEVEL = 2
+
+
+def default_passes(level: int = MAX_OPT_LEVEL) -> list[Pass]:
+    """The standard pipeline for *level* (0 = none, 1 = fold+dce, 2 = full)."""
+    if level <= 0:
+        return []
+    if level == 1:
+        return [ConstantFold(), DeadSignalElim()]
+    return [ConstantFold(), SimplifyLogic(), CommonSubexpr(), DeadSignalElim()]
+
+
+# raw module -> {level: optimized module}
+_MEMO = WeakIdMemo()
+
+
+def optimize(module: Module, level: int = MAX_OPT_LEVEL) -> Module:
+    """Run the standard pass pipeline on *module* (memoized).
+
+    Already-optimized modules pass through untouched; the same raw
+    module object always yields the same optimized object, so the
+    simulator, synthesizer, and Verilog emitter all agree on what they
+    consume.
+    """
+    if level <= 0 or getattr(module, "_opt_level", None) is not None:
+        return module
+    levels = _MEMO.get(module)
+    if levels is None:
+        levels = {}
+        _MEMO.set(module, levels)
+    cached = levels.get(level)
+    if cached is not None:
+        return cached
+
+    result = PassManager(default_passes(level)).run(module)
+    optimized = result.module
+    optimized._opt_level = level  # type: ignore[attr-defined]
+    optimized._opt_stats = result.stats  # type: ignore[attr-defined]
+    levels[level] = optimized
+    return optimized
+
+
+def run_pipeline(module: Module, level: int = MAX_OPT_LEVEL) -> OptResult:
+    """Run the pipeline without memoization, returning per-pass stats."""
+    return PassManager(default_passes(level)).run(module)
+
+
+__all__ = [
+    "CommonSubexpr",
+    "ConstantFold",
+    "DeadSignalElim",
+    "MAX_OPT_LEVEL",
+    "OptResult",
+    "Pass",
+    "PassManager",
+    "PassStat",
+    "SimplifyLogic",
+    "default_passes",
+    "eval_op",
+    "optimize",
+    "rebuild",
+    "run_pipeline",
+]

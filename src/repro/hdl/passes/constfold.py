@@ -1,0 +1,162 @@
+"""Constant folding and propagation.
+
+Evaluates operators whose inputs are all constants, substitutes signals
+that folded to constants into their uses, and forwards pure aliases
+(``x := y``).  The evaluator mirrors :mod:`repro.hdl.sim`'s generated
+code *exactly* -- including the division-by-zero convention, the shift
+out-of-range behaviour, and signed reinterpretation -- so folding can
+never diverge from what the simulator would have computed.  A node is
+only replaced when the folded value fits the node's declared width;
+anything else is left alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdl.ir import ArrayWrite, HConst, HExpr, HOp, HRef, Module
+from repro.hdl.passes.base import Pass, rebuild
+
+
+def _s(v: int, w: int) -> int:
+    """Signed reinterpretation of a *w*-bit value (sim's helper)."""
+    return v - (1 << w) if (v >> (w - 1)) & 1 else v
+
+
+def eval_op(e: HOp, vals: list[int]) -> Optional[int]:
+    """Evaluate one operator on constant inputs, or None if not foldable.
+
+    Mirrors the expressions emitted by :class:`repro.hdl.sim._CodeGen`
+    one for one.  Returns None for ``read`` (array contents unknown) and
+    for any result that does not fit ``e.width`` (the simulator would
+    carry the oversized value; a constant cannot).
+    """
+    m = (1 << e.width) - 1
+    aw = [a.width for a in e.args]
+    op = e.op
+    a = vals
+    if op == "add":
+        r = (a[0] + a[1]) & m
+    elif op == "sub":
+        r = (a[0] - a[1]) & m
+    elif op == "mul":
+        r = (a[0] * a[1]) & m
+    elif op == "div":
+        r = (a[0] // a[1]) & m if a[1] else m
+    elif op == "mod":
+        r = (a[0] % a[1]) if a[1] else a[0]
+    elif op == "and":
+        r = a[0] & a[1]
+    elif op == "or":
+        r = a[0] | a[1]
+    elif op == "xor":
+        r = a[0] ^ a[1]
+    elif op == "shl":
+        r = (a[0] << a[1]) & m if a[1] < e.width else 0
+    elif op == "shr":
+        r = a[0] >> a[1] if a[1] < aw[0] else 0
+    elif op == "asr":
+        r = (_s(a[0], aw[0]) >> (a[1] if a[1] < aw[0] else aw[0] - 1)) & m
+    elif op == "eq":
+        r = 1 if a[0] == a[1] else 0
+    elif op == "ne":
+        r = 1 if a[0] != a[1] else 0
+    elif op == "lt":
+        r = 1 if a[0] < a[1] else 0
+    elif op == "le":
+        r = 1 if a[0] <= a[1] else 0
+    elif op == "gt":
+        r = 1 if a[0] > a[1] else 0
+    elif op == "ge":
+        r = 1 if a[0] >= a[1] else 0
+    elif op == "lts":
+        r = 1 if _s(a[0], aw[0]) < _s(a[1], aw[1]) else 0
+    elif op == "les":
+        r = 1 if _s(a[0], aw[0]) <= _s(a[1], aw[1]) else 0
+    elif op == "gts":
+        r = 1 if _s(a[0], aw[0]) > _s(a[1], aw[1]) else 0
+    elif op == "ges":
+        r = 1 if _s(a[0], aw[0]) >= _s(a[1], aw[1]) else 0
+    elif op == "land":
+        r = 1 if a[0] and a[1] else 0
+    elif op == "lor":
+        r = 1 if a[0] or a[1] else 0
+    elif op == "lnot":
+        r = 0 if a[0] else 1
+    elif op == "not":
+        r = (~a[0]) & m
+    elif op == "neg":
+        r = (-a[0]) & m
+    elif op == "mux":
+        r = a[1] if a[0] else a[2]
+    elif op == "cat":
+        r = 0
+        shift = 0
+        for child, v in zip(reversed(e.args), reversed(a)):
+            r |= v << shift
+            shift += child.width
+    elif op == "slice":
+        r = (a[0] >> e.lo) & m
+    elif op == "zext":
+        r = a[0]
+    elif op == "sext":
+        r = _s(a[0], aw[0]) & m
+    else:
+        return None  # read, or future ops: never folded
+    if r != r & m:
+        return None  # would not fit the declared width; sim would carry it
+    return r
+
+
+class ConstantFold(Pass):
+    """Fold constant operators; propagate constants and pure aliases."""
+
+    name = "constfold"
+
+    def run(self, module: Module) -> tuple[Module, bool]:
+        # name -> replacement (HConst for folded signals, HRef for aliases)
+        env: dict[str, HExpr] = {}
+        changed = False
+        new_comb: list[tuple[str, HExpr]] = []
+
+        def rewrite(e: HExpr) -> HExpr:
+            if isinstance(e, HConst):
+                return e
+            if isinstance(e, HRef):
+                return env.get(e.name, e)
+            assert isinstance(e, HOp)
+            args = tuple(rewrite(a) for a in e.args)
+            node = e if all(a is b for a, b in zip(args, e.args)) else HOp(
+                e.op, args, e.width, hi=e.hi, lo=e.lo, array=e.array
+            )
+            if node.op == "mux" and isinstance(args[0], HConst):
+                pick = args[1] if args[0].value else args[2]
+                if pick.width == node.width:
+                    return pick
+            if all(isinstance(a, HConst) for a in args) and node.op != "read":
+                val = eval_op(node, [a.value for a in args])
+                if val is not None:
+                    return HConst(val, node.width)
+            return node
+
+        for name, expr in module.comb:
+            new = rewrite(expr)
+            if new is not expr:
+                changed = True
+            new_comb.append((name, new))
+            if isinstance(new, HConst):
+                env[name] = new
+            elif isinstance(new, HRef):
+                env[name] = new
+
+        new_writes = []
+        for wr in module.array_writes:
+            addr, data, enable = rewrite(wr.addr), rewrite(wr.data), rewrite(wr.enable)
+            if addr is not wr.addr or data is not wr.data or enable is not wr.enable:
+                changed = True
+                wr = ArrayWrite(wr.array, addr, data, enable)
+            new_writes.append(wr)
+
+        if not changed:
+            return module, False
+        return rebuild(module, new_comb, array_writes=new_writes), True

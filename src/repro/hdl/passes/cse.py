@@ -1,0 +1,69 @@
+"""Common-subexpression elimination.
+
+The Sapper compiler wires most intermediate values to named SSA signals
+and re-emits structurally identical trees for every tag join, Fcd
+upgrade, and forwarding comparison.  This pass value-numbers the block
+in one forward sweep: every subtree equal to the defining expression of
+an earlier signal is replaced by a reference to that signal, and
+assignments whose whole right-hand side collapses to a reference become
+pure aliases (which constant propagation then forwards and dead-signal
+elimination removes).
+
+Expressions are compared by structural equality (the IR nodes are
+frozen dataclasses), so two joins of the same tags through the same
+wires dedupe no matter where the compiler emitted them.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.ir import ArrayWrite, HConst, HExpr, HOp, HRef, Module
+from repro.hdl.passes.base import Pass, rebuild
+
+
+class CommonSubexpr(Pass):
+    """Value numbering over the SSA combinational block."""
+
+    name = "cse"
+
+    def run(self, module: Module) -> tuple[Module, bool]:
+        table: dict[HExpr, HRef] = {}
+        alias: dict[str, HRef] = {}
+        changed = False
+
+        def rewrite(e: HExpr) -> HExpr:
+            if isinstance(e, HConst):
+                return e
+            if isinstance(e, HRef):
+                return alias.get(e.name, e)
+            assert isinstance(e, HOp)
+            args = tuple(rewrite(a) for a in e.args)
+            node = e if all(a is b for a, b in zip(args, e.args)) else HOp(
+                e.op, args, e.width, hi=e.hi, lo=e.lo, array=e.array
+            )
+            hit = table.get(node)
+            if hit is not None:
+                return hit
+            return node
+
+        new_comb: list[tuple[str, HExpr]] = []
+        for name, expr in module.comb:
+            new = rewrite(expr)
+            if new is not expr:
+                changed = True
+            new_comb.append((name, new))
+            if isinstance(new, HRef):
+                alias[name] = new
+            elif isinstance(new, HOp):
+                table.setdefault(new, HRef(name, new.width))
+
+        new_writes = []
+        for wr in module.array_writes:
+            addr, data, enable = rewrite(wr.addr), rewrite(wr.data), rewrite(wr.enable)
+            if addr is not wr.addr or data is not wr.data or enable is not wr.enable:
+                changed = True
+                wr = ArrayWrite(wr.array, addr, data, enable)
+            new_writes.append(wr)
+
+        if not changed:
+            return module, False
+        return rebuild(module, new_comb, array_writes=new_writes), True

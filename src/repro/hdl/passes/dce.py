@@ -1,0 +1,79 @@
+"""Dead-signal elimination.
+
+Computes the set of signals transitively feeding a register next-value,
+an array write port, or an output port, and drops every other
+combinational assignment.  Along the way it
+
+* retargets outputs and register next-values through pure alias chains
+  (``x := y``) so the aliases themselves can die, and
+* removes array write ports whose enable is a known constant zero
+  (produced by constant-folding the guards of ``secure=False``-stripped
+  checks and statically-failed enforcement).
+
+Registers, arrays, inputs, and output ports are architectural state and
+are never removed -- cross-validation compares them directly.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.ir import HConst, HExpr, HRef, Module
+from repro.hdl.passes.base import Pass, rebuild
+
+
+def _refs(e: HExpr):
+    for node in e.walk():
+        if isinstance(node, HRef):
+            yield node.name
+
+
+class DeadSignalElim(Pass):
+    """Drop combinational signals no architectural sink depends on."""
+
+    name = "dce"
+
+    def run(self, module: Module) -> tuple[Module, bool]:
+        defs = dict(module.comb)
+
+        def resolve(name: str) -> str:
+            # follow x := y alias chains to the ultimate source signal
+            while True:
+                d = defs.get(name)
+                if isinstance(d, HRef):
+                    name = d.name
+                else:
+                    return name
+
+        outputs = {port: resolve(sig) for port, sig in module.outputs.items()}
+        reg_next = {reg: resolve(sig) for reg, sig in module.reg_next.items()}
+        writes = [
+            wr
+            for wr in module.array_writes
+            if not (isinstance(wr.enable, HConst) and wr.enable.value == 0)
+        ]
+
+        live: set[str] = set()
+        stack: list[str] = list(outputs.values()) + list(reg_next.values())
+        for wr in writes:
+            for expr in (wr.addr, wr.data, wr.enable):
+                stack.extend(_refs(expr))
+        while stack:
+            name = stack.pop()
+            if name in live:
+                continue
+            live.add(name)
+            d = defs.get(name)
+            if d is not None:
+                stack.extend(_refs(d))
+
+        new_comb = [(name, expr) for name, expr in module.comb if name in live]
+        changed = (
+            len(new_comb) != len(module.comb)
+            or outputs != module.outputs
+            or reg_next != module.reg_next
+            or len(writes) != len(module.array_writes)
+        )
+        if not changed:
+            return module, False
+        return rebuild(
+            module, new_comb, outputs=outputs, reg_next=reg_next, array_writes=writes
+        ), True

@@ -1,0 +1,187 @@
+"""Mux and boolean simplification.
+
+Local algebraic rewrites on the SSA block: identity/absorbing constants
+(``x & 0``, ``x | 0``, ``x + 0``, shifts by zero), idempotence
+(``x & x``, ``mux(c, x, x)``), trivially-decided comparisons
+(``x == x``), redundant width adapters (``zext``/``slice`` that change
+nothing), 1-bit boolean algebra (``land``/``lor``/``lnot`` chains,
+``c ? 1 : 0``), and same-condition mux nesting -- the shapes the Sapper
+compiler's per-path tag merging and ``secure=False`` stripping produce
+in bulk.
+
+Every rewrite preserves the node's declared width; rules that would
+change observable out-of-width behaviour (the simulator does not mask
+``and``/``or``/``xor``) only fire when argument widths already match.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.ir import ArrayWrite, HConst, HExpr, HOp, HRef, Module
+from repro.hdl.passes.base import Pass, rebuild
+
+_ALWAYS_EQ = {"eq": 1, "ne": 0, "lt": 0, "le": 1, "gt": 0, "ge": 1,
+              "lts": 0, "les": 1, "gts": 0, "ges": 1}
+
+
+class SimplifyLogic(Pass):
+    """Boolean/mux/algebraic identities over the combinational block."""
+
+    name = "simplify"
+
+    def run(self, module: Module) -> tuple[Module, bool]:
+        defs: dict[str, HExpr] = {}
+        changed = False
+
+        def peek(e: HExpr) -> HExpr:
+            """Look through a wire reference at its defining expression
+            (read-only: used for pattern matching, never substituted
+            wholesale)."""
+            if isinstance(e, HRef):
+                return defs.get(e.name, e)
+            return e
+
+        def simplify(e: HOp) -> HExpr:
+            op, args, w = e.op, e.args, e.width
+            aw = [a.width for a in args]
+
+            if op == "mux":
+                c, t, f = args
+                if t == f and t.width == w:
+                    return t
+                pc = peek(c)
+                # c ? 1 : 0  ->  c   and   c ? 0 : 1  ->  !c   (1-bit)
+                if (
+                    w == 1 and c.width == 1
+                    and isinstance(t, HConst) and isinstance(f, HConst)
+                ):
+                    if (t.value, f.value) == (1, 0):
+                        return c
+                    if (t.value, f.value) == (0, 1):
+                        return HOp("lnot", (c,), 1)
+                # same-condition nesting: collapse the redundant arm
+                pt, pf = peek(t), peek(f)
+                if isinstance(pf, HOp) and pf.op == "mux" and pf.args[0] == c and pf.args[2].width == w:
+                    return HOp("mux", (c, t, pf.args[2]), w)
+                if isinstance(pt, HOp) and pt.op == "mux" and pt.args[0] == c and pt.args[1].width == w:
+                    return HOp("mux", (c, pt.args[1], f), w)
+                if isinstance(pc, HOp) and pc.op == "lnot" and pc.args[0].width == 1:
+                    return HOp("mux", (pc.args[0], f, t), w)
+                return e
+
+            if op in ("and", "or", "xor") and aw[0] == w and aw[1] == w:
+                a, b = args
+                if a == b:
+                    return a if op in ("and", "or") else HConst(0, w)
+                for x, y in ((a, b), (b, a)):
+                    if isinstance(y, HConst):
+                        if y.value == 0:
+                            return HConst(0, w) if op == "and" else x
+                        if y.value == (1 << w) - 1:
+                            return x if op == "and" else (
+                                HConst(y.value, w) if op == "or" else HOp("not", (x,), w)
+                            )
+                return e
+
+            if op in ("add", "sub") and aw[0] == w and aw[1] == w:
+                if isinstance(args[1], HConst) and args[1].value == 0:
+                    return args[0]
+                if op == "add" and isinstance(args[0], HConst) and args[0].value == 0:
+                    return args[1]
+                return e
+
+            if op == "mul" and aw[0] == w and aw[1] == w:
+                for x, y in ((args[0], args[1]), (args[1], args[0])):
+                    if isinstance(y, HConst):
+                        if y.value == 1:
+                            return x
+                        if y.value == 0:
+                            return HConst(0, w)
+                return e
+
+            if op in ("shl", "shr", "asr") and aw[0] == w:
+                if isinstance(args[1], HConst) and args[1].value == 0:
+                    return args[0]
+                return e
+
+            if op in _ALWAYS_EQ and args[0] == args[1] and w == 1:
+                return HConst(_ALWAYS_EQ[op], 1)
+
+            if op in ("eq", "ne") and aw[0] == 1 and aw[1] == 1:
+                # 1-bit equality is the wire itself or its negation
+                for x, y in ((args[0], args[1]), (args[1], args[0])):
+                    if isinstance(y, HConst):
+                        want = y.value if op == "eq" else 1 - y.value
+                        return x if want == 1 else HOp("lnot", (x,), 1)
+                return e
+
+            if op in ("land", "lor") and aw[0] == 1 and aw[1] == 1:
+                a, b = args
+                if a == b:
+                    return a
+                for x, y in ((a, b), (b, a)):
+                    if isinstance(y, HConst):
+                        if op == "land":
+                            return x if y.value else HConst(0, 1)
+                        return HConst(1, 1) if y.value else x
+                return e
+
+            if op == "lnot" and aw[0] == 1:
+                inner = peek(args[0])
+                if isinstance(inner, HOp) and inner.op == "lnot" and inner.args[0].width == 1:
+                    return inner.args[0]
+                return e
+
+            if op == "not":
+                inner = peek(args[0])
+                if isinstance(inner, HOp) and inner.op == "not" and inner.args[0].width == w:
+                    return inner.args[0]
+                return e
+
+            if op == "zext" and aw[0] == w:
+                return args[0]
+
+            if op == "slice":
+                if e.lo == 0 and aw[0] == w:
+                    return args[0]
+                inner = args[0]
+                # slicing a zext back down to (or below) the payload width
+                if (
+                    isinstance(inner, HOp) and inner.op == "zext"
+                    and e.lo == 0 and inner.args[0].width == w
+                ):
+                    return inner.args[0]
+                return e
+
+            if op == "cat" and len(args) == 1 and aw[0] == w:
+                return args[0]
+
+            return e
+
+        def rewrite(e: HExpr) -> HExpr:
+            if not isinstance(e, HOp):
+                return e
+            args = tuple(rewrite(a) for a in e.args)
+            node = e if all(a is b for a, b in zip(args, e.args)) else HOp(
+                e.op, args, e.width, hi=e.hi, lo=e.lo, array=e.array
+            )
+            return simplify(node)
+
+        new_comb: list[tuple[str, HExpr]] = []
+        for name, expr in module.comb:
+            new = rewrite(expr)
+            if new is not expr:
+                changed = True
+            new_comb.append((name, new))
+            defs[name] = new
+
+        new_writes = []
+        for wr in module.array_writes:
+            addr, data, enable = rewrite(wr.addr), rewrite(wr.data), rewrite(wr.enable)
+            if addr is not wr.addr or data is not wr.data or enable is not wr.enable:
+                changed = True
+                wr = ArrayWrite(wr.array, addr, data, enable)
+            new_writes.append(wr)
+
+        if not changed:
+            return module, False
+        return rebuild(module, new_comb, array_writes=new_writes), True

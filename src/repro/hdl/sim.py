@@ -17,6 +17,12 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.hdl.ir import ArrayDef, HConst, HExpr, HOp, HRef, Module
+from repro.hdl.passes.base import WeakIdMemo
+
+#: module -> (source, step function).  The generated function is pure
+#: (all state is passed in), so every Simulator over the same module
+#: object can share one compilation.
+_STEP_CACHE = WeakIdMemo()
 
 _SIGNED_HELPER = (
     "def _s(v, w):\n"
@@ -32,13 +38,16 @@ class _CodeGen:
     def __init__(self, module: Module):
         self.module = module
         self.lines: list[str] = []
+        #: single-use wires inlined textually into their one consumer
+        self.inline: dict[str, str] = {}
 
     def expr(self, e: HExpr) -> str:
         m = (1 << e.width) - 1
         if isinstance(e, HConst):
             return repr(e.value)
         if isinstance(e, HRef):
-            return _mangle(e.name)
+            inlined = self.inline.get(e.name)
+            return inlined if inlined is not None else _mangle(e.name)
         assert isinstance(e, HOp)
         a = [self.expr(c) for c in e.args]
         aw = [c.width for c in e.args]
@@ -125,9 +134,20 @@ class Simulator:
     Register state lives in :attr:`regs`; array contents in
     :attr:`arrays` (sparse dicts, missing entries read 0).  Call
     :meth:`step` once per clock cycle.
+
+    By default the module is run through the standard optimization
+    pipeline (:func:`repro.hdl.passes.optimize`) before the step
+    function is generated -- architectural state and outputs are
+    bit-identical, only the dead and duplicated combinational work is
+    gone.  Pass ``optimize=False`` to simulate the raw IR (used by
+    cross-validation to check the optimizer itself).
     """
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, optimize: bool = True):
+        if optimize:
+            from repro.hdl.passes import optimize as _optimize
+
+            module = _optimize(module)
         module.validate()
         self.module = module
         self.regs: dict[str, int] = {r.name: r.init for r in module.regs.values()}
@@ -137,7 +157,42 @@ class Simulator:
 
     def _compile(self) -> Callable:
         m = self.module
+        entry = _STEP_CACHE.get(m)
+        if entry is not None:
+            self.source = entry[0]
+            return entry[1]
         gen = _CodeGen(m)
+        # Wires consumed exactly once, and only inside the combinational
+        # block, are inlined into their consumer: the generated function
+        # skips one local store/load per wire, which is a large share of
+        # the per-cycle cost on big modules.  Names feeding the clock
+        # edge (register next-values, write ports, outputs) stay named --
+        # the write section must not re-evaluate array reads after
+        # earlier ports have fired.  Textual nesting is capped well
+        # below CPython's parser limit.
+        use_count: dict[str, int] = {}
+        for _, expr in m.comb:
+            for node in expr.walk():
+                if isinstance(node, HRef):
+                    use_count[node.name] = use_count.get(node.name, 0) + 1
+        keep = set(m.reg_next.values()) | set(m.outputs.values())
+        for wr in m.array_writes:
+            for e in (wr.addr, wr.data, wr.enable):
+                for node in e.walk():
+                    if isinstance(node, HRef):
+                        keep.add(node.name)
+
+        def paren_depth(code: str) -> int:
+            d = mx = 0
+            for ch in code:
+                if ch == "(":
+                    d += 1
+                    if d > mx:
+                        mx = d
+                elif ch == ")":
+                    d -= 1
+            return mx
+
         lines = ["def _step(regs, arrays, inputs):"]
         for name in m.arrays:
             lines.append(f"    a_{name} = arrays[{name!r}]")
@@ -147,7 +202,16 @@ class Simulator:
         for name in m.regs:
             lines.append(f"    {_mangle(name)} = regs[{name!r}]")
         for name, expr in m.comb:
-            lines.append(f"    {_mangle(name)} = {gen.expr(expr)}")
+            code = gen.expr(expr)
+            if (
+                use_count.get(name, 0) == 1
+                and name not in keep
+                and len(code) <= 4000
+                and paren_depth(code) <= 100
+            ):
+                gen.inline[name] = f"({code})"
+            else:
+                lines.append(f"    {_mangle(name)} = {code}")
         # Clock edge: register updates then array write ports, in order.
         for reg, sig in m.reg_next.items():
             lines.append(f"    regs[{reg!r}] = {_mangle(sig)}")
@@ -161,7 +225,9 @@ class Simulator:
         namespace: dict = {}
         exec(compile(source, f"<hdl:{m.name}>", "exec"), namespace)  # noqa: S102
         self.source = source
-        return namespace["_step"]
+        step = namespace["_step"]
+        _STEP_CACHE.set(m, (source, step))
+        return step
 
     def step(self, inputs: Optional[dict[str, int]] = None) -> dict[str, int]:
         """Advance one clock cycle; returns the output-port values."""

@@ -170,8 +170,17 @@ class CostReport:
         }
 
 
-def synthesize(module: Module) -> CostReport:
-    """Lower *module* to gates and estimate area / delay / power."""
+def synthesize(module: Module, optimize: bool = True) -> CostReport:
+    """Lower *module* to gates and estimate area / delay / power.
+
+    The module first goes through the standard optimization pipeline
+    (like a real synthesis tool's logic optimization step); pass
+    ``optimize=False`` to census the raw compiler output instead.
+    """
+    if optimize:
+        from repro.hdl.passes import optimize as _optimize
+
+        module = _optimize(module)
     module.validate()
     counts = GateCounts()
     counts.dff += sum(r.width for r in module.regs.values())

@@ -60,8 +60,17 @@ def _emit(e: HExpr) -> str:
     raise ValueError(f"cannot emit Verilog for op {op!r}")
 
 
-def emit_verilog(module: Module) -> str:
-    """Emit *module* as a single synthesizable Verilog module."""
+def emit_verilog(module: Module, optimize: bool = True) -> str:
+    """Emit *module* as a single synthesizable Verilog module.
+
+    The standard optimization pipeline runs first so the emitted text
+    matches what the simulator executes and the synthesizer counts;
+    pass ``optimize=False`` for the raw compiler output.
+    """
+    if optimize:
+        from repro.hdl.passes import optimize as _optimize
+
+        module = _optimize(module)
     lines: list[str] = []
     ports = ["clk"] + list(module.inputs) + list(module.outputs)
     lines.append(f"module {module.name}({', '.join(ports)});")

@@ -37,7 +37,6 @@ delay slots) is shared exactly with :mod:`repro.mips.iss`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.lattice import Lattice, encode, two_level
 
@@ -754,12 +753,7 @@ def design_sections(lattice: Lattice | None = None, params: ProcParams | None = 
     }
 
 
-@lru_cache(maxsize=8)
-def _generate_cached(elements: tuple, pairs: tuple, mem_words: int, cache_lines: int, kvec: int) -> str:
-    from repro.lattice import from_order
-
-    lattice = from_order(list(elements), list(pairs))
-    params = ProcParams(mem_words=mem_words, cache_lines=cache_lines, kernel_vector=kvec)
+def _generate(lattice: Lattice, params: ProcParams) -> str:
     setbits = _setbits(params, lattice)
     return (
         _declarations(params, lattice)
@@ -770,17 +764,21 @@ def _generate_cached(elements: tuple, pairs: tuple, mem_words: int, cache_lines:
 
 
 def generate_design(lattice: Lattice | None = None, params: ProcParams | None = None) -> str:
-    """Full Sapper source of the processor for *lattice* (default 2-level)."""
+    """Full Sapper source of the processor for *lattice* (default 2-level).
+
+    The text is produced once per configuration and held in the default
+    toolchain's artifact cache.
+    """
+    from repro.toolchain import get_toolchain, lattice_key
+
     lattice = lattice or two_level()
     params = params or ProcParams()
-    pairs = tuple(
-        sorted(
-            (a, b)
-            for a in lattice.elements
-            for b in lattice.elements
-            if lattice.leq(a, b) and a != b
-        )
+    key = (
+        "proc-source",
+        lattice_key(lattice),
+        params.mem_words,
+        params.cache_lines,
+        params.words_per_line,
+        params.kernel_vector,
     )
-    return _generate_cached(
-        lattice.elements, pairs, params.mem_words, params.cache_lines, params.kernel_vector
-    )
+    return get_toolchain().cached(key, lambda: _generate(lattice, params))

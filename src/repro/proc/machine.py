@@ -1,34 +1,26 @@
 """Loadable machine wrappers around the Sapper processor and the ISS.
 
 :class:`SapperMachine` compiles the generated processor once per
-(lattice, security) configuration (modules are cached), loads an
-assembled executable plus per-word memory security tags, and runs the
-hardware simulator until the MMIO halt fires -- collecting the output
-port trace, the cycle count, and the number of dynamic-check violations.
+(lattice, security) configuration through the shared
+:class:`~repro.toolchain.Toolchain` (source text, compiled design,
+optimized module, and simulator step function are all cached by key),
+loads an assembled executable plus per-word memory security tags, and
+runs the hardware simulator until the MMIO halt fires -- collecting the
+output port trace, the cycle count, and the number of dynamic-check
+violations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Optional
 
-from repro.hdl import Simulator
 from repro.lattice import Lattice, encode, two_level
 from repro.mips.assembler import Executable, assemble
 from repro.mips.iss import Iss
 from repro.proc.design import ProcParams, generate_design
-from repro.sapper.compiler import CompiledDesign, compile_program
-
-
-@lru_cache(maxsize=8)
-def _compiled(elements: tuple, pairs: tuple, secure: bool, mem_words: int, kvec: int) -> CompiledDesign:
-    from repro.lattice import from_order
-
-    lattice = from_order(list(elements), list(pairs))
-    params = ProcParams(mem_words=mem_words, kernel_vector=kvec)
-    source = generate_design(lattice, params)
-    return compile_program(source, lattice, secure=secure, name="sapper_mips")
+from repro.sapper.compiler import CompiledDesign
+from repro.toolchain import get_toolchain, lattice_key
 
 
 def compile_processor(
@@ -39,15 +31,15 @@ def compile_processor(
 ) -> CompiledDesign:
     """Compile (and cache) the processor for *lattice*."""
     lattice = lattice or two_level()
-    pairs = tuple(
-        sorted(
-            (a, b)
-            for a in lattice.elements
-            for b in lattice.elements
-            if lattice.leq(a, b) and a != b
-        )
+    params = ProcParams(mem_words=mem_words, kernel_vector=kernel_vector)
+    tc = get_toolchain()
+    key = ("proc-design", lattice_key(lattice), secure, mem_words, kernel_vector)
+    return tc.cached(
+        key,
+        lambda: tc.compile(
+            generate_design(lattice, params), lattice, secure=secure, name="sapper_mips"
+        ),
     )
-    return _compiled(lattice.elements, pairs, secure, mem_words, kernel_vector)
 
 
 @dataclass
@@ -72,7 +64,7 @@ class SapperMachine:
         self.design = compile_processor(self.lattice, secure, mem_words, kernel_vector)
         self.encoding = encode(self.lattice)
         self.secure = secure
-        self.sim = Simulator(self.design.module)
+        self.sim = get_toolchain().simulator(self.design)
         self.outputs: list[int] = []
         self.violations = 0
 

@@ -7,6 +7,13 @@ both on the same input trace and compares the complete architectural
 state at every cycle boundary.  The test-suite uses it on hand-written
 programs and on randomized programs; a mismatch pinpoints the first
 divergent entity.
+
+Validation is *three-way* by default: the interpreter, the raw
+(unoptimized) hardware simulation, and the simulation of the module
+after the :mod:`repro.hdl.passes` pipeline all run in lockstep.  The
+optimized engine must match the interpreter on every architectural
+entity and every violation event -- this is the optimizer's
+correctness oracle.
 """
 
 from __future__ import annotations
@@ -40,11 +47,17 @@ class Mismatch:
 
 @dataclass
 class CrossValidation:
-    """Paired execution of interpreter and compiled simulator."""
+    """Lockstep execution of the interpreter and the hardware engines.
+
+    ``sim`` runs the raw compiler output; ``opt_sim`` (unless disabled)
+    runs the same module after the optimization pipeline.  Both are
+    held to the interpreter's architectural state each cycle.
+    """
 
     interp: Interpreter
     design: CompiledDesign
     sim: Simulator
+    opt_sim: Optional[Simulator] = None
     mismatches: list[Mismatch] = field(default_factory=list)
 
     @classmethod
@@ -53,10 +66,19 @@ class CrossValidation:
         source: Union[str, ProgramInfo],
         lattice: Lattice,
         name: str = "design",
+        optimized: bool = True,
     ) -> "CrossValidation":
         info = source if isinstance(source, ProgramInfo) else analyze(parse_program(source, name), lattice)
         design = compile_program(info, lattice, secure=True, name=name)
-        return cls(Interpreter(info, lattice), design, Simulator(design.module))
+        opt_sim = Simulator(design.module) if optimized else None
+        return cls(Interpreter(info, lattice), design, Simulator(design.module, optimize=False), opt_sim)
+
+    @property
+    def engines(self) -> list[tuple[str, Simulator]]:
+        out: list[tuple[str, Simulator]] = [("", self.sim)]
+        if self.opt_sim is not None:
+            out.append(("opt:", self.opt_sim))
+        return out
 
     # -- input translation ------------------------------------------------------
 
@@ -74,38 +96,39 @@ class CrossValidation:
 
     # -- state comparison ----------------------------------------------------------
 
-    def compare_state(self, cycle: int) -> None:
-        it, design, sim = self.interp, self.design, self.sim
+    def compare_state(self, cycle: int, sim: Optional[Simulator] = None, tag: str = "") -> None:
+        it, design = self.interp, self.design
+        sim = sim if sim is not None else self.sim
         enc = design.encoding
         for name, decl in it.info.regs.items():
             if decl.kind != "reg":
                 continue
             if sim.regs[name] != it.sigma[name]:
-                self.mismatches.append(Mismatch(cycle, f"reg {name}", it.sigma[name], sim.regs[name]))
+                self.mismatches.append(Mismatch(cycle, f"{tag}reg {name}", it.sigma[name], sim.regs[name]))
         for name, tag_reg in design.reg_tag.items():
             want = enc.encode(it.theta_reg[name])
             if sim.regs[tag_reg] != want:
                 self.mismatches.append(
-                    Mismatch(cycle, f"tag({name})", it.theta_reg[name], enc.decode(sim.regs[tag_reg]))
+                    Mismatch(cycle, f"{tag}tag({name})", it.theta_reg[name], enc.decode(sim.regs[tag_reg]))
                 )
         for sname, tag_reg in design.state_tag.items():
             want = enc.encode(it.theta_state[sname])
             if sim.regs[tag_reg] != want:
                 self.mismatches.append(
-                    Mismatch(cycle, f"tag(state {sname})", it.theta_state[sname], enc.decode(sim.regs[tag_reg]))
+                    Mismatch(cycle, f"{tag}tag(state {sname})", it.theta_state[sname], enc.decode(sim.regs[tag_reg]))
                 )
         for sname, fall_reg in design.fall_reg.items():
             child = it.rho[sname]
             want = design.state_code[child] if child is not None else 0
             if sim.regs[fall_reg] != want:
-                self.mismatches.append(Mismatch(cycle, f"rho({sname})", child, sim.regs[fall_reg]))
+                self.mismatches.append(Mismatch(cycle, f"{tag}rho({sname})", child, sim.regs[fall_reg]))
         for name, decl in it.info.arrays.items():
             sim_arr = sim.arrays[name]
             for idx in set(it.arrays[name]) | set(sim_arr):
                 want = it.arrays[name].get(idx, 0)
                 got = sim_arr.get(idx, 0)
                 if want != got:
-                    self.mismatches.append(Mismatch(cycle, f"{name}[{idx}]", want, got))
+                    self.mismatches.append(Mismatch(cycle, f"{tag}{name}[{idx}]", want, got))
             if decl.enforced:
                 tag_arr = design.arr_tag[name]
                 sim_tags = sim.arrays[tag_arr]
@@ -114,34 +137,36 @@ class CrossValidation:
                     want_t = it.arr_tag(name, idx)
                     got_t = enc.decode(sim_tags.get(idx, enc.encode(default)))
                     if want_t != got_t:
-                        self.mismatches.append(Mismatch(cycle, f"tag({name}[{idx}])", want_t, got_t))
+                        self.mismatches.append(Mismatch(cycle, f"{tag}tag({name}[{idx}])", want_t, got_t))
             else:
                 tag_reg = design.arr_tag[name]
                 want_t = it.theta_arr_single[name]
                 got_bits = sim.regs[tag_reg]
                 if enc.encode(want_t) != got_bits:
-                    self.mismatches.append(Mismatch(cycle, f"tag({name})", want_t, enc.decode(got_bits)))
+                    self.mismatches.append(Mismatch(cycle, f"{tag}tag({name})", want_t, enc.decode(got_bits)))
 
     def run_cycle(self, inputs: Optional[InputSpec] = None) -> None:
         inputs = inputs or {}
         viol_before = len(self.interp.violations)
         it_out = self.interp.run_cycle(inputs)
-        sim_out = self.sim.step(self._sim_inputs(inputs))
+        sim_inputs = self._sim_inputs(inputs)
         cycle = self.interp.delta
-        for port, (value, label) in it_out.items():
-            if sim_out.get(port) != value:
-                self.mismatches.append(Mismatch(cycle, f"output {port}", value, sim_out.get(port)))
-            tag_port = f"{port}__tag"
-            if tag_port in sim_out and sim_out[tag_port] != self.design.encoding.encode(label):
-                self.mismatches.append(
-                    Mismatch(cycle, f"output tag {port}", label, sim_out[tag_port])
-                )
         violated = len(self.interp.violations) > viol_before
-        if bool(sim_out.get("violation", 0)) != violated:
-            self.mismatches.append(
-                Mismatch(cycle, "violation flag", violated, bool(sim_out.get("violation", 0)))
-            )
-        self.compare_state(cycle)
+        for tag, sim in self.engines:
+            sim_out = sim.step(sim_inputs)
+            for port, (value, label) in it_out.items():
+                if sim_out.get(port) != value:
+                    self.mismatches.append(Mismatch(cycle, f"{tag}output {port}", value, sim_out.get(port)))
+                tag_port = f"{port}__tag"
+                if tag_port in sim_out and sim_out[tag_port] != self.design.encoding.encode(label):
+                    self.mismatches.append(
+                        Mismatch(cycle, f"{tag}output tag {port}", label, sim_out[tag_port])
+                    )
+            if bool(sim_out.get("violation", 0)) != violated:
+                self.mismatches.append(
+                    Mismatch(cycle, f"{tag}violation flag", violated, bool(sim_out.get("violation", 0)))
+                )
+            self.compare_state(cycle, sim, tag)
 
     def run(
         self,
@@ -162,7 +187,8 @@ def assert_equivalent(
     cycles: int,
     stimulus: Optional[Callable[[int], InputSpec]] = None,
 ) -> CrossValidation:
-    """Run both engines and raise ``AssertionError`` on the first divergence."""
+    """Run all three engines (interpreter, raw hardware, optimized
+    hardware) and raise ``AssertionError`` on the first divergence."""
     cv = CrossValidation.build(source, lattice)
     mismatches = cv.run(cycles, stimulus)
     if mismatches:

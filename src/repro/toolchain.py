@@ -1,0 +1,199 @@
+"""The unified Sapper toolchain facade.
+
+One object owns the whole flow::
+
+    parse -> analyze -> compile -> optimize -> { simulate | synthesize | emit }
+
+with keyed artifact caching at every stage, replacing the ad-hoc
+``lru_cache`` wrappers that used to live in ``repro.proc.design`` and
+``repro.proc.machine``.  Cache keys are explicit and structural (source
+digest, lattice order, compile flags), so distinct configurations never
+collide and the cache can be inspected or cleared as a unit.
+
+Typical use::
+
+    from repro.toolchain import get_toolchain
+
+    tc = get_toolchain()
+    design = tc.compile(source, two_level(), name="tdma")
+    sim = tc.simulator(design)       # optimized module, fresh state
+    report = tc.synthesize(design)   # cached cost report
+    text = tc.verilog(design)        # cached Verilog text
+
+Every backend consumes the *same* optimized module object (the pass
+pipeline is memoized per module), so simulation, synthesis, and Verilog
+agree exactly on what hardware they describe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Optional, TypeVar, Union
+
+from repro.hdl import Simulator, emit_verilog as _emit_verilog, synthesize as _synthesize
+from repro.hdl.ir import Module
+from repro.hdl.passes import MAX_OPT_LEVEL, optimize as _optimize
+from repro.hdl.synth import CostReport
+from repro.lattice import Lattice
+from repro.sapper import ast
+from repro.sapper.analysis import ProgramInfo, analyze
+from repro.sapper.compiler import CompiledDesign, compile_program
+from repro.sapper.parser import parse_program
+
+T = TypeVar("T")
+
+Source = Union[str, ast.Program, ProgramInfo]
+Design = Union[CompiledDesign, Module]
+
+
+def lattice_key(lattice: Lattice) -> tuple:
+    """A hashable, order-independent identity for a lattice."""
+    pairs = tuple(
+        sorted(
+            (a, b)
+            for a in lattice.elements
+            for b in lattice.elements
+            if lattice.leq(a, b) and a != b
+        )
+    )
+    return (tuple(lattice.elements), pairs)
+
+
+def source_key(source: Source) -> tuple:
+    """A hashable identity for program source in any of its forms."""
+    if isinstance(source, str):
+        return ("text", hashlib.sha256(source.encode()).hexdigest())
+    # AST / analyzed info: identity-keyed; the object is pinned by the
+    # cache entry so the id cannot be reused while the entry lives.
+    return ("object", id(source))
+
+
+class Toolchain:
+    """Facade over the full Sapper flow with keyed artifact caching.
+
+    The cache is LRU-bounded (*max_entries*, default 128 -- generous
+    next to the ``lru_cache(maxsize=8)`` wrappers it replaced) so a
+    process sweeping many configurations cannot grow without bound;
+    evicting an entry also drops its pin, letting the artifact be
+    collected.
+    """
+
+    def __init__(self, opt_level: int = MAX_OPT_LEVEL, max_entries: int = 128):
+        self.opt_level = opt_level
+        self.max_entries = max_entries
+        self._cache: OrderedDict = OrderedDict()
+
+    # -- generic keyed cache ------------------------------------------------
+
+    def cached(self, key: tuple, producer: Callable[[], T], pin: object = None) -> T:
+        """Return the artifact for *key*, producing it on first use.
+
+        *pin* keeps an auxiliary object alive alongside the artifact
+        (used when the key embeds an ``id()``).
+        """
+        try:
+            value = self._cache[key][1]
+            self._cache.move_to_end(key)
+            return value
+        except KeyError:
+            value = producer()
+            self._cache[key] = (pin, value)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+            return value
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def cache_info(self) -> dict[str, int]:
+        """Entry counts per stage (the first key component)."""
+        info: dict[str, int] = {}
+        for key in self._cache:
+            stage = key[0] if isinstance(key, tuple) else str(key)
+            info[stage] = info.get(stage, 0) + 1
+        return info
+
+    # -- front-end stages ----------------------------------------------------
+
+    def parse(self, source: str, name: str = "design") -> ast.Program:
+        return self.cached(
+            ("parse", source_key(source), name),
+            lambda: parse_program(source, name),
+        )
+
+    def analyze(self, source: Source, lattice: Lattice, name: str = "design") -> ProgramInfo:
+        if isinstance(source, ProgramInfo):
+            return source
+        key = ("analyze", source_key(source), lattice_key(lattice), name)
+        if isinstance(source, str):
+            return self.cached(key, lambda: analyze(self.parse(source, name), lattice))
+        return self.cached(key, lambda: analyze(source, lattice), pin=source)
+
+    def compile(
+        self,
+        source: Source,
+        lattice: Lattice,
+        secure: bool = True,
+        name: str = "design",
+    ) -> CompiledDesign:
+        key = ("compile", source_key(source), lattice_key(lattice), secure, name)
+        return self.cached(
+            key,
+            lambda: compile_program(
+                self.analyze(source, lattice, name), lattice, secure=secure, name=name
+            ),
+            pin=source if not isinstance(source, str) else None,
+        )
+
+    # -- mid-end -------------------------------------------------------------
+
+    @staticmethod
+    def _module(design: Design) -> Module:
+        return design.module if isinstance(design, CompiledDesign) else design
+
+    def optimize(self, design: Design) -> Module:
+        """The optimized module for *design* (memoized per module object)."""
+        return _optimize(self._module(design), self.opt_level)
+
+    # -- backends ------------------------------------------------------------
+
+    def simulator(self, design: Design) -> Simulator:
+        """A fresh-state simulator over the (shared) optimized module."""
+        return Simulator(self.optimize(design), optimize=False)
+
+    def synthesize(self, design: Design) -> CostReport:
+        """Gate census / area / delay / power of the optimized module (cached)."""
+        module = self._module(design)
+        return self.cached(
+            ("synth", id(module), self.opt_level),
+            lambda: _synthesize(self.optimize(design), optimize=False),
+            pin=module,
+        )
+
+    def verilog(self, design: Design) -> str:
+        """Synthesizable Verilog text of the optimized module (cached)."""
+        module = self._module(design)
+        return self.cached(
+            ("verilog", id(module), self.opt_level),
+            lambda: _emit_verilog(self.optimize(design), optimize=False),
+            pin=module,
+        )
+
+
+#: Process-wide default toolchain instance.
+_DEFAULT: Optional[Toolchain] = None
+
+
+def get_toolchain() -> Toolchain:
+    """The shared default :class:`Toolchain` (created on first use)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Toolchain()
+    return _DEFAULT
+
+
+def set_toolchain(toolchain: Optional[Toolchain]) -> None:
+    """Replace the process-wide default (``None`` resets to a fresh one)."""
+    global _DEFAULT
+    _DEFAULT = toolchain

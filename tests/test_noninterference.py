@@ -192,11 +192,14 @@ class TestRandomizedNoninterference:
     @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(strategies.programs(), strategies.stimulus_traces(cycles=6))
     def test_compiler_conformance_on_random_programs(self, program, trace):
+        # three-way: interpreter vs raw hardware vs optimized hardware --
+        # cycle-by-cycle state, tags, and violation events must all match
         from repro.sapper.crossval import CrossValidation
 
         lat = two_level()
         info = analyze(program, lat)
         cv = CrossValidation.build(info, lat)
+        assert cv.opt_sim is not None
         for entry in trace:
             cv.run_cycle(entry)
         assert not cv.mismatches, str(cv.mismatches[:6])

@@ -1,0 +1,145 @@
+"""Tests for the Toolchain facade and the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.hdl.synth import CostReport
+from repro.lattice import diamond, two_level
+from repro.sapper import samples
+from repro.toolchain import Toolchain, get_toolchain, lattice_key, set_toolchain
+
+
+class TestToolchain:
+    def test_compile_is_cached_by_key(self):
+        tc = Toolchain()
+        lat = two_level()
+        d1 = tc.compile(samples.TDMA, lat, name="tdma")
+        d2 = tc.compile(samples.TDMA, lat, name="tdma")
+        assert d1 is d2
+
+    def test_distinct_configs_do_not_collide(self):
+        tc = Toolchain()
+        lat = two_level()
+        secure = tc.compile(samples.TDMA, lat, name="tdma")
+        base = tc.compile(samples.TDMA, lat, secure=False, name="tdma")
+        other = tc.compile(samples.TDMA, diamond(), name="tdma")
+        assert secure is not base and secure is not other
+        assert not base.reg_tag          # insecure: tags stripped
+        assert secure.reg_tag
+
+    def test_backends_share_one_optimized_module(self):
+        tc = Toolchain()
+        design = tc.compile(samples.TDMA, two_level(), name="tdma")
+        opt = tc.optimize(design)
+        sim = tc.simulator(design)
+        assert sim.module is opt
+        assert tc.optimize(design) is opt
+
+    def test_simulators_get_fresh_state(self):
+        tc = Toolchain()
+        design = tc.compile(samples.TDMA, two_level(), name="tdma")
+        s1 = tc.simulator(design)
+        s1.run(10, {"hi_in": 3})
+        s2 = tc.simulator(design)
+        assert s2.cycles == 0
+        assert s2.regs == {r.name: r.init for r in s2.module.regs.values()}
+
+    def test_synth_and_verilog_artifacts_cached(self):
+        tc = Toolchain()
+        design = tc.compile(samples.TDMA, two_level(), name="tdma")
+        rpt = tc.synthesize(design)
+        assert isinstance(rpt, CostReport)
+        assert tc.synthesize(design) is rpt
+        text = tc.verilog(design)
+        assert "module tdma(" in text
+        assert tc.verilog(design) is text
+
+    def test_cache_info_and_clear(self):
+        tc = Toolchain()
+        design = tc.compile(samples.TDMA, two_level(), name="tdma")
+        tc.synthesize(design)
+        info = tc.cache_info()
+        assert info.get("compile") == 1 and info.get("synth") == 1
+        tc.clear_cache()
+        assert tc.cache_info() == {}
+
+    def test_lattice_key_is_structural(self):
+        assert lattice_key(two_level()) == lattice_key(two_level())
+        assert lattice_key(two_level()) != lattice_key(diamond())
+
+    def test_default_toolchain_is_shared_and_replaceable(self):
+        first = get_toolchain()
+        assert get_toolchain() is first
+        fresh = Toolchain()
+        set_toolchain(fresh)
+        try:
+            assert get_toolchain() is fresh
+        finally:
+            set_toolchain(first)
+
+    def test_processor_build_path_reuses_design(self):
+        from repro.proc.machine import SapperMachine, compile_processor
+
+        design = compile_processor(two_level(), secure=True)
+        assert compile_processor(two_level(), secure=True) is design
+        machine = SapperMachine()
+        assert machine.design is design
+
+
+class TestCli:
+    @pytest.fixture()
+    def tdma_file(self, tmp_path):
+        path = tmp_path / "tdma.sapper"
+        path.write_text(samples.TDMA)
+        return str(path)
+
+    def test_compile_emits_verilog(self, tdma_file, capsys):
+        assert main(["compile", tdma_file]) == 0
+        out = capsys.readouterr().out
+        assert "module tdma(" in out and out.strip().endswith("endmodule")
+
+    def test_simulate_reports_summary(self, tdma_file, capsys):
+        assert main(["simulate", tdma_file, "-n", "8", "-i", "hi_in=3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "8 cycles" in out and "violation" in out
+
+    def test_synth_reports_census(self, tdma_file, capsys):
+        assert main(["synth", tdma_file]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out and "area_um2" in out
+
+    def test_stats_reports_pass_effects(self, tdma_file, capsys):
+        assert main(["stats", tdma_file]) == 0
+        out = capsys.readouterr().out
+        assert "constfold" in out and "removed" in out
+
+    def test_insecure_and_diamond_options(self, tdma_file, capsys):
+        assert main(["compile", tdma_file, "--insecure", "--lattice", "diamond"]) == 0
+        out = capsys.readouterr().out
+        assert "violation" not in out  # Base design has no checks
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["compile", "/nonexistent/x.sapper"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_syntax_error_is_reported_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sapper"
+        bad.write_text("reg[7:0 broken x;\nstate s : L = { goto s; }")
+        assert main(["compile", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "line 1" in err
+
+    def test_module_entry_point(self, tdma_file):
+        # `python -m repro` must resolve to the CLI
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "synth", tdma_file],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parent.parent),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "gates" in proc.stdout
