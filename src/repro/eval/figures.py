@@ -11,7 +11,7 @@ from repro.hdl.synth import CostReport
 from repro.lattice import Lattice, diamond, encode, two_level
 from repro.mips.assembler import assemble
 from repro.mips.isa import FIGURE7_INSTRUCTIONS
-from repro.proc.design import ProcParams, design_sections, generate_design
+from repro.proc.design import design_sections
 from repro.proc.machine import SapperMachine, compile_processor, run_on_iss
 from repro.sapper import samples
 from repro.toolchain import get_toolchain, lattice_key as lattice_key_of
@@ -178,17 +178,32 @@ def format_fig9(rows: dict[str, OverheadRow]) -> str:
 
 
 def sec43_functional_validation(
-    names: Optional[list[str]] = None, run_hw: bool = True
+    names: Optional[list[str]] = None,
+    run_hw: bool = True,
+    batched: Optional[bool] = None,
 ) -> list[dict]:
-    """Cross-compare every workload's outputs: golden vs ISS vs hardware."""
+    """Cross-compare every workload's outputs: golden vs ISS vs hardware.
+
+    The hardware runs go through :func:`repro.proc.machine.run_workloads`:
+    with enough workloads they execute as lanes of one batched machine
+    (``batched=None`` picks the engine by suite size, ``True``/``False``
+    forces it); results are bit-identical either way.
+    """
+    from repro.proc.machine import run_workloads
     from repro.workloads import ALL_WORKLOADS
 
+    selected = [
+        (name, wl) for name, wl in ALL_WORKLOADS.items()
+        if not names or name in names
+    ]
+    exes = {name: assemble(wl.source) for name, wl in selected}
+    hw_results = None
+    if run_hw:
+        budgets = [wl.max_cycles for _, wl in selected]
+        hw_results = run_workloads(list(exes.values()), max_cycles=budgets, batched=batched)
     results = []
-    for name, wl in ALL_WORKLOADS.items():
-        if names and name not in names:
-            continue
-        exe = assemble(wl.source)
-        iss = run_on_iss(exe)
+    for i, (name, wl) in enumerate(selected):
+        iss = run_on_iss(exes[name])
         entry = {
             "workload": name,
             "expected": wl.expected,
@@ -196,10 +211,8 @@ def sec43_functional_validation(
             "iss_instructions": iss.instret,
             "iss_matches": tuple(iss.outputs) == wl.expected,
         }
-        if run_hw:
-            machine = SapperMachine()
-            machine.load(assemble(wl.source))
-            res = machine.run(wl.max_cycles)
+        if hw_results is not None:
+            res = hw_results[i]
             entry.update(
                 hw_outputs=tuple(res.outputs),
                 hw_cycles=res.cycles,

@@ -7,6 +7,8 @@ transform it.  Tooling:
   synchronous register update, sequential array write ports).
 * :mod:`repro.hdl.sim` -- cycle-accurate simulator; generates a
   specialized Python step function per module (our ModelSim substitute).
+* :mod:`repro.hdl.batch` -- lane-batched simulation: one vectorized step
+  function advances N independent machine states bit-identically.
 * :mod:`repro.hdl.verilog` -- synthesizable Verilog text emission.
 * :mod:`repro.hdl.synth` / :mod:`repro.hdl.techlib` -- structural
   lowering to gate counts with a 90 nm-style cell library; area, critical
@@ -18,7 +20,8 @@ transform it.  Tooling:
   small designs (used to demonstrate GLIFT executably).
 """
 
-from repro.hdl.ir import ArrayDef, ArrayWrite, HExpr, HOp, HRef, HConst, Module, RegDef
+from repro.hdl.batch import BatchSimulator
+from repro.hdl.ir import ArrayDef, ArrayWrite, HConst, HExpr, HOp, HRef, Module, RegDef
 from repro.hdl.passes import PassManager, optimize
 from repro.hdl.sim import Simulator
 from repro.hdl.synth import CostReport, synthesize
@@ -34,6 +37,7 @@ __all__ = [
     "HRef",
     "HOp",
     "Simulator",
+    "BatchSimulator",
     "synthesize",
     "CostReport",
     "emit_verilog",

@@ -1,0 +1,896 @@
+"""Lane-batched simulation: advance N independent machine states per call.
+
+The scalar :class:`~repro.hdl.sim.Simulator` pays full Python
+interpretation overhead for every machine it runs; randomized suites and
+the evaluation driver run hundreds of independent simulations of the
+*same* module.  :class:`BatchSimulator` compiles one *vectorized* step
+function that advances ``n`` lanes at once, bit-identically to ``n``
+scalar simulators, using three cooperating representations:
+
+**Packed world** -- every 1-bit signal whose whole expression tree is
+1-bit (the security-tag cone dominates compiled Sapper designs) is held
+as a single integer with bit ``l`` = lane ``l``.  One Python ``&`` then
+advances all lanes of an AND gate at once; muxes become three bitwise
+ops.  This is the classic bit-slicing transform, applied across lanes
+instead of across a word.
+
+**Scalar world** -- wider signals (the datapath) are evaluated per lane
+inside a ``for`` loop over lanes; cross-phase values live in per-lane
+list buffers, lane-loop-invariant reads are hoisted, and guard
+expressions are emitted in boolean context (``a == b`` instead of
+``1 if a == b else 0``).  The two worlds interleave in dependency-scheduled
+phases; 1-bit values produced by wide comparisons are accumulated back
+into packed form with ``|= flag << lane``.
+
+**Uniform-state fast path** -- when every lane agrees on the value of
+the module's narrow control registers (FSM/fall registers), the step
+dispatches to a *specialized* body: the module partially evaluated under
+that binding and re-optimized by :func:`repro.hdl.passes.optimize`'s
+pipeline.  Boot, refill, and other non-pipeline phases collapse to a few
+percent of the full design, and registers that provably hold skip their
+write-back entirely.  Bodies are compiled lazily per observed state and
+cached; bindings that fail to shrink the module are remembered and
+skipped.
+
+All compiled artifacts are cached per module object (the same structural
+identity the :class:`~repro.toolchain.Toolchain` keys its artifacts by),
+so every ``BatchSimulator`` over one module shares a single compilation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Optional, Sequence, Union
+
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
+from repro.hdl.passes.base import WeakIdMemo
+from repro.hdl.sim import _SIGNED_HELPER, _CodeGen, paren_depth
+
+#: Ops that close over the packed (1-bit lane-sliced) world.
+_PACK_OPS = frozenset(
+    ["and", "or", "xor", "not", "mux", "land", "lor", "lnot",
+     "eq", "ne", "add", "sub", "neg", "slice", "zext", "sext"]
+)
+
+#: Ops whose scalar code is a Python comparison/boolean expression that
+#: can be used directly in boolean context (mux guards, accumulators).
+_BOOL_OPS = frozenset(
+    ["eq", "ne", "lt", "le", "gt", "ge", "lts", "les", "gts", "ges",
+     "land", "lor", "lnot"]
+)
+
+_INLINE_LEN = 4000
+_INLINE_DEPTH = 90
+
+#: module -> _BatchEntry with every compiled artifact for that module.
+_BATCH_CACHE = WeakIdMemo()
+
+
+def _packable(e: HExpr) -> bool:
+    for node in e.walk():
+        if node.width != 1:
+            return False
+        if isinstance(node, HOp) and node.op not in _PACK_OPS:
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------- codegen
+
+
+class _BatchCodeGen(_CodeGen):
+    """Emits the hybrid packed/scalar batched step function for a module.
+
+    The generated source defines ``_make_batch_step(n)`` returning a
+    ``_step(pregs, wregs, arrays, inputs)`` closure; cross-phase lane
+    buffers are allocated once per lane count as default arguments.
+    """
+
+    def __init__(self, module: Module):
+        super().__init__(module)
+        m = module
+        #: comb signal -> 'p' (packed) | 's' (scalar)
+        self.kinds: dict[str, str] = {}
+        #: any name -> has a packed (bit-per-lane) representation
+        self.packed_src: dict[str, bool] = {}
+        self.use_count: dict[str, int] = {}
+        for r in m.regs.values():
+            self.packed_src[r.name] = r.width == 1
+        for name, w in m.inputs.items():
+            self.packed_src[name] = w == 1
+        for name, e in m.comb:
+            self.kinds[name] = "p" if (e.width == 1 and _packable(e)) else "s"
+            self.packed_src[name] = e.width == 1
+            for node in e.walk():
+                if isinstance(node, HRef):
+                    self.use_count[node.name] = self.use_count.get(node.name, 0) + 1
+        self.pinline: dict[str, str] = {}   # packed single-use inlines
+        self.ncache: dict[str, str] = {}    # selector -> complement local
+        self.lane_local: set[str] = set()   # names bound to lane locals
+        self.exprs = dict(m.comb)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self) -> None:
+        m = self.module
+        order = [n for n, _ in m.comb]
+        deps = {
+            name: [n.name for n in e.walk() if isinstance(n, HRef) and n.name in self.kinds]
+            for name, e in m.comb
+        }
+        done: set[str] = set()
+        phases: list[tuple[str, list[str]]] = []
+        while len(done) < len(order):
+            progress = False
+            for kind in ("s", "p"):
+                grabbed: list[str] = []
+                frontier = [n for n in order if n not in done and self.kinds[n] == kind
+                            and all(d in done for d in deps[n])]
+                while frontier:
+                    grabbed.extend(frontier)
+                    done.update(frontier)
+                    frontier = [n for n in order if n not in done and self.kinds[n] == kind
+                                and all(d in done for d in deps[n])]
+                if grabbed:
+                    phases.append((kind, grabbed))
+                    progress = True
+            if not progress:  # pragma: no cover - validate() rejects cycles
+                raise ValueError(f"{m.name}: combinational cycle")
+        self.phase_of = {}
+        for i, (_, sigs) in enumerate(phases):
+            for s in sigs:
+                self.phase_of[s] = i
+        self.consumers: dict[str, list[str]] = {}
+        for name in order:
+            for d in deps[name]:
+                self.consumers.setdefault(d, []).append(name)
+        # sink scalar signals into the latest scalar phase preceding their
+        # first consumer: fewer wide values cross phases through buffers
+        nphases = len(phases)
+        for i in range(nphases - 1, -1, -1):
+            kind, sigs = phases[i]
+            if kind != "s":
+                continue
+            for s in list(sigs):
+                limit = nphases - 1
+                for c in self.consumers.get(s, []):
+                    cp = self.phase_of[c]
+                    limit = min(limit, cp if self.kinds[c] == "s" else cp - 1)
+                best = i
+                for j in range(limit, i, -1):
+                    if phases[j][0] == "s":
+                        best = j
+                        break
+                if best != i:
+                    sigs.remove(s)
+                    phases[best][1].append(s)
+                    self.phase_of[s] = best
+        pos = {name: k for k, name in enumerate(order)}
+        for _, sigs in phases:
+            sigs.sort(key=pos.__getitem__)
+        self.phases = phases
+        # names whose refs feed the clock edge (re-evaluated there)
+        keep = set(m.reg_next.values()) | set(m.outputs.values())
+        for wr in m.array_writes:
+            for e in (wr.addr, wr.data, wr.enable):
+                for node in e.walk():
+                    if isinstance(node, HRef):
+                        keep.add(node.name)
+        self.keep = keep
+        # scalar wide signals needing a per-lane buffer (cross a phase
+        # boundary or feed the edge)
+        self.listed: set[str] = set()
+        for name in order:
+            if self.kinds[name] != "s" or self.exprs[name].width == 1:
+                continue
+            if name in keep or any(
+                self.phase_of[c] != self.phase_of[name]
+                for c in self.consumers.get(name, [])
+                if self.kinds[c] == "s"
+            ):
+                self.listed.add(name)
+
+    # -- packed expression emission ---------------------------------------
+
+    def pexpr(self, e: HExpr) -> str:
+        if isinstance(e, HConst):
+            return "ONES" if e.value else "0"
+        if isinstance(e, HRef):
+            inl = self.pinline.get(e.name)
+            return inl if inl is not None else f"p_{e.name}"
+        a = [self.pexpr(c) for c in e.args]
+        op = e.op
+        if op in ("and", "land"):
+            return f"({a[0]} & {a[1]})"
+        if op in ("or", "lor"):
+            return f"({a[0]} | {a[1]})"
+        if op in ("xor", "ne", "add", "sub"):
+            # 1-bit add/sub are xor
+            return f"({a[0]} ^ {a[1]})"
+        if op == "eq":
+            return f"(({a[0]} ^ {a[1]}) ^ ONES)"
+        if op in ("not", "lnot"):
+            return f"({a[0]} ^ ONES)"
+        if op in ("neg", "zext", "sext", "slice"):
+            return a[0]
+        if op == "mux":
+            c = a[0]
+            nc = self.ncache.get(c) or f"({c} ^ ONES)"
+            if a[1] == "ONES":
+                return c if a[2] == "0" else f"({c} | ({nc} & {a[2]}))"
+            if a[2] == "0":
+                return f"({c} & {a[1]})"
+            if a[1] == "0":
+                return f"({nc} & {a[2]})"
+            if a[2] == "ONES":
+                return f"({nc} | ({c} & {a[1]}))"
+            return f"(({c} & {a[1]}) | ({nc} & {a[2]}))"
+        raise ValueError(f"op {op!r} is not packable")  # pragma: no cover
+
+    # -- scalar expression emission ----------------------------------------
+
+    def ref(self, name: str) -> str:
+        inl = self.inline.get(name)
+        if inl is not None:
+            return inl
+        if name in self.lane_local:
+            return f"v_{name}"
+        if self.packed_src.get(name):
+            return f"((p_{name} >> _l) & 1)"
+        if name in self.listed:
+            return f"x_{name}[_l]"
+        if name in self.module.regs:
+            return f"wr_{name}[_l]"
+        if name in self.module.inputs:
+            return f"wi_{name}[_l]"
+        raise KeyError(name)  # pragma: no cover
+
+    @staticmethod
+    def _bool_safe(e: HExpr) -> bool:
+        """Is the boolean-form code for *e* guaranteed to evaluate to a
+        Python bool or a 0/1 int (so it can be used as a value)?"""
+        if isinstance(e, HOp):
+            if e.op in ("eq", "ne", "lt", "le", "gt", "ge",
+                        "lts", "les", "gts", "ges", "lnot"):
+                return True
+            if e.op in ("land", "lor"):
+                return all(_BatchCodeGen._bool_safe(a) for a in e.args)
+        return e.width == 1
+
+    def expr(self, e: HExpr) -> str:
+        if isinstance(e, HOp):
+            if e.op == "read":
+                arr = self.module.arrays[e.array]
+                addr = self.expr(e.args[0])
+                if (1 << e.args[0].width) <= arr.size:
+                    return f"a_{e.array}.get({addr}, {arr.default})"
+                return f"a_{e.array}.get({addr} % {arr.size}, {arr.default})"
+            if e.op == "mux":
+                return (f"({self.expr(e.args[1])} if {self.bool_expr(e.args[0])}"
+                        f" else {self.expr(e.args[2])})")
+            # comparisons yield Python bools -- 0/1 ints, directly usable
+            # as values (shifted, or-ed, stored) without a conditional
+            if e.op in ("eq", "ne", "lt", "le", "gt", "ge",
+                        "lts", "les", "gts", "ges"):
+                return self.bool_expr(e)
+            if e.op in ("land", "lor", "lnot"):
+                if self._bool_safe(e):
+                    return self.bool_expr(e)
+                return f"(1 if {self.bool_expr(e)} else 0)"
+        return super().expr(e)
+
+    def bool_expr(self, e: HExpr) -> str:
+        """*e* in Python boolean context (guards, enables, flags)."""
+        if isinstance(e, HOp) and e.op in _BOOL_OPS:
+            op = e.op
+            if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+                a = [self.expr(c) for c in e.args]
+                sym = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+                       "gt": ">", "ge": ">="}[op]
+                return f"({a[0]} {sym} {a[1]})"
+            if op in ("lts", "les", "gts", "ges"):
+                a = [self.expr(c) for c in e.args]
+                aw = [c.width for c in e.args]
+                sym = {"lts": "<", "les": "<=", "gts": ">", "ges": ">="}[op]
+                return f"(_s({a[0]}, {aw[0]}) {sym} _s({a[1]}, {aw[1]}))"
+            if op == "land":
+                return f"({self.bool_expr(e.args[0])} and {self.bool_expr(e.args[1])})"
+            if op == "lor":
+                return f"({self.bool_expr(e.args[0])} or {self.bool_expr(e.args[1])})"
+            if op == "lnot":
+                return f"(not {self.bool_expr(e.args[0])})"
+        return self.expr(e)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _edge_exprs(self) -> list[HExpr]:
+        out: list[HExpr] = []
+        for wr in self.module.array_writes:
+            out += [wr.addr, wr.data, wr.enable]
+        return out
+
+    @staticmethod
+    def _wide_regs_in(module: Module, exprs: Sequence[HExpr]) -> set[str]:
+        out = set()
+        for e in exprs:
+            for node in e.walk():
+                if (isinstance(node, HRef) and node.name in module.regs
+                        and module.regs[node.name].width != 1):
+                    out.add(node.name)
+        return out
+
+    @staticmethod
+    def _arrays_in(exprs: Sequence[HExpr]) -> set[str]:
+        out = set()
+        for e in exprs:
+            for node in e.walk():
+                if isinstance(node, HOp) and node.op == "read":
+                    out.add(node.array)
+        return out
+
+    def _resolve_alias(self, name: str) -> str:
+        """Follow pure-ref combinational aliases to their source name."""
+        seen = set()
+        while name in self.exprs and name not in seen:
+            seen.add(name)
+            e = self.exprs[name]
+            if isinstance(e, HRef):
+                name = e.name
+            else:
+                break
+        return name
+
+    # -- generation --------------------------------------------------------
+
+    def generate(self) -> str:
+        m = self.module
+        self._schedule()
+        exprs = self.exprs
+        keep = self.keep
+
+        # complements of packed mux selectors referenced more than once
+        ncount: Counter = Counter()
+        for name, e in m.comb:
+            if self.kinds[name] != "p":
+                continue
+            for node in e.walk():
+                if not isinstance(node, HOp):
+                    continue
+                if node.op == "mux" and isinstance(node.args[0], HRef):
+                    t, f = node.args[1], node.args[2]
+                    if not (isinstance(f, HConst) and f.value == 0) and not (
+                        isinstance(t, HConst) and t.value == 1
+                    ):
+                        ncount[node.args[0].name] += 1
+                elif node.op in ("not", "lnot") and isinstance(node.args[0], HRef):
+                    ncount[node.args[0].name] += 1
+        nc_emit = {nm for nm, c in ncount.items() if c >= 2}
+
+        cons_kind: dict[str, list[str]] = {}
+        for cname, ce in m.comb:
+            for node in ce.walk():
+                if isinstance(node, HRef):
+                    cons_kind.setdefault(node.name, []).append(self.kinds[cname])
+
+        L: list[str] = []
+        bufs: list[str] = []
+
+        def emit(line: str) -> None:
+            L.append("        " + line)
+
+        def emit_lane(line: str) -> None:
+            L.append("            " + line)
+
+        # packed registers and inputs into locals
+        for r in m.regs.values():
+            if r.width == 1:
+                emit(f"p_{r.name} = pregs[{r.name!r}]")
+        for r in m.regs.values():
+            if r.width == 1 and r.name in nc_emit:
+                emit(f"q_{r.name} = p_{r.name} ^ ONES")
+                self.ncache[f"p_{r.name}"] = f"q_{r.name}"
+        p_inputs = [nm for nm, w in m.inputs.items() if w == 1]
+        w_inputs = [nm for nm, w in m.inputs.items() if w != 1]
+        if p_inputs or w_inputs:
+            for nm in p_inputs:
+                emit(f"p_{nm} = 0")
+            for nm in w_inputs:
+                bufs.append(f"wi_{nm}")
+            emit("for _l in range(n):")
+            emit_lane("_inp = inputs[_l]")
+            for nm in p_inputs:
+                emit_lane(f"p_{nm} |= (_inp.get({nm!r}, 0) & 1) << _l")
+            for nm in w_inputs:
+                mask = (1 << m.inputs[nm]) - 1
+                emit_lane(f"wi_{nm}[_l] = _inp.get({nm!r}, 0) & {mask}")
+
+        for name in sorted(self.listed):
+            bufs.append(f"x_{name}")
+
+        def accumulated(s: str) -> bool:
+            """Does the 1-bit scalar-rooted signal *s* need packed form?"""
+            return (
+                any(k == "p" for k in cons_kind.get(s, []))
+                or s in keep
+                or any(self.phase_of[c] != self.phase_of[s]
+                       for c in self.consumers.get(s, []))
+            )
+
+        # -- phases --------------------------------------------------------
+        for kind, sigs in self.phases:
+            if kind == "p":
+                for name in sigs:
+                    code = self.pexpr(exprs[name])
+                    if (self.use_count.get(name, 0) == 1 and name not in keep
+                            and cons_kind.get(name) == ["p"]
+                            and len(code) <= _INLINE_LEN
+                            and paren_depth(code) <= _INLINE_DEPTH):
+                        self.pinline[name] = code
+                    else:
+                        emit(f"p_{name} = {code}")
+                        if name in nc_emit:
+                            emit(f"q_{name} = p_{name} ^ ONES")
+                            self.ncache[f"p_{name}"] = f"q_{name}"
+                continue
+
+            # scalar phase: one loop over lanes
+            phase_set = set(sigs)
+            body_exprs = [exprs[s] for s in sigs]
+            for s in sigs:
+                if exprs[s].width == 1 and accumulated(s):
+                    emit(f"p_{s} = 0")
+            for arr in sorted(self._arrays_in(body_exprs)):
+                emit(f"al_{arr} = arrays[{arr!r}]")
+            for wreg in sorted(self._wide_regs_in(m, body_exprs)):
+                emit(f"wr_{wreg} = wregs[{wreg!r}]")
+            # hoist lane-loop reads used more than once in this phase
+            ref_count: Counter = Counter()
+            for s in sigs:
+                for node in exprs[s].walk():
+                    if isinstance(node, HRef) and node.name not in phase_set:
+                        ref_count[node.name] += 1
+            self.lane_local = set()
+            self.inline = {}
+            hoists: list[str] = []
+            for nm, cnt in sorted(ref_count.items()):
+                if cnt < 2:
+                    continue
+                if self.packed_src.get(nm) and nm not in phase_set:
+                    hoists.append(f"v_{nm} = (p_{nm} >> _l) & 1")
+                elif nm in self.listed and nm not in phase_set:
+                    hoists.append(f"v_{nm} = x_{nm}[_l]")
+                elif nm in m.regs and m.regs[nm].width != 1:
+                    hoists.append(f"v_{nm} = wr_{nm}[_l]")
+                else:
+                    continue
+                self.lane_local.add(nm)
+            lane_stmts: list[str] = []
+            lane = lane_stmts.append
+            for arr in sorted(self._arrays_in(body_exprs)):
+                lane(f"a_{arr} = al_{arr}[_l]")
+            for h in hoists:
+                lane(h)
+            for s in sigs:
+                e = exprs[s]
+                uses = self.use_count.get(s, 0)
+                if e.width == 1:
+                    if not accumulated(s):
+                        code = self.expr(e)
+                        if (uses == 1 and len(code) <= _INLINE_LEN
+                                and paren_depth(code) <= _INLINE_DEPTH):
+                            self.inline[s] = f"({code})"
+                        else:
+                            lane(f"v_{s} = {code}")
+                            self.lane_local.add(s)
+                    elif any(k == "s" for k in cons_kind.get(s, [])):
+                        lane(f"v_{s} = {self.expr(e)}")
+                        lane(f"p_{s} |= v_{s} << _l")
+                        self.lane_local.add(s)
+                    else:
+                        lane(f"p_{s} |= {self.expr(e)} << _l")
+                elif s in self.listed:
+                    code = self.expr(e)
+                    if any(c in phase_set for c in self.consumers.get(s, [])):
+                        lane(f"v_{s} = {code}")
+                        lane(f"x_{s}[_l] = v_{s}")
+                        self.lane_local.add(s)
+                    else:
+                        lane(f"x_{s}[_l] = {code}")
+                else:
+                    code = self.expr(e)
+                    if (uses == 1 and s not in keep
+                            and len(code) <= _INLINE_LEN
+                            and paren_depth(code) <= _INLINE_DEPTH):
+                        self.inline[s] = f"({code})"
+                    else:
+                        lane(f"v_{s} = {code}")
+                        self.lane_local.add(s)
+            if lane_stmts:
+                emit("for _l in range(n):")
+                for stmt in lane_stmts:
+                    L.append("            " + stmt)
+            # complements of accumulators used as packed selectors
+            for s in sigs:
+                if (exprs[s].width == 1 and s in nc_emit and accumulated(s)
+                        and f"p_{s}" not in self.ncache):
+                    emit(f"q_{s} = p_{s} ^ ONES")
+                    self.ncache[f"p_{s}"] = f"q_{s}"
+
+        # -- clock edge ----------------------------------------------------
+        # Packed register updates read packed locals, which still hold the
+        # pre-edge values, so the dict stores can happen immediately.
+        for reg, sig in m.reg_next.items():
+            if m.regs[reg].width != 1:
+                continue
+            if self._resolve_alias(sig) == reg:
+                continue  # provably holds this cycle
+            emit(f"pregs[{reg!r}] = p_{sig}")
+        self.lane_local = set()
+        self.inline = {}
+        edge_exprs = self._edge_exprs()
+        wide_next = [
+            (reg, sig) for reg, sig in m.reg_next.items()
+            if m.regs[reg].width != 1 and self._resolve_alias(sig) != reg
+        ]
+        edge_arrays = sorted({wr.array for wr in m.array_writes} | self._arrays_in(edge_exprs))
+        for arr in edge_arrays:
+            emit(f"al_{arr} = arrays[{arr!r}]")
+        edge_names = [sig for _, sig in wide_next] + list(m.outputs.values())
+        edge_reg_reads = {
+            nm for nm in edge_names if nm in m.regs and m.regs[nm].width != 1
+        }
+        preload = self._wide_regs_in(m, edge_exprs) | edge_reg_reads | {r for r, _ in wide_next}
+        for wreg in sorted(preload):
+            emit(f"wr_{wreg} = wregs[{wreg!r}]")
+        emit("outs = []")
+        emit("_outs_append = outs.append")
+        emit("for _l in range(n):")
+        for arr in sorted(self._arrays_in(edge_exprs)):
+            emit_lane(f"a_{arr} = al_{arr}[_l]")
+        # 1. next register values, computed from pre-edge state
+        for reg, sig in wide_next:
+            emit_lane(f"_n_{reg} = {self.ref(sig)}")
+        # 2. array write ports, in declaration order (old registers visible)
+        for wr in m.array_writes:
+            arr = m.arrays[wr.array]
+            addr = self.expr(wr.addr)
+            idx = addr if (1 << wr.addr.width) <= arr.size else f"{addr} % {arr.size}"
+            emit_lane(f"if {self.bool_expr(wr.enable)}:")
+            emit_lane(f"    al_{wr.array}[_l][{idx}] = {self.expr(wr.data)}")
+        # 3. output ports (pre-edge register values, current-cycle signals)
+        outs = ", ".join(f"{p!r}: {self.ref(sig)}" for p, sig in m.outputs.items())
+        emit_lane("_outs_append({" + outs + "})")
+        # 4. commit the new register values
+        for reg, _ in wide_next:
+            emit_lane(f"wr_{reg}[_l] = _n_{reg}")
+        emit("return outs")
+
+        # scratch buffers are allocated once per lane count by the factory
+        # and bound as default arguments (plain fast locals in the step)
+        header = ["def _make_batch_step(n):", "    ONES = (1 << n) - 1"]
+        header += [f"    {b}_buf = [0] * n" for b in bufs]
+        params = "".join(f", {b}={b}_buf" for b in bufs)
+        header.append(f"    def _step(pregs, wregs, arrays, inputs{params}):")
+        body = "\n".join(L) if L else "        pass"
+        return _SIGNED_HELPER + "\n".join(header) + "\n" + body + "\n    return _step"
+
+
+# ------------------------------------------------------------- specialization
+
+
+def _fold_module(module: Module, binding: dict[str, int]) -> Module:
+    """*module* with the bound registers replaced by constants, then
+    re-optimized.  Architectural state (registers, arrays, ports) is
+    preserved, so the folded module is a drop-in step-function source for
+    any cycle on which every lane holds the bound values."""
+    from repro.hdl.passes import run_pipeline
+
+    def sub(e: HExpr) -> HExpr:
+        if isinstance(e, HRef) and e.name in binding:
+            return HConst(binding[e.name], e.width)
+        if isinstance(e, HOp):
+            return HOp(e.op, tuple(sub(a) for a in e.args), e.width, e.hi, e.lo, e.array)
+        return e
+
+    out = Module(module.name)
+    out.inputs = dict(module.inputs)
+    out.regs = dict(module.regs)
+    out.arrays = dict(module.arrays)
+    out.reg_next = dict(module.reg_next)
+    out.outputs = dict(module.outputs)
+    out.array_writes = list(module.array_writes)
+    out._counter = module._counter
+    out.comb = [(n, sub(e)) for n, e in module.comb]
+    widths = dict(module.inputs)
+    widths.update({name: r.width for name, r in module.regs.items()})
+    for name, e in out.comb:
+        widths[name] = e.width
+    out._widths = widths
+    return run_pipeline(out).module
+
+
+def _dispatch_regs(module: Module, max_width: int = 4, max_regs: int = 4) -> list[str]:
+    """Control registers worth specializing on: narrow registers compared
+    against constants (FSM state codes, fall registers) plus heavily-read
+    1-bit mode registers."""
+    eq_regs: Counter = Counter()
+    ref_count: Counter = Counter()
+    for _, e in module.comb:
+        for node in e.walk():
+            if isinstance(node, HRef) and node.name in module.regs:
+                ref_count[node.name] += 1
+            if (isinstance(node, HOp) and node.op == "eq"
+                    and isinstance(node.args[0], HRef)
+                    and isinstance(node.args[1], HConst)):
+                name = node.args[0].name
+                if name in module.regs and 1 < module.regs[name].width <= max_width:
+                    eq_regs[name] += 1
+    picks = [name for name, _ in eq_regs.most_common(max_regs)]
+    onebit = [
+        name for name, cnt in ref_count.most_common()
+        if name not in picks and module.regs[name].width == 1 and cnt >= 8
+    ]
+    return picks + onebit[: max_regs - len(picks)]
+
+
+#: A folded body must shrink the combinational block at least this much
+#: to be worth compiling.
+_FOLD_THRESHOLD = 0.5
+
+#: Bound on cached specialized bodies per module.
+_MAX_BODIES = 16
+
+
+class _BatchEntry:
+    """All compiled batched artifacts for one module object."""
+
+    def __init__(self, module: Module):
+        gen = _BatchCodeGen(module)
+        self.source = gen.generate()
+        namespace: dict = {}
+        exec(compile(self.source, f"<hdl-batch:{module.name}>", "exec"), namespace)  # noqa: S102
+        self.factory: Callable[[int], Callable] = namespace["_make_batch_step"]
+        self.steps: dict[int, Callable] = {}
+        self.dispatch = _dispatch_regs(module)
+        #: combo -> per-lane-count factory, or None when folding was refused
+        self.bodies: dict[tuple, Optional["_BatchEntry._Body"]] = {}
+
+    class _Body:
+        def __init__(self, module: Module, source: str):
+            self.module = module
+            self.source = source
+            namespace: dict = {}
+            exec(compile(source, f"<hdl-batch:{module.name}:fold>", "exec"), namespace)  # noqa: S102
+            self.factory = namespace["_make_batch_step"]
+            self.steps: dict[int, Callable] = {}
+
+        def step(self, n: int) -> Callable:
+            fn = self.steps.get(n)
+            if fn is None:
+                fn = self.steps[n] = self.factory(n)
+            return fn
+
+    def step(self, n: int) -> Callable:
+        fn = self.steps.get(n)
+        if fn is None:
+            fn = self.steps[n] = self.factory(n)
+        return fn
+
+    def body_for(self, module: Module, combo: tuple) -> Optional["_BatchEntry._Body"]:
+        """The specialized body for a uniform *combo*, compiled lazily."""
+        if combo in self.bodies:
+            return self.bodies[combo]
+        binding = {reg: v for reg, v in zip(self.dispatch, combo) if v is not None}
+        body: Optional[_BatchEntry._Body] = None
+        compiled = sum(1 for b in self.bodies.values() if b is not None)
+        if binding and compiled < _MAX_BODIES:
+            folded = _fold_module(module, binding)
+            if len(folded.comb) <= _FOLD_THRESHOLD * max(len(module.comb), 1):
+                body = self._Body(folded, _BatchCodeGen(folded).generate())
+        self.bodies[combo] = body
+        return body
+
+
+def _batch_entry(module: Module) -> _BatchEntry:
+    entry = _BATCH_CACHE.get(module)
+    if entry is None:
+        entry = _BatchEntry(module)
+        _BATCH_CACHE.set(module, entry)
+    return entry
+
+
+# ----------------------------------------------------------------- simulator
+
+
+InputLike = Union[None, dict, Sequence[Optional[dict]]]
+
+
+class _LaneRegs:
+    """Dict-like per-lane view of a :class:`BatchSimulator`'s registers,
+    compatible with :attr:`repro.hdl.sim.Simulator.regs` consumers."""
+
+    def __init__(self, sim: "BatchSimulator", lane: int):
+        self._sim = sim
+        self._lane = lane
+
+    def __getitem__(self, name: str) -> int:
+        return self._sim.get_reg(self._lane, name)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._sim.set_reg(self._lane, name, value)
+
+    def get(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sim.module.regs
+
+    def __iter__(self):
+        return iter(self._sim.module.regs)
+
+    def __len__(self) -> int:
+        return len(self._sim.module.regs)
+
+    def items(self):
+        return ((name, self[name]) for name in self)
+
+
+class _LaneView:
+    """One lane presented with the scalar :class:`Simulator` interface
+    (``regs`` mapping, ``arrays`` dict of live per-lane stores)."""
+
+    def __init__(self, sim: "BatchSimulator", lane: int):
+        self.regs = _LaneRegs(sim, lane)
+        self.arrays = {name: store[lane] for name, store in sim.arrays.items()}
+
+
+class BatchSimulator:
+    """N independent executions of one module, advanced together.
+
+    State layout: 1-bit registers live *packed* in :attr:`pregs` (bit
+    ``l`` = lane ``l``); wider registers in :attr:`wregs` as per-lane
+    lists; arrays in :attr:`arrays` as per-lane sparse dicts.  Use
+    :meth:`get_reg` / :meth:`set_reg` / :meth:`lane_view` for scalar
+    access -- each lane is bit-identical, cycle for cycle, to a scalar
+    :class:`~repro.hdl.sim.Simulator` over the same module.
+
+    ``step`` takes either one input dict broadcast to every lane or a
+    sequence of per-lane dicts, and returns the per-lane output-port
+    dicts.  Pass ``optimize=False`` to batch the raw IR (the default
+    mirrors :class:`Simulator` and runs the module through the shared
+    optimization pipeline first).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lanes: int,
+        optimize: bool = True,
+        specialize: bool = True,
+    ):
+        if lanes < 1:
+            raise ValueError(f"lane count must be >= 1, got {lanes}")
+        if optimize:
+            from repro.hdl.passes import optimize as _optimize
+
+            module = _optimize(module)
+        module.validate()
+        self.module = module
+        self.lanes = lanes
+        self.cycles = 0
+        self.specialize = specialize
+        self._entry = _batch_entry(module)
+        self._step = self._entry.step(lanes)
+        self.source = self._entry.source
+        self.pregs: dict[str, int] = {}
+        self.wregs: dict[str, list[int]] = {}
+        for r in module.regs.values():
+            if r.width == 1:
+                self.pregs[r.name] = ((1 << lanes) - 1) if (r.init & 1) else 0
+            else:
+                self.wregs[r.name] = [r.init] * lanes
+        self.arrays: dict[str, list[dict[int, int]]] = {
+            name: [{} for _ in range(lanes)] for name in module.arrays
+        }
+        self._ones = (1 << lanes) - 1
+        self._empty_inputs = [{}] * lanes
+        self._dispatch = [
+            (name, module.regs[name].width == 1) for name in self._entry.dispatch
+        ]
+
+    # -- state access -------------------------------------------------------
+
+    def get_reg(self, lane: int, name: str) -> int:
+        reg = self.module.regs[name]
+        if reg.width == 1:
+            return (self.pregs[name] >> lane) & 1
+        return self.wregs[name][lane]
+
+    def set_reg(self, lane: int, name: str, value: int) -> None:
+        reg = self.module.regs[name]
+        value &= (1 << reg.width) - 1
+        if reg.width == 1:
+            bit = 1 << lane
+            self.pregs[name] = (self.pregs[name] & ~bit) | (bit if value else 0)
+        else:
+            self.wregs[name][lane] = value
+
+    def lane_view(self, lane: int) -> _LaneView:
+        return _LaneView(self, lane)
+
+    def lane_regs(self, lane: int) -> dict[str, int]:
+        """A snapshot dict of one lane's registers."""
+        return {name: self.get_reg(lane, name) for name in self.module.regs}
+
+    def load_array(self, lane: int, name: str, data: Union[dict, list]) -> None:
+        """Initialize one lane's array contents (e.g. program memory).
+
+        Mutates the lane's store in place so live views of it (e.g. a
+        :meth:`lane_view` held across the load) stay current.
+        """
+        arr = self.module.arrays[name]
+        mask = (1 << arr.width) - 1
+        items = enumerate(data) if isinstance(data, list) else data.items()
+        store = self.arrays[name][lane]
+        store.clear()
+        store.update({i: v & mask for i, v in items if v & mask != arr.default})
+
+    # -- running -----------------------------------------------------------
+
+    def _lane_inputs(self, inputs: InputLike) -> Sequence[dict]:
+        if inputs is None:
+            return self._empty_inputs
+        if isinstance(inputs, dict):
+            return [inputs] * self.lanes
+        if len(inputs) != self.lanes:
+            raise ValueError(f"expected {self.lanes} per-lane inputs, got {len(inputs)}")
+        return [d if d is not None else {} for d in inputs]
+
+    def _uniform_combo(self) -> Optional[tuple]:
+        vals = []
+        some = False
+        for name, onebit in self._dispatch:
+            if onebit:
+                p = self.pregs[name]
+                if p == 0:
+                    vals.append(0)
+                    some = True
+                elif p == self._ones:
+                    vals.append(1)
+                    some = True
+                else:
+                    vals.append(None)
+            else:
+                lst = self.wregs[name]
+                v0 = lst[0]
+                for v in lst:
+                    if v != v0:
+                        vals.append(None)
+                        break
+                else:
+                    vals.append(v0)
+                    some = True
+        return tuple(vals) if some else None
+
+    def step(self, inputs: InputLike = None) -> list[dict[str, int]]:
+        """Advance every lane one clock cycle; returns per-lane outputs."""
+        self.cycles += 1
+        lane_inputs = self._lane_inputs(inputs)
+        if self.specialize and self._dispatch:
+            combo = self._uniform_combo()
+            if combo is not None:
+                body = self._entry.body_for(self.module, combo)
+                if body is not None:
+                    return body.step(self.lanes)(
+                        self.pregs, self.wregs, self.arrays, lane_inputs
+                    )
+        return self._step(self.pregs, self.wregs, self.arrays, lane_inputs)
+
+    def run(self, cycles: int, inputs: InputLike = None) -> list[dict[str, int]]:
+        out: list[dict[str, int]] = [{} for _ in range(self.lanes)]
+        for _ in range(cycles):
+            out = self.step(inputs)
+        return out

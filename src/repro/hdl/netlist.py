@@ -15,7 +15,7 @@ analytical path in :mod:`repro.glift.analytical`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.hdl.ir import ArrayDef, HConst, HExpr, HOp, HRef, Module
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
 from repro.hdl.passes.base import WeakIdMemo
 
 #: module -> (source, step function).  The generated function is pure
@@ -34,20 +34,42 @@ def _mangle(name: str) -> str:
     return "v_" + name
 
 
+def paren_depth(code: str) -> int:
+    """Maximum parenthesis nesting of *code* (inlining must stay well
+    below CPython's parser limit)."""
+    d = mx = 0
+    for ch in code:
+        if ch == "(":
+            d += 1
+            if d > mx:
+                mx = d
+        elif ch == ")":
+            d -= 1
+    return mx
+
+
 class _CodeGen:
+    """Scalar expression emitter shared by :class:`Simulator` and the
+    lane-batched codegen in :mod:`repro.hdl.batch` (which subclasses it
+    and overrides :meth:`ref` to resolve signals to per-lane storage)."""
+
     def __init__(self, module: Module):
         self.module = module
         self.lines: list[str] = []
         #: single-use wires inlined textually into their one consumer
         self.inline: dict[str, str] = {}
 
+    def ref(self, name: str) -> str:
+        """Code for reading the named signal (overridable)."""
+        inlined = self.inline.get(name)
+        return inlined if inlined is not None else _mangle(name)
+
     def expr(self, e: HExpr) -> str:
         m = (1 << e.width) - 1
         if isinstance(e, HConst):
             return repr(e.value)
         if isinstance(e, HRef):
-            inlined = self.inline.get(e.name)
-            return inlined if inlined is not None else _mangle(e.name)
+            return self.ref(e.name)
         assert isinstance(e, HOp)
         a = [self.expr(c) for c in e.args]
         aw = [c.width for c in e.args]
@@ -181,17 +203,6 @@ class Simulator:
                 for node in e.walk():
                     if isinstance(node, HRef):
                         keep.add(node.name)
-
-        def paren_depth(code: str) -> int:
-            d = mx = 0
-            for ch in code:
-                if ch == "(":
-                    d += 1
-                    if d > mx:
-                        mx = d
-                elif ch == ")":
-                    d -= 1
-            return mx
 
         lines = ["def _step(regs, arrays, inputs):"]
         for name in m.arrays:

@@ -10,7 +10,7 @@ of the paper); the partial order drives enforcement checks.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 
 class LatticeError(ValueError):

@@ -16,8 +16,7 @@ the symbol table -- loadable into both the ISS and the Sapper processor.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.mips import softfloat
 from repro.mips.isa import ENCODINGS, Instruction, encode

@@ -12,8 +12,8 @@ violations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 from repro.lattice import Lattice, encode, two_level
 from repro.mips.assembler import Executable, assemble
@@ -122,6 +122,113 @@ class SapperMachine:
             violations=self.violations,
             halted=self.halted,
         )
+
+
+class BatchedMachines:
+    """N programs on the secure processor as lanes of one batched machine.
+
+    One :class:`~repro.hdl.batch.BatchSimulator` advances every loaded
+    executable together; per-lane output traces, violation counts, and
+    halt flags are tracked exactly as :class:`SapperMachine` does for a
+    single program.  Batching pays once enough lanes are active (the
+    packed tag cone is evaluated once per cycle regardless of lane
+    count); below :attr:`MIN_LANES` callers are usually better off with
+    scalar machines -- :func:`run_workloads` picks automatically.
+    """
+
+    #: lane count at which the batched engine overtakes scalar machines
+    #: on the full processor (see benchmarks/test_perf_toolchain.py)
+    MIN_LANES = 16
+
+    def __init__(
+        self,
+        executables: list[Executable],
+        lattice: Optional[Lattice] = None,
+        secure: bool = True,
+    ):
+        self.lattice = lattice or two_level()
+        self.design = compile_processor(self.lattice, secure)
+        self.sim = get_toolchain().batch_simulator(self.design, len(executables))
+        self.lanes = len(executables)
+        for lane, exe in enumerate(executables):
+            self.sim.load_array(lane, "memory", exe.as_memory())
+        self.outputs: list[list[int]] = [[] for _ in range(self.lanes)]
+        self.violations = [0] * self.lanes
+        self.halted_at: list[Optional[int]] = [None] * self.lanes
+
+    def run(self, max_cycles: Union[int, Sequence[int]] = 2_000_000) -> list[RunResult]:
+        """Advance all lanes until every lane halts or exhausts its budget.
+
+        *max_cycles* may be one budget for all lanes or a per-lane
+        sequence (each workload keeps its own cycle budget, exactly as a
+        scalar :meth:`SapperMachine.run` per program would).
+        """
+        sim = self.sim
+        halted_reg = "halted_r"
+        if isinstance(max_cycles, int):
+            budgets = [max_cycles] * self.lanes
+        else:
+            budgets = list(max_cycles)
+            if len(budgets) != self.lanes:
+                raise ValueError(f"expected {self.lanes} budgets, got {len(budgets)}")
+        spent = [0] * self.lanes
+        for cycle in range(1, max(budgets, default=0) + 1):
+            outs = sim.step()
+            live = False
+            for lane, out in enumerate(outs):
+                if self.halted_at[lane] is not None or cycle > budgets[lane]:
+                    continue
+                spent[lane] = cycle
+                if out.get("out_valid"):
+                    self.outputs[lane].append(out["out_port"])
+                if out.get("violation"):
+                    self.violations[lane] += 1
+                if sim.get_reg(lane, halted_reg):
+                    self.halted_at[lane] = cycle
+                elif cycle < budgets[lane]:
+                    live = True
+            if not live:
+                break
+        return [
+            RunResult(
+                outputs=list(self.outputs[lane]),
+                cycles=self.halted_at[lane] or spent[lane],
+                violations=self.violations[lane],
+                halted=self.halted_at[lane] is not None,
+            )
+            for lane in range(self.lanes)
+        ]
+
+
+def run_workloads(
+    executables: list[Executable],
+    lattice: Optional[Lattice] = None,
+    max_cycles: Union[int, Sequence[int]] = 2_000_000,
+    batched: Optional[bool] = None,
+) -> list[RunResult]:
+    """Run many programs on the secure processor, one result per program.
+
+    *max_cycles* is one budget or a per-program sequence.  ``batched=None``
+    picks the engine automatically: the lane-batched simulator once
+    ``len(executables) >= BatchedMachines.MIN_LANES``, scalar machines
+    below that (a batched step costs roughly the same as
+    ~ :attr:`~BatchedMachines.MIN_LANES` scalar steps on this design, so
+    small suites with skewed run lengths are faster scalar).
+    """
+    if batched is None:
+        batched = len(executables) >= BatchedMachines.MIN_LANES
+    if batched:
+        return BatchedMachines(executables, lattice).run(max_cycles)
+    if isinstance(max_cycles, int):
+        budgets = [max_cycles] * len(executables)
+    else:
+        budgets = list(max_cycles)
+    results = []
+    for exe, budget in zip(executables, budgets):
+        machine = SapperMachine(lattice)
+        machine.load(exe)
+        results.append(machine.run(budget))
+    return results
 
 
 def run_on_iss(exe: Executable, max_steps: int = 10_000_000) -> Iss:

@@ -20,7 +20,7 @@ need to know statically:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 from repro.lattice import Lattice
 from repro.sapper import ast
@@ -446,7 +446,6 @@ def analyze(program: ast.Program, lattice: Optional[Lattice] = None) -> ProgramI
 
     # Resolve every state body (rewrites the AST in place of the old one).
     resolver = _Resolver(regs, arrays, set(states))
-    resolved: dict[str, ast.StateDef] = {}
 
     def resolve_state(s: ast.StateDef) -> ast.StateDef:
         body = resolver.cmd(s.body)

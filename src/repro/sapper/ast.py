@@ -21,7 +21,7 @@ their inputs -- a prerequisite for the noninterference theorem.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional, Union
 
 # -- expressions ------------------------------------------------------------

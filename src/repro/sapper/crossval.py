@@ -31,6 +31,21 @@ from repro.sapper.semantics import Interpreter
 InputSpec = dict[str, Union[int, tuple[int, str]]]
 
 
+def encode_inputs(design: CompiledDesign, inputs: InputSpec) -> dict[str, int]:
+    """Translate ``port: value`` / ``port: (value, label)`` stimulus into
+    the compiled module's value and ``__tag`` input ports."""
+    enc = design.encoding
+    out: dict[str, int] = {}
+    for port, spec in inputs.items():
+        if isinstance(spec, tuple):
+            value, label = spec
+            out[port] = value
+            out[f"{port}__tag"] = enc.encode(label)
+        else:
+            out[port] = spec
+    return out
+
+
 @dataclass
 class Mismatch:
     cycle: int
@@ -83,16 +98,7 @@ class CrossValidation:
     # -- input translation ------------------------------------------------------
 
     def _sim_inputs(self, inputs: InputSpec) -> dict[str, int]:
-        enc = self.design.encoding
-        out: dict[str, int] = {}
-        for port, spec in inputs.items():
-            if isinstance(spec, tuple):
-                value, label = spec
-                out[port] = value
-                out[f"{port}__tag"] = enc.encode(label)
-            else:
-                out[port] = spec
-        return out
+        return encode_inputs(self.design, inputs)
 
     # -- state comparison ----------------------------------------------------------
 
@@ -195,3 +201,107 @@ def assert_equivalent(
         detail = "\n".join(str(m) for m in mismatches[:12])
         raise AssertionError(f"compiler/semantics divergence:\n{detail}")
     return cv
+
+
+class BatchCrossValidation:
+    """Many stimulus traces of one program as lanes of a batched machine.
+
+    Each lane is held to its own reference interpreter every cycle --
+    the full architectural state (registers, tags, fall maps, arrays,
+    outputs, violation events), exactly as :class:`CrossValidation` does
+    for a single trace.  One :class:`~repro.hdl.batch.BatchSimulator`
+    over the optimized module advances every trace together, so the
+    batched engine itself is the device under test.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, ProgramInfo],
+        lattice: Lattice,
+        lanes: int,
+        name: str = "design",
+    ):
+        from repro.hdl import BatchSimulator
+
+        info = (
+            source if isinstance(source, ProgramInfo)
+            else analyze(parse_program(source, name), lattice)
+        )
+        self.design = compile_program(info, lattice, secure=True, name=name)
+        self.lanes = lanes
+        self.batch = BatchSimulator(self.design.module, lanes)
+        self.interps = [Interpreter(info, lattice) for _ in range(lanes)]
+        self.mismatches: list[Mismatch] = []
+        # per-lane comparison harness: the lane views are live, so one
+        # CrossValidation holder per lane serves every cycle
+        self._lane_cv = [
+            CrossValidation(
+                self.interps[lane], self.design, self.batch.lane_view(lane),
+                mismatches=self.mismatches,
+            )
+            for lane in range(lanes)
+        ]
+
+    def run_cycle(self, lane_inputs: Sequence[Optional[InputSpec]]) -> None:
+        """One cycle of every lane against its interpreter."""
+        before = [len(it.violations) for it in self.interps]
+        outs = self.batch.step(
+            [encode_inputs(self.design, inputs or {}) for inputs in lane_inputs]
+        )
+        for lane in range(self.lanes):
+            it = self.interps[lane]
+            it_out = it.run_cycle(lane_inputs[lane] or {})
+            cycle = it.delta
+            violated = len(it.violations) > before[lane]
+            cv = self._lane_cv[lane]
+            view = cv.sim
+            sim_out = outs[lane]
+            tag = f"lane{lane}:"
+            for port, (value, label) in it_out.items():
+                if sim_out.get(port) != value:
+                    self.mismatches.append(
+                        Mismatch(cycle, f"{tag}output {port}", value, sim_out.get(port))
+                    )
+                tag_port = f"{port}__tag"
+                if tag_port in sim_out and sim_out[tag_port] != self.design.encoding.encode(label):
+                    self.mismatches.append(
+                        Mismatch(cycle, f"{tag}output tag {port}", label, sim_out[tag_port])
+                    )
+            if bool(sim_out.get("violation", 0)) != violated:
+                self.mismatches.append(
+                    Mismatch(cycle, f"{tag}violation flag", violated,
+                             bool(sim_out.get("violation", 0)))
+                )
+            cv.compare_state(cycle, view, tag)
+
+    def run(
+        self,
+        cycles: int,
+        stimulus: Optional[Callable[[int, int], InputSpec]] = None,
+        stop_on_mismatch: bool = True,
+    ) -> list[Mismatch]:
+        """*stimulus* maps ``(lane, cycle)`` to that lane's inputs."""
+        for cycle in range(cycles):
+            self.run_cycle(
+                [stimulus(lane, cycle) if stimulus else None for lane in range(self.lanes)]
+            )
+            if stop_on_mismatch and self.mismatches:
+                break
+        return self.mismatches
+
+
+def assert_equivalent_suite(
+    source: str,
+    lattice: Lattice,
+    cycles: int,
+    stimuli: Sequence[Callable[[int], InputSpec]],
+    name: str = "design",
+) -> BatchCrossValidation:
+    """Run a suite of stimulus traces as lanes of one batched machine,
+    each held to its own interpreter, and raise on any divergence."""
+    bcv = BatchCrossValidation(source, lattice, len(stimuli), name)
+    mismatches = bcv.run(cycles, lambda lane, cycle: stimuli[lane](cycle))
+    if mismatches:
+        detail = "\n".join(str(m) for m in mismatches[:12])
+        raise AssertionError(f"batched compiler/semantics divergence:\n{detail}")
+    return bcv

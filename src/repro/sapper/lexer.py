@@ -8,7 +8,6 @@ The surface syntax is Verilog-flavoured, matching the paper's listings
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
 from repro.sapper.errors import SapperSyntaxError
 

@@ -45,7 +45,7 @@ verifies mechanically):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.lattice import Lattice, encode

@@ -31,7 +31,12 @@ import hashlib
 from collections import OrderedDict
 from typing import Callable, Optional, TypeVar, Union
 
-from repro.hdl import Simulator, emit_verilog as _emit_verilog, synthesize as _synthesize
+from repro.hdl import (
+    BatchSimulator,
+    Simulator,
+    emit_verilog as _emit_verilog,
+    synthesize as _synthesize,
+)
 from repro.hdl.ir import Module
 from repro.hdl.passes import MAX_OPT_LEVEL, optimize as _optimize
 from repro.hdl.synth import CostReport
@@ -161,6 +166,18 @@ class Toolchain:
     def simulator(self, design: Design) -> Simulator:
         """A fresh-state simulator over the (shared) optimized module."""
         return Simulator(self.optimize(design), optimize=False)
+
+    def batch_simulator(self, design: Design, lanes: int) -> BatchSimulator:
+        """A fresh-state *lane-batched* simulator over the (shared)
+        optimized module: one vectorized step advances *lanes* independent
+        machine states, each bit-identical to :meth:`simulator`.
+
+        The batched step function, its per-lane-count factories, and any
+        state-specialized fast-path bodies are cached per module object --
+        the same structural key every other artifact here hangs off -- so
+        repeated calls (randomized suites, the eval driver) compile once.
+        """
+        return BatchSimulator(self.optimize(design), lanes, optimize=False)
 
     def synthesize(self, design: Design) -> CostReport:
         """Gate census / area / delay / power of the optimized module (cached)."""

@@ -299,7 +299,6 @@ def _fft_golden(values: list[float]) -> list[int]:
     size = 2
     while size <= n:
         half = size // 2
-        step = n // size
         for start in range(0, n, size):
             for k in range(half):
                 angle = -2 * math.pi * k / size

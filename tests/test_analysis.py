@@ -237,8 +237,6 @@ class TestWidths:
             state s : L = { c := a == b; goto s; }
             """
         )
-        from repro.sapper.parser import parse_expression
-
         assert info.width_of(ast.RegRef("a")) == 8
         assert info.width_of(ast.BinOp("+", ast.RegRef("a"), ast.RegRef("b"))) == 9
         assert info.width_of(ast.BinOp("==", ast.RegRef("a"), ast.RegRef("b"))) == 1

@@ -1,10 +1,8 @@
 """Tests for the GLIFT and Caisson baselines."""
 
-import pytest
-
 from repro.caisson import caisson_transform
 from repro.glift import GliftSimulator, glift_augment, glift_transform
-from repro.hdl import HConst, HOp, Module, Simulator, synthesize
+from repro.hdl import HOp, Module, Simulator, synthesize
 from repro.hdl.netlist import bit_blast
 from repro.lattice import diamond, two_level
 
@@ -69,7 +67,6 @@ class TestGliftShadow:
             mask = 1 << taint_bit
             for a in (0x00, 0x5A, 0xFF):
                 for b in (0x0F, 0xA5, 0xFF):
-                    ref = Simulator.__new__(Simulator)  # not needed; compute directly
                     y0 = a & b
                     y1 = (a ^ mask) & b
                     sim = GliftSimulator(base)

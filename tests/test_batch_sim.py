@@ -1,0 +1,226 @@
+"""The lane-batched simulator vs N scalar simulators: bit-identical.
+
+The contract under test: a :class:`~repro.hdl.batch.BatchSimulator`
+with N lanes produces, per lane and per cycle, exactly the register
+contents (architectural registers *and* the compiler's shadow-tag
+registers), array contents (including ``__tags`` shadow stores), and
+output-port values of N scalar :class:`~repro.hdl.sim.Simulator` runs
+over the same module -- for random programs, random lane counts, and
+random per-lane stimulus, on both the generic engine and the
+uniform-state specialized fast path.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import BatchSimulator, Simulator
+from repro.lattice import two_level
+from repro.sapper import samples
+from repro.sapper.analysis import analyze
+from repro.sapper.compiler import compile_program
+from repro.sapper.crossval import encode_inputs
+
+from tests import strategies
+
+
+def assert_lanes_match_scalars(module, batch, sims, cycle):
+    """Full-state equality between each batch lane and its scalar twin."""
+    for lane, sim in enumerate(sims):
+        for name in module.regs:
+            want = sim.regs[name]
+            got = batch.get_reg(lane, name)
+            assert want == got, f"cycle {cycle} lane {lane} reg {name}: {want} != {got}"
+        for name, arr in module.arrays.items():
+            sim_arr = sim.arrays[name]
+            lane_arr = batch.arrays[name][lane]
+            for idx in set(sim_arr) | set(lane_arr):
+                want = sim_arr.get(idx, arr.default)
+                got = lane_arr.get(idx, arr.default)
+                assert want == got, (
+                    f"cycle {cycle} lane {lane} {name}[{idx}]: {want} != {got}"
+                )
+
+
+def run_lockstep(design, traces, cycles):
+    """Drive a batch and per-lane scalar sims with identical stimulus."""
+    module = design.module
+    lanes = len(traces)
+    batch = BatchSimulator(module, lanes)
+    sims = [Simulator(module) for _ in range(lanes)]
+    for cycle in range(cycles):
+        lane_inputs = [
+            encode_inputs(design, traces[lane][cycle % len(traces[lane])])
+            for lane in range(lanes)
+        ]
+        scalar_outs = [sim.step(inp) for sim, inp in zip(sims, lane_inputs)]
+        batch_outs = batch.step(lane_inputs)
+        assert batch_outs == scalar_outs, f"cycle {cycle}: outputs diverge"
+        assert_lanes_match_scalars(module, batch, sims, cycle)
+    return batch
+
+
+class TestRandomizedBatchEquivalence:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        strategies.programs(),
+        st.integers(1, 5),
+        st.data(),
+    )
+    def test_batch_matches_scalar_lanes(self, program, lanes, data):
+        """N random traces on a random program: every lane bit-identical
+        to a scalar run, including shadow-tag registers and tag arrays."""
+        lat = two_level()
+        info = analyze(program, lat)
+        design = compile_program(info, lat, secure=True, name="rand_batch")
+        traces = [
+            data.draw(strategies.stimulus_traces(cycles=5), label=f"lane{lane}")
+            for lane in range(lanes)
+        ]
+        run_lockstep(design, traces, cycles=5)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(strategies.programs(), st.data())
+    def test_uniform_lanes_stay_identical(self, program, data):
+        """Identical stimulus on every lane keeps lanes in lockstep --
+        the uniform-state fast path must not diverge from scalar."""
+        lat = two_level()
+        info = analyze(program, lat)
+        design = compile_program(info, lat, secure=True, name="rand_uniform")
+        trace = data.draw(strategies.stimulus_traces(cycles=6))
+        run_lockstep(design, [trace, trace, trace], cycles=6)
+
+
+class TestSpecializedFastPath:
+    SRC = """
+    reg[7:0] acc; reg[7:0] aux; input[7:0] x;
+    state top : L = {
+        let state p = {
+            acc := acc + x;
+            if (acc > 200) { goto q; } else { goto p; }
+        } in
+        let state q = {
+            aux := aux + 1;
+            acc := 0;
+            goto p;
+        } in
+        fall;
+    }
+    state other : L = { acc := acc - 1; goto other; }
+    """
+
+    def test_fast_path_bodies_bit_identical(self):
+        lat = two_level()
+        design = compile_program(self.SRC, lat, name="fsm")
+        module = design.module
+        lanes = 4
+        batch = BatchSimulator(module, lanes)
+        sims = [Simulator(module) for _ in range(lanes)]
+        # identical inputs keep the fall registers uniform: the
+        # specialized bodies run, and must match scalar state exactly
+        for cycle in range(120):
+            inp = {"x": 7, "x__tag": 0}
+            scalar_outs = [s.step(inp) for s in sims]
+            batch_outs = batch.step(inp)
+            assert batch_outs == scalar_outs
+            assert_lanes_match_scalars(module, batch, sims, cycle)
+        assert batch._entry.dispatch, "expected narrow FSM dispatch registers"
+        assert any(body is not None for body in batch._entry.bodies.values()), (
+            "uniform lanes never reached a specialized body"
+        )
+
+    def test_mixed_states_fall_back_to_generic(self):
+        lat = two_level()
+        design = compile_program(self.SRC, lat, name="fsm_mixed")
+        module = design.module
+        lanes = 3
+        batch = BatchSimulator(module, lanes)
+        sims = [Simulator(module) for _ in range(lanes)]
+        for cycle in range(100):
+            lane_inputs = [{"x": 3 + 50 * lane, "x__tag": 0} for lane in range(lanes)]
+            scalar_outs = [s.step(i) for s, i in zip(sims, lane_inputs)]
+            batch_outs = batch.step(lane_inputs)
+            assert batch_outs == scalar_outs
+            assert_lanes_match_scalars(module, batch, sims, cycle)
+
+
+class TestBatchSimulatorApi:
+    def test_lane_count_validation(self):
+        design = compile_program(samples.ADDER_CHECK, two_level(), name="api")
+        with pytest.raises(ValueError, match="lane count"):
+            BatchSimulator(design.module, 0)
+        with pytest.raises(ValueError, match="lane count"):
+            BatchSimulator(design.module, -3)
+
+    def test_broadcast_and_per_lane_inputs(self):
+        design = compile_program(samples.ADDER_TRACK, two_level(), name="bcast")
+        batch = BatchSimulator(design.module, 3)
+        outs = batch.step({"in_b": 1, "in_c": 2})
+        assert len(outs) == 3 and outs[0] == outs[1] == outs[2]
+        outs = batch.step([{"in_b": 1}, {"in_c": 4}, None])
+        assert len(outs) == 3
+        with pytest.raises(ValueError, match="per-lane"):
+            batch.step([{}, {}])
+
+    def test_lane_state_accessors(self):
+        design = compile_program(samples.TDMA, two_level(), name="acc")
+        batch = BatchSimulator(design.module, 2)
+        batch.set_reg(1, "acc", 42)
+        assert batch.get_reg(1, "acc") == 42
+        assert batch.get_reg(0, "acc") == 0
+        view = batch.lane_view(1)
+        assert view.regs["acc"] == 42
+        assert batch.lane_regs(1)["acc"] == 42
+        view.regs["acc"] = 7
+        assert batch.get_reg(1, "acc") == 7
+
+    def test_load_array_per_lane(self):
+        src = """
+        mem[7:0] buf[16]; reg[7:0] a; input[3:0] i;
+        state s : L = { a := buf[i]; goto s; }
+        """
+        design = compile_program(src, two_level(), name="mem")
+        batch = BatchSimulator(design.module, 2)
+        batch.load_array(0, "buf", [10, 20, 30])
+        batch.load_array(1, "buf", {2: 99})
+        batch.step({"i": 2})
+        out = batch.step({"i": 2})
+        assert batch.get_reg(0, "a") == 30
+        assert batch.get_reg(1, "a") == 99
+        assert len(out) == 2
+
+    def test_run_counts_cycles(self):
+        design = compile_program(samples.TDMA, two_level(), name="run")
+        batch = BatchSimulator(design.module, 2)
+        batch.run(10)
+        assert batch.cycles == 10
+
+
+class TestToolchainBatchCaching:
+    def test_shared_compilation_per_module(self):
+        from repro.toolchain import Toolchain
+
+        tc = Toolchain()
+        design = tc.compile(samples.TDMA, two_level(), name="tc_batch")
+        b1 = tc.batch_simulator(design, 4)
+        b2 = tc.batch_simulator(design, 4)
+        b3 = tc.batch_simulator(design, 2)
+        # one entry per module: same factory, same per-lane-count step
+        assert b1._entry is b2._entry is b3._entry
+        assert b1._step is b2._step
+        assert b1._step is not b3._step  # different lane count
+        # batched and scalar engines run the same optimized module
+        assert b1.module is tc.simulator(design).module
+
+    def test_batch_matches_toolchain_scalar(self):
+        from repro.toolchain import Toolchain
+
+        tc = Toolchain()
+        design = tc.compile(samples.TDMA, two_level(), name="tc_eq")
+        batch = tc.batch_simulator(design, 2)
+        scalar = tc.simulator(design)
+        inp = {"hi_in": 9, "hi_in__tag": 1, "lo_in": 4, "lo_in__tag": 0}
+        for _ in range(50):
+            want = scalar.step(inp)
+            got = batch.step(inp)
+            assert got[0] == want and got[1] == want

@@ -6,11 +6,9 @@ state (registers, tags, fall maps, arrays, outputs, violation events) at
 every cycle boundary.
 """
 
-import pytest
-
 from repro.lattice import diamond, two_level
 from repro.sapper import samples
-from repro.sapper.crossval import assert_equivalent
+from repro.sapper.crossval import assert_equivalent, assert_equivalent_suite
 
 
 def rotate_inputs(specs):
@@ -296,6 +294,49 @@ class TestDiamondEquivalence:
                 ]
             ),
         )
+
+
+class TestBatchedSuites:
+    """Suites of stimulus traces run as lanes of one batched machine,
+    each lane held to its own Figure 6 interpreter -- the batched engine
+    is the device under test."""
+
+    def test_tdma_stimulus_suite(self):
+        stimuli = [
+            rotate_inputs([{"hi_in": (5, "H"), "lo_in": (1, "L")}]),
+            rotate_inputs(
+                [{"hi_in": (7, "H"), "lo_in": (2, "L")},
+                 {"hi_in": (9, "H"), "lo_in": (3, "L")}]
+            ),
+            rotate_inputs([{"hi_in": (1, "H"), "lo_in": (8, "L")}]),
+            rotate_inputs([{"hi_in": (250, "H"), "lo_in": (0, "L")}]),
+        ]
+        assert_equivalent_suite(samples.TDMA, two_level(), 150, stimuli, name="tdma")
+
+    def test_adder_check_suite(self):
+        stimuli = [
+            rotate_inputs([{"in_b": (0x0F, "L"), "in_c": (0x33, "L")}]),
+            rotate_inputs([{"in_b": (0xAA, "H"), "in_c": (0x55, "L")}]),
+            rotate_inputs(
+                [{"in_b": (0xFF, "L"), "in_c": (0x01, "H")},
+                 {"in_b": (0x00, "L"), "in_c": (0x00, "L")}]
+            ),
+        ]
+        assert_equivalent_suite(samples.ADDER_CHECK, two_level(), 16, stimuli)
+
+    def test_enforcement_suite_with_divergent_violations(self):
+        # lanes violate (or not) independently; per-lane violation events
+        # must match each lane's interpreter exactly
+        src = """
+        reg[7:0] lo : L; input[7:0] x;
+        state s : L = { lo := x; goto s; }
+        """
+        stimuli = [
+            rotate_inputs([{"x": (1, "L")}]),
+            rotate_inputs([{"x": (2, "H")}]),
+            rotate_inputs([{"x": (3, "L")}, {"x": (4, "H")}]),
+        ]
+        assert_equivalent_suite(src, two_level(), 12, stimuli)
 
 
 class TestInsecureCompile:

@@ -9,7 +9,6 @@ from repro.eval.figures import (
     fig9_overhead,
     format_fig9,
     format_table,
-    sec46_diamond_overhead,
 )
 from repro.lattice import diamond, two_level
 
@@ -68,6 +67,35 @@ class TestFig9:
     def test_format(self, rows):
         text = format_fig9(rows)
         assert "Base Processor" in text and "Sapper" in text
+
+
+class TestBatchedWorkloadRuns:
+    def test_batched_and_scalar_hw_results_agree(self):
+        # the two fastest workloads, forced through both engines: the
+        # lane-batched machine must reproduce the scalar runs exactly
+        from repro.eval.figures import sec43_functional_validation
+
+        names = ["specrand", "fft"]
+        scalar = sec43_functional_validation(names=names, batched=False)
+        batched = sec43_functional_validation(names=names, batched=True)
+        assert len(scalar) == len(batched) == 2
+        for s, b in zip(scalar, batched):
+            assert s == b, f"{s['workload']}: batched/scalar runs diverge"
+            assert b["hw_matches"] and b["iss_matches"]
+
+    def test_run_workloads_auto_threshold(self):
+        from repro.mips.assembler import assemble
+        from repro.proc.machine import BatchedMachines, run_workloads
+        from repro.workloads import ALL_WORKLOADS
+
+        exe = assemble(ALL_WORKLOADS["specrand"].source)
+        # small suites pick the scalar engine automatically; forcing
+        # batched must give the same result
+        auto = run_workloads([exe], max_cycles=5000)
+        forced = run_workloads([exe], max_cycles=5000, batched=True)
+        assert auto == forced
+        assert len(auto) == 1 and auto[0].halted
+        assert BatchedMachines.MIN_LANES > 1
 
 
 class TestFormatTable:

@@ -10,7 +10,7 @@ gate level").
 from hypothesis import given, settings, strategies as st
 
 from repro.glift import GliftSimulator
-from repro.hdl import HConst, HOp, Module
+from repro.hdl import HOp, Module
 from repro.hdl.netlist import NetlistSimulator, bit_blast
 
 

@@ -28,7 +28,7 @@ def alu_module() -> Module:
     sel01 = m.fresh(HOp("mux", (HOp("eq", (op, HConst(0, 2)), 1), r0, r1), 8), "s01")
     sel23 = m.fresh(HOp("mux", (HOp("eq", (op, HConst(2, 2)), 1), r2, r3), 8), "s23")
     out = m.fresh(HOp("mux", (HOp("lt", (op, HConst(2, 2)), 1), sel01, sel23), 8), "out")
-    reg = m.add_reg("res", 8)
+    m.add_reg("res", 8)
     m.set_reg_next("res", out)
     m.set_output("result", out)
     return m

@@ -1,8 +1,6 @@
 """E3 depth: every Figure-7 instruction group executes on the compiled
 processor with results equal to the golden reference machine."""
 
-import pytest
-
 from repro.mips.assembler import assemble
 from repro.proc.machine import SapperMachine, run_on_iss
 

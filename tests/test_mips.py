@@ -5,7 +5,7 @@ import struct
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.mips import assemble, decode, AsmError, Iss, MMIO_HALT, MMIO_OUT
+from repro.mips import assemble, decode, AsmError, Iss
 from repro.mips import softfloat as sf
 from repro.mips.isa import ENCODINGS, FIGURE7_INSTRUCTIONS, Instruction, encode
 

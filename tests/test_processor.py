@@ -1,7 +1,5 @@
 """Integration tests for the Sapper MIPS processor (sections 4.1-4.2)."""
 
-import pytest
-
 from repro.lattice import diamond, two_level
 from repro.mips.assembler import assemble
 from repro.proc.design import design_sections, generate_design

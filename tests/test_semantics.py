@@ -1,7 +1,5 @@
 """Tests for the formal-semantics interpreter (Figure 6)."""
 
-import pytest
-
 from repro.lattice import diamond, two_level
 from repro.sapper.analysis import analyze
 from repro.sapper.parser import parse_program
