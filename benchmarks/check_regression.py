@@ -31,10 +31,14 @@ import sys
 
 BASELINE = pathlib.Path(__file__).parent / "baseline.json"
 
+#: Absolute slack on threshold comparisons so a metric *exactly at* the
+#: limit passes despite binary-float rounding (0.8 * 1.5 != 1.2).
+EPS = 1e-9
+
 #: extra_info keys treated as machine-independent gate counts
 GATE_KEYS = ("gates_raw", "gates_optimized", "dff_optimized", "levels_optimized")
 #: extra_info keys treated as machine-relative ratios (bigger is better)
-RATIO_KEYS = ("batch_speedup",)
+RATIO_KEYS = ("batch_speedup", "swar_speedup")
 
 
 def collect(bench_json: dict) -> dict:
@@ -94,9 +98,9 @@ def main(argv: list[str] | None = None) -> int:
             continue
         checked += 1
         limit = base * (1 + args.tolerance)
-        status = "FAIL" if cur > limit else "ok"
+        status = "FAIL" if cur > limit + EPS else "ok"
         print(f"[{status}] gates/{key}: {cur} vs baseline {base} (limit {limit:.0f})")
-        if cur > limit:
+        if cur > limit + EPS:
             failures.append(f"gates/{key}: {cur} > {limit:.0f}")
 
     for key, base in baseline.get("ratios", {}).items():
@@ -106,9 +110,9 @@ def main(argv: list[str] | None = None) -> int:
             continue
         checked += 1
         floor = base * (1 - args.tolerance)
-        status = "FAIL" if cur < floor else "ok"
+        status = "FAIL" if cur < floor - EPS else "ok"
         print(f"[{status}] ratios/{key}: {cur:.2f} vs baseline {base:.2f} (floor {floor:.2f})")
-        if cur < floor:
+        if cur < floor - EPS:
             failures.append(f"ratios/{key}: {cur:.2f} < {floor:.2f}")
 
     factor = (1 + args.tolerance) if args.strict else args.throughput_tolerance
@@ -126,10 +130,10 @@ def main(argv: list[str] | None = None) -> int:
             continue
         checked += 1
         limit = base * factor
-        status = "FAIL" if cur > limit else "ok"
+        status = "FAIL" if cur > limit + EPS else "ok"
         print(f"[{status}] time/{name}: {cur * 1e3:.2f} ms vs baseline "
               f"{base * 1e3:.2f} ms (limit {limit * 1e3:.2f} ms)")
-        if cur > limit:
+        if cur > limit + EPS:
             failures.append(f"time/{name}: {cur * 1e3:.2f} ms > {limit * 1e3:.2f} ms")
 
     if failures:

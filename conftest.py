@@ -1,0 +1,30 @@
+"""Repository-wide pytest configuration: hypothesis profiles.
+
+Two registered profiles:
+
+* ``dev`` (default) -- the interactive profile: random seeds, no
+  deadline (compiled-module cache misses dwarf any single example).
+* ``ci`` -- deterministic and more thorough: ``derandomize=True`` so
+  the tier-1 matrix cannot flake on a fresh unlucky seed, with a higher
+  example budget for the property suites that do not pin their own.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...`` (the CI workflow does).
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

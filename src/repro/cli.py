@@ -13,9 +13,12 @@ output), ``--name`` (module name).  ``simulate`` drives constant input
 values given as ``-i port=value`` (tag inputs as ``port__tag=bits``)
 and prints the output ports each cycle plus a violation summary;
 ``--lanes N`` advances N independent machine states per cycle through
-the lane-batched simulator (bit-identical to N scalar runs)::
+the lane-batched simulator (bit-identical to N scalar runs), and
+``--engine {scalar,batch,swar}`` pins the simulation engine (``auto``
+picks scalar at one lane and the SWAR wide-word engine beyond)::
 
     python -m repro simulate design.sapper -n 100 --lanes 8 --quiet
+    python -m repro simulate design.sapper -n 100 --lanes 8 --engine batch
 """
 
 from __future__ import annotations
@@ -68,6 +71,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--lanes", type=_positive_int, default=1, metavar="N",
                      help="advance N independent machine states with the "
                           "lane-batched simulator (default: 1, scalar)")
+    sim.add_argument("--engine", choices=["auto", "scalar", "batch", "swar"],
+                     default="auto",
+                     help="simulation engine: 'scalar' (one Simulator per "
+                          "run, --lanes 1 only), 'batch' (lane-packed tags "
+                          "+ per-lane datapath, the pre-SWAR engine), "
+                          "'swar' (adds guard-banded wide-word lane "
+                          "packing), or 'auto' (scalar at 1 lane, swar "
+                          "beyond; default)")
     sim.add_argument("--quiet", action="store_true", help="only print the summary")
 
     common(sub.add_parser("synth", help="synthesize to a gate census / cost report"))
@@ -117,11 +128,20 @@ def _cmd_simulate(args: argparse.Namespace, tc: Toolchain) -> int:
 
     design, _ = _design(args, tc)
     inputs = _parse_inputs(args.input)
-    if args.lanes > 1:
+    engine = args.engine
+    if engine == "auto":
+        engine = "swar" if args.lanes > 1 else "scalar"
+    if engine == "scalar" and args.lanes > 1:
+        raise SystemExit(
+            f"--engine scalar supports --lanes 1 only (got {args.lanes}); "
+            "use --engine batch or swar"
+        )
+    if engine in ("batch", "swar"):
+        swar = engine == "swar"
         if args.no_opt:
-            sim = BatchSimulator(design.module, args.lanes, optimize=False)
+            sim = BatchSimulator(design.module, args.lanes, optimize=False, swar=swar)
         else:
-            sim = tc.batch_simulator(design, args.lanes)
+            sim = tc.batch_simulator(design, args.lanes, swar=swar)
         violations = [0] * args.lanes
         outs: list[dict[str, int]] = [{} for _ in range(args.lanes)]
         for cycle in range(args.cycles):

@@ -5,36 +5,49 @@ interpretation overhead for every machine it runs; randomized suites and
 the evaluation driver run hundreds of independent simulations of the
 *same* module.  :class:`BatchSimulator` compiles one *vectorized* step
 function that advances ``n`` lanes at once, bit-identically to ``n``
-scalar simulators, using three cooperating representations:
+scalar simulators, using three cooperating evaluation tiers:
 
-**Packed world** -- every 1-bit signal whose whole expression tree is
-1-bit (the security-tag cone dominates compiled Sapper designs) is held
-as a single integer with bit ``l`` = lane ``l``.  One Python ``&`` then
-advances all lanes of an AND gate at once; muxes become three bitwise
-ops.  This is the classic bit-slicing transform, applied across lanes
-instead of across a word.
+**Packed world ("p")** -- every 1-bit signal whose whole expression tree
+is 1-bit (the security-tag cone dominates compiled Sapper designs) is
+held as a single integer with bit ``l`` = lane ``l``.  One Python ``&``
+then advances all lanes of an AND gate at once; muxes become three
+bitwise ops.  This is the classic bit-slicing transform, applied across
+lanes instead of across a word.
 
-**Scalar world** -- wider signals (the datapath) are evaluated per lane
-inside a ``for`` loop over lanes; cross-phase values live in per-lane
-list buffers, lane-loop-invariant reads are hoisted, and guard
-expressions are emitted in boolean context (``a == b`` instead of
-``1 if a == b else 0``).  The two worlds interleave in dependency-scheduled
-phases; 1-bit values produced by wide comparisons are accumulated back
-into packed form with ``|= flag << lane``.
+**SWAR world ("w")** -- multi-bit signals up to
+:data:`~repro.hdl.swar.SWAR_MAX_WIDTH` bits whose trees use only
+SWAR-expressible operators (add/sub, bitwise, compares, constant shifts,
+mux, extends, slices, cat) are packed ``n`` lanes per big integer, one
+fixed-``pitch`` slot per lane with a guard band above the value bits
+(:mod:`repro.hdl.swar`).  A single big-int ``+`` then advances all lanes
+of an adder; compares use the guard-bit borrow trick and return either
+slot-spaced flags (consumed by SWAR muxes) or lane-contiguous flags
+(consumed by the packed tag world) -- layout conversions are a single
+multiply, not a per-lane loop.  Registers in 2..33 bits live *packed* in
+``sregs``; write-back from the SWAR world is one dict store.
+
+**Scalar world ("s")** -- everything else (array reads, mul/div/mod,
+variable shifts, >33-bit values) is evaluated per lane inside a ``for``
+loop over lanes, exactly as the scalar simulator would, with per-lane
+list buffers, hoisted loop-invariant reads, and boolean-context guard
+emission.  Pack/unpack shims move values across the tier boundary:
+scalar loops read packed signals with a shift-and-mask, and scalar
+results feeding SWAR consumers are accumulated into packed form inside
+the loop that computes them.
 
 **Uniform-state fast path** -- when every lane agrees on the value of
 the module's narrow control registers (FSM/fall registers), the step
 dispatches to a *specialized* body: the module partially evaluated under
 that binding and re-optimized by :func:`repro.hdl.passes.optimize`'s
-pipeline.  Boot, refill, and other non-pipeline phases collapse to a few
-percent of the full design, and registers that provably hold skip their
-write-back entirely.  Bodies are compiled lazily per observed state and
-cached; bindings that fail to shrink the module are remembered and
-skipped.
+pipeline.  Bodies are compiled lazily per observed state and cached;
+bindings that fail to shrink the module are remembered and skipped.
 
-All compiled artifacts are cached per module object (the same structural
-identity the :class:`~repro.toolchain.Toolchain` keys its artifacts by),
-so every ``BatchSimulator`` over one module shares a single compilation.
+All compiled artifacts are cached per (module object, engine flag) --
+the same structural identity the :class:`~repro.toolchain.Toolchain`
+keys its artifacts by -- so every ``BatchSimulator`` over one module
+shares a single compilation.  Pass ``swar=False`` to disable the SWAR
+tier and fall back to the two-tier packed/per-lane engine (used by the
+benchmark suite to measure the SWAR tier's speedup).
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ from typing import Callable, Optional, Sequence, Union
 from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
 from repro.hdl.passes.base import WeakIdMemo
 from repro.hdl.sim import _SIGNED_HELPER, _CodeGen, paren_depth
+from repro.hdl.swar import SWAR_MAX_WIDTH, get_layout
 
 #: Ops that close over the packed (1-bit lane-sliced) world.
 _PACK_OPS = frozenset(
@@ -59,10 +73,14 @@ _BOOL_OPS = frozenset(
      "land", "lor", "lnot"]
 )
 
+#: Comparison operators the SWAR tier implements with guard-bit tricks.
+_CMP_OPS = frozenset(["eq", "ne", "lt", "le", "gt", "ge", "lts", "les", "gts", "ges"])
+_SIGNED_CMPS = frozenset(["lts", "les", "gts", "ges"])
+
 _INLINE_LEN = 4000
 _INLINE_DEPTH = 90
 
-#: module -> _BatchEntry with every compiled artifact for that module.
+#: module -> {swar flag -> _BatchEntry} with every compiled artifact.
 _BATCH_CACHE = WeakIdMemo()
 
 
@@ -75,21 +93,89 @@ def _packable(e: HExpr) -> bool:
     return True
 
 
+def _swar_ok(e: HExpr, limit: int = SWAR_MAX_WIDTH) -> bool:
+    """Can *e*'s whole tree be evaluated in guard-banded packed slots of
+    at least ``limit + 1`` bits?
+
+    Conservative by construction: anything rejected here falls back to
+    the bit-exact per-lane loops, so a ``False`` costs speed, never
+    correctness.  State-folded bodies pass the entry's fixed slot pitch
+    as the limit, so re-optimization can never manufacture a packed
+    signal wider than the shared state layout.
+    """
+    for node in e.walk():
+        if node.width > limit:
+            return False
+        if not isinstance(node, HOp):
+            continue
+        op = node.op
+        if op in ("add", "sub", "neg", "not", "cat"):
+            # wide nodes mask/guard wider args away, but the 1-bit flag
+            # emitter treats operands as flags and cannot narrow them
+            if node.width == 1 and any(a.width != 1 for a in node.args):
+                return False
+        elif op in ("and", "or", "xor"):
+            # the scalar semantics don't mask these, so wider args would
+            # leak significant bits past the declared width
+            if any(a.width > node.width for a in node.args):
+                return False
+        elif op == "mux":
+            if node.args[0].width != 1:
+                return False
+            if any(a.width > node.width for a in node.args[1:]):
+                return False
+        elif op in ("zext", "sext"):
+            if node.args[0].width > node.width:
+                return False
+        elif op == "slice":
+            pass  # value-based in both emitters, any arg width works
+        elif op in ("shl", "shr", "asr"):
+            if not isinstance(node.args[1], HConst):
+                return False
+            if node.args[0].width != node.width:
+                return False
+        elif op in ("land", "lor", "lnot"):
+            if any(a.width != 1 for a in node.args):
+                return False
+        elif op in _CMP_OPS:
+            if op in _SIGNED_CMPS and (
+                node.args[0].width != node.args[1].width or node.args[0].width == 1
+            ):
+                return False
+        else:  # read, mul, div, mod -- per-lane fallback
+            return False
+    return True
+
+
 # --------------------------------------------------------------------------- codegen
 
 
 class _BatchCodeGen(_CodeGen):
-    """Emits the hybrid packed/scalar batched step function for a module.
+    """Emits the hybrid packed/SWAR/scalar batched step function.
 
     The generated source defines ``_make_batch_step(n)`` returning a
-    ``_step(pregs, wregs, arrays, inputs)`` closure; cross-phase lane
-    buffers are allocated once per lane count as default arguments.
+    ``_step(pregs, wregs, sregs, arrays, inputs)`` closure; cross-phase
+    lane buffers are allocated once per lane count as default arguments,
+    and the SWAR masks for the module's slot layout are bound as factory
+    locals (they depend only on the lane count).
+
+    *pitch* and *resident* may be passed explicitly so that specialized
+    (state-folded) bodies agree with the main body on the packed state
+    layout -- both are properties of the stored machine state, not of
+    one particular combinational block.
     """
 
-    def __init__(self, module: Module):
+    def __init__(
+        self,
+        module: Module,
+        swar: bool = True,
+        pitch: Optional[int] = None,
+        resident: Optional[frozenset] = None,
+    ):
         super().__init__(module)
         m = module
-        #: comb signal -> 'p' (packed) | 's' (scalar)
+        self.swar = swar
+        #: comb signal -> 'p' (packed 1-bit) | 'w' (SWAR) | 's' (scalar)
         self.kinds: dict[str, str] = {}
         #: any name -> has a packed (bit-per-lane) representation
         self.packed_src: dict[str, bool] = {}
@@ -98,16 +184,115 @@ class _BatchCodeGen(_CodeGen):
             self.packed_src[r.name] = r.width == 1
         for name, w in m.inputs.items():
             self.packed_src[name] = w == 1
+        limit = (pitch - 1) if pitch else SWAR_MAX_WIDTH
         for name, e in m.comb:
-            self.kinds[name] = "p" if (e.width == 1 and _packable(e)) else "s"
+            if e.width == 1 and _packable(e):
+                kind = "p"
+            elif swar and _swar_ok(e, limit):
+                kind = "w"
+            else:
+                kind = "s"
+            self.kinds[name] = kind
             self.packed_src[name] = e.width == 1
             for node in e.walk():
                 if isinstance(node, HRef):
                     self.use_count[node.name] = self.use_count.get(node.name, 0) + 1
-        self.pinline: dict[str, str] = {}   # packed single-use inlines
-        self.ncache: dict[str, str] = {}    # selector -> complement local
-        self.lane_local: set[str] = set()   # names bound to lane locals
         self.exprs = dict(m.comb)
+
+        # Demote SWAR signals that *mux over* wide scalar values back to
+        # the scalar tier.  The SWAR mux is eager (both arms are fully
+        # packed before masking) while the scalar emitter's mux is a
+        # Python conditional that evaluates only the taken arm -- for
+        # select cascades over expensive per-lane values (store
+        # byte-merging over an array read, for example) laziness beats
+        # packing.  Compares and arithmetic over scalar values stay in
+        # the SWAR tier: their pack shim costs two ops per lane once,
+        # against a whole per-lane evaluation saved.  Worklist-driven:
+        # the wide names appearing in mux arms are collected once, and
+        # each demotion propagates through a reverse index.
+        if swar:
+            arm_refs: dict[str, set[str]] = {}
+            for name, e in m.comb:
+                if self.kinds[name] != "w":
+                    continue
+                refs: set[str] = set()
+                for node in e.walk():
+                    if isinstance(node, HOp) and node.op == "mux" and node.width > 1:
+                        for arm in node.args[1:]:
+                            for ref in arm.walk():
+                                if isinstance(ref, HRef) and ref.width > 1:
+                                    refs.add(ref.name)
+                if refs:
+                    arm_refs[name] = refs
+            by_ref: dict[str, list[str]] = {}
+            for name, refs in arm_refs.items():
+                for ref in refs:
+                    by_ref.setdefault(ref, []).append(name)
+            worklist = [
+                name for name, refs in arm_refs.items()
+                if any(self.kinds.get(r) == "s" for r in refs)
+            ]
+            while worklist:
+                name = worklist.pop()
+                if self.kinds[name] != "w":
+                    continue
+                self.kinds[name] = "s"
+                worklist.extend(by_ref.get(name, ()))
+
+        # SWAR state layout: registers in 2..33 bits live slot-packed.
+        if resident is not None:
+            self.resident = resident
+        else:
+            self.resident = frozenset(
+                r.name for r in m.regs.values()
+                if swar and 2 <= r.width <= SWAR_MAX_WIDTH
+            )
+        if pitch is not None:
+            self.pitch = pitch
+        elif not swar:
+            self.pitch = 0
+        else:
+            # only what actually gets packed sizes the slots: nodes of
+            # SWAR-classified trees (operands included) and the
+            # slot-resident registers -- a 33-bit intermediate inside a
+            # scalar-tier mul cone must not widen every packed word
+            maxw = 1
+            for name, e in m.comb:
+                if self.kinds[name] != "w":
+                    continue
+                for node in e.walk():
+                    if node.width <= SWAR_MAX_WIDTH:
+                        maxw = max(maxw, node.width)
+            for r in m.regs.values():
+                if r.name in self.resident:
+                    maxw = max(maxw, r.width)
+            self.pitch = maxw + 1
+
+        # wide scalar signals / inputs whose packed form SWAR trees read
+        self.sform_comb: set[str] = set()
+        self.sform_inputs: set[str] = set()
+        for name, e in m.comb:
+            if self.kinds[name] != "w":
+                continue
+            for node in e.walk():
+                if isinstance(node, HRef) and node.width > 1:
+                    if self.kinds.get(node.name) == "s":
+                        self.sform_comb.add(node.name)
+                    elif node.name in m.inputs:
+                        self.sform_inputs.add(node.name)
+
+        self.pinline: dict[str, str] = {}   # packed single-use inlines
+        self.winline: dict[str, str] = {}   # SWAR single-use inlines
+        self.ncache: dict[str, str] = {}    # selector -> complement local
+        self.dcache: dict[str, str] = {}    # name -> spread (slot-base) local
+        self.mvcache: dict[tuple[str, int], str] = {}  # (flag, w) -> mask local
+        self.dstore: set[str] = set()       # 1-bit w signals with d-form
+        self.lane_local: set[str] = set()   # names bound to lane locals
+        self._pool: dict[tuple, str] = {}
+        self._pool_lines: list[str] = []
+        self._tmp = 0
+        self._use_cp = self._use_sp = False
+        self._pending: list[str] = []
 
     # -- scheduling --------------------------------------------------------
 
@@ -122,7 +307,7 @@ class _BatchCodeGen(_CodeGen):
         phases: list[tuple[str, list[str]]] = []
         while len(done) < len(order):
             progress = False
-            for kind in ("s", "p"):
+            for kind in ("s", "w", "p"):
                 grabbed: list[str] = []
                 frontier = [n for n in order if n not in done and self.kinds[n] == kind
                             and all(d in done for d in deps[n])]
@@ -169,8 +354,17 @@ class _BatchCodeGen(_CodeGen):
         for _, sigs in phases:
             sigs.sort(key=pos.__getitem__)
         self.phases = phases
-        # names whose refs feed the clock edge (re-evaluated there)
-        keep = set(m.reg_next.values()) | set(m.outputs.values())
+        # names whose refs feed the clock edge (re-evaluated there);
+        # next-value signals of registers that provably hold are not kept
+        # alive -- their whole alias chain is skipped at the edge, so a
+        # signal feeding only held registers is dead weight (this is what
+        # keeps state-folded bodies from dragging every held register's
+        # alias through the step)
+        self.live_next = [
+            (reg, sig) for reg, sig in m.reg_next.items()
+            if self._resolve_alias(sig) != reg
+        ]
+        keep = set(m.outputs.values()) | {sig for _, sig in self.live_next}
         for wr in m.array_writes:
             for e in (wr.addr, wr.data, wr.enable):
                 for node in e.walk():
@@ -178,7 +372,7 @@ class _BatchCodeGen(_CodeGen):
                         keep.add(node.name)
         self.keep = keep
         # scalar wide signals needing a per-lane buffer (cross a phase
-        # boundary or feed the edge)
+        # boundary for scalar consumers or feed the edge)
         self.listed: set[str] = set()
         for name in order:
             if self.kinds[name] != "s" or self.exprs[name].width == 1:
@@ -190,14 +384,56 @@ class _BatchCodeGen(_CodeGen):
             ):
                 self.listed.add(name)
 
+    # -- SWAR mask / constant pool -----------------------------------------
+
+    def _vm(self, w: int) -> str:
+        return self._pooled(("v", w), f"VM{w}", f"_lay.vmask({w})")
+
+    def _gm(self, w: int) -> str:
+        return self._pooled(("g", w), f"GM{w}", f"_lay.gmask({w})")
+
+    def _sm(self, w: int) -> str:
+        return self._pooled(("s", w), f"SM{w}", f"_lay.smask({w})")
+
+    def _unit(self) -> str:
+        return self._pooled(("u",), "UNIT", "_lay.unit")
+
+    def _kr(self, value: int, width: int) -> str:
+        if value == 0:
+            return "0"
+        return self._pooled(
+            ("k", value, width), f"KR{len(self._pool)}",
+            f"_lay.replicate({value}, {width})",
+        )
+
+    def _pooled(self, key: tuple, name: str, expr: str) -> str:
+        got = self._pool.get(key)
+        if got is None:
+            got = self._pool[key] = name
+            self._pool_lines.append(f"    {name} = {expr}")
+        return got
+
+    def _fresh(self, code: str) -> str:
+        self._tmp += 1
+        name = f"_w{self._tmp}"
+        self._pending.append(f"{name} = {code}")
+        return name
+
+    def _as_local(self, code: str) -> str:
+        """*code* bound to a local unless it is already a bare name."""
+        return code if code.isidentifier() or code == "0" else self._fresh(code)
+
     # -- packed expression emission ---------------------------------------
+
+    def pref(self, name: str) -> str:
+        inl = self.pinline.get(name)
+        return inl if inl is not None else f"p_{name}"
 
     def pexpr(self, e: HExpr) -> str:
         if isinstance(e, HConst):
             return "ONES" if e.value else "0"
         if isinstance(e, HRef):
-            inl = self.pinline.get(e.name)
-            return inl if inl is not None else f"p_{e.name}"
+            return self.pref(e.name)
         a = [self.pexpr(c) for c in e.args]
         op = e.op
         if op in ("and", "land"):
@@ -227,6 +463,217 @@ class _BatchCodeGen(_CodeGen):
             return f"(({c} & {a[1]}) | ({nc} & {a[2]}))"
         raise ValueError(f"op {op!r} is not packable")  # pragma: no cover
 
+    # -- SWAR expression emission ------------------------------------------
+    #
+    # Two value spaces cooperate here:
+    #   * dform(e) -- 1-bit expressions as *slot-spaced* flags (one 0/1
+    #     value at the base of every slot).  Compares produce this form
+    #     natively via the guard-bit borrow trick; bitwise combination
+    #     stays in the space; a flag's numeric value doubles as its
+    #     packed 0/1 value, so zext/mux-data positions need no work.
+    #   * wval(e) -- multi-bit expressions as canonical packed slots.
+    # Lane-contiguous form (the packed tag world's layout) is produced
+    # once per signal with a single compress when the p-world needs it.
+
+    def dref(self, name: str) -> str:
+        """Slot-spaced flag form of the 1-bit signal *name*."""
+        if self.kinds.get(name) == "w" and name in self.dstore:
+            return f"d_{name}"
+        got = self.dcache.get(name)
+        if got is None:
+            self._use_sp = True
+            self._tmp += 1
+            got = self.dcache[name] = f"dc_{self._tmp}"
+            self._pending.append(f"{got} = _sp({self.pref(name)})")
+        return got
+
+    def dform(self, e: HExpr) -> str:
+        if isinstance(e, HConst):
+            return self._unit() if e.value else "0"
+        if isinstance(e, HRef):
+            return self.dref(e.name)
+        op = e.op
+        if op in _CMP_OPS:
+            if all(a.width == 1 for a in e.args) and op in ("eq", "ne"):
+                a = [self.dform(c) for c in e.args]
+                code = f"({a[0]} ^ {a[1]})"
+                return code if op == "ne" else f"({code} ^ {self._unit()})"
+            return self._cmp_guards(e)
+        a = [self.dform(c) for c in e.args] if op != "slice" else None
+        if op in ("and", "land"):
+            return f"({a[0]} & {a[1]})"
+        if op in ("or", "lor"):
+            return f"({a[0]} | {a[1]})"
+        if op in ("xor", "add", "sub"):
+            return f"({a[0]} ^ {a[1]})"
+        if op in ("not", "lnot"):
+            return f"({a[0]} ^ {self._unit()})"
+        if op in ("neg", "zext", "sext", "cat"):
+            return a[0]
+        if op in ("shl", "shr", "asr"):
+            # 1-bit shift by a constant: asr clamps to w-1 = 0 (identity),
+            # shl/shr drop the only bit for any non-zero amount
+            if op == "asr" or e.args[1].value == 0:
+                return a[0]
+            return "0"
+        if op == "mux":
+            s = self._as_local(a[0])
+            return f"(({s} & {a[1]}) | (({s} ^ {self._unit()}) & {a[2]}))"
+        if op == "slice":  # extract one bit out of a wide packed value
+            if e.lo >= e.args[0].width:
+                return "0"  # canonical operands have no bits up there
+            v = self.wval(e.args[0])
+            shifted = f"({v} >> {e.lo})" if e.lo else v
+            return f"({shifted} & {self._unit()})"
+        raise ValueError(f"op {op!r} has no slot-flag form")  # pragma: no cover
+
+    def _cmp_guards(self, e: HOp) -> str:
+        """Slot-spaced flag code for a comparison over packed values."""
+        x, y = (self.wval(a) for a in e.args)
+        m = max(a.width for a in e.args)
+        op = e.op
+        if op in _SIGNED_CMPS:
+            sm = self._sm(m)
+            x, y = f"({x} ^ {sm})", f"({y} ^ {sm})"
+            op = {"lts": "lt", "les": "le", "gts": "gt", "ges": "ge"}[op]
+        g = self._gm(m)
+        if op in ("eq", "ne"):
+            d = x if y == "0" else (y if x == "0" else f"({x} ^ {y})")
+            if op == "eq":
+                return f"((({g} - {d}) & {g}) >> {m})"
+            return f"(((({g} - {d}) & {g}) ^ {g}) >> {m})"
+        if op == "le":  # x <= y  <=>  no borrow in y - x
+            return f"(((({y} | {g}) - {x}) & {g}) >> {m})"
+        if op == "ge":
+            return f"(((({x} | {g}) - {y}) & {g}) >> {m})"
+        if op == "lt":  # x < y  <=>  borrow in x - y ... 2**m + x - y < 2**m
+            return f"((((({x} | {g}) - {y}) & {g}) ^ {g}) >> {m})"
+        if op == "gt":
+            return f"((((({y} | {g}) - {x}) & {g}) ^ {g}) >> {m})"
+        raise ValueError(op)  # pragma: no cover
+
+    def wref(self, name: str) -> str:
+        """Packed-slot value form of a wide signal/register/input."""
+        inl = self.winline.get(name)
+        if inl is not None:
+            return inl
+        return f"s_{name}"
+
+    def _select_mask(self, d: str, w: int) -> str:
+        """Slot-base flag local *d* expanded to a full *w*-bit value mask
+        per selected slot, deduplicated per step (control flags select
+        many muxes, so the same mask is requested over and over)."""
+        got = self.mvcache.get((d, w))
+        if got is None:
+            got = self.mvcache[(d, w)] = self._fresh(f"(({d} << {w}) - {d})")
+        return got
+
+    def _wsel(self, sel: HExpr, w: int) -> str:
+        """Mux selector as a full per-slot value mask of width *w*."""
+        if isinstance(sel, HConst):
+            return self._vm(w) if sel.value else "0"
+        return self._select_mask(self._as_local(self.dform(sel)), w)
+
+    def wval(self, e: HExpr) -> str:
+        if e.width == 1:
+            return self.dform(e)
+        w = e.width
+        if isinstance(e, HConst):
+            return self._kr(e.value, w)
+        if isinstance(e, HRef):
+            return self.wref(e.name)
+        op = e.op
+        if op == "add":
+            a, b = self.wval(e.args[0]), self.wval(e.args[1])
+            return f"(({a} + {b}) & {self._vm(w)})"
+        if op == "sub":
+            a, b = self.wval(e.args[0]), self.wval(e.args[1])
+            g = self._gm(max(w, e.args[0].width, e.args[1].width))
+            return f"((({a} | {g}) - {b}) & {self._vm(w)})"
+        if op == "neg":
+            g = self._gm(max(w, e.args[0].width))
+            return f"(({g} - {self.wval(e.args[0])}) & {self._vm(w)})"
+        if op == "and":
+            return f"({self.wval(e.args[0])} & {self.wval(e.args[1])})"
+        if op == "or":
+            return f"({self.wval(e.args[0])} | {self.wval(e.args[1])})"
+        if op == "xor":
+            return f"({self.wval(e.args[0])} ^ {self.wval(e.args[1])})"
+        if op == "not":
+            code = f"({self.wval(e.args[0])} ^ {self._vm(w)})"
+            if e.args[0].width > w:
+                code = f"({code} & {self._vm(w)})"
+            return code
+        if op == "mux":
+            mv = self._wsel(e.args[0], w)
+            a, b = self.wval(e.args[1]), self.wval(e.args[2])
+            if b == "0":
+                return f"({a} & {mv})"
+            if a == "0":
+                b = self._as_local(b)
+                return f"({b} ^ ({b} & {mv}))"
+            b = self._as_local(b)
+            return f"({b} ^ (({a} ^ {b}) & {mv}))"
+        if op == "zext":
+            if e.args[0].width == 1:
+                return self.dform(e.args[0])
+            return self.wval(e.args[0])
+        if op == "sext":
+            wf = e.args[0].width
+            if wf == 1:
+                return self._select_mask(self._as_local(self.dform(e.args[0])), w)
+            if wf >= w:
+                return self.wval(e.args[0])
+            m = self._sm(wf)
+            return (f"(((({self.wval(e.args[0])} ^ {m}) | {self._gm(w)}) - {m})"
+                    f" & {self._vm(w)})")
+        if op == "slice":
+            # flatten slice-of-slice to one shift and one mask, clamping
+            # the effective width against *every* level's truncation:
+            # canonical packed values carry no bits at or above their
+            # width, and a mask reaching past pitch - lo would scoop up
+            # the neighbouring lane's slot (the narrowing pass legally
+            # shrinks operands under slices sized for the padded width)
+            arg, lo, limit = e.args[0], e.lo, w
+            while True:
+                limit = min(limit, arg.width - lo)
+                if not (isinstance(arg, HOp) and arg.op == "slice"):
+                    break
+                lo += arg.lo
+                arg = arg.args[0]
+            if limit <= 0:
+                return "0"
+            a = self.wval(arg)
+            if lo == 0 and arg.width == w == limit:
+                return a
+            shifted = f"({a} >> {lo})" if lo else a
+            return f"({shifted} & {self._vm(limit)})"
+        if op == "cat":
+            parts = []
+            shift = 0
+            for child in reversed(e.args):
+                code = self.wval(child) if child.width > 1 else self.dform(child)
+                parts.append(f"({code} << {shift})" if shift else code)
+                shift += child.width
+            return "(" + " | ".join(parts) + ")"
+        if op in ("shl", "shr", "asr"):
+            a = self.wval(e.args[0])
+            k = e.args[1].value
+            if op == "asr":
+                k = min(k, w - 1)
+            if k == 0:
+                return a
+            if op != "asr" and k >= w:
+                return "0"
+            if op == "shl":
+                return f"(({a} & {self._vm(w - k)}) << {k})"
+            t = f"(({a} >> {k}) & {self._vm(w - k)})"
+            if op == "shr":
+                return t
+            m = self._kr(1 << (w - 1 - k), w)
+            return f"(((({t} ^ {m}) | {self._gm(w)}) - {m}) & {self._vm(w)})"
+        raise ValueError(f"op {op!r} has no SWAR form")  # pragma: no cover
+
     # -- scalar expression emission ----------------------------------------
 
     def ref(self, name: str) -> str:
@@ -237,8 +684,14 @@ class _BatchCodeGen(_CodeGen):
             return f"v_{name}"
         if self.packed_src.get(name):
             return f"((p_{name} >> _l) & 1)"
+        if self.kinds.get(name) == "w":
+            mask = (1 << self.exprs[name].width) - 1
+            return f"((s_{name} >> _lp) & {mask})"
         if name in self.listed:
             return f"x_{name}[_l]"
+        if name in self.resident:
+            mask = (1 << self.module.regs[name].width) - 1
+            return f"((s_{name} >> _lp) & {mask})"
         if name in self.module.regs:
             return f"wr_{name}[_l]"
         if name in self.module.inputs:
@@ -309,13 +762,15 @@ class _BatchCodeGen(_CodeGen):
             out += [wr.addr, wr.data, wr.enable]
         return out
 
-    @staticmethod
-    def _wide_regs_in(module: Module, exprs: Sequence[HExpr]) -> set[str]:
+    def _wide_regs_in(self, exprs: Sequence[HExpr]) -> set[str]:
+        """Per-lane-list (non-resident) wide registers read by *exprs*."""
+        module = self.module
         out = set()
         for e in exprs:
             for node in e.walk():
                 if (isinstance(node, HRef) and node.name in module.regs
-                        and module.regs[node.name].width != 1):
+                        and module.regs[node.name].width != 1
+                        and node.name not in self.resident):
                     out.add(node.name)
         return out
 
@@ -339,6 +794,13 @@ class _BatchCodeGen(_CodeGen):
             else:
                 break
         return name
+
+    @staticmethod
+    def _maybe_lp(stmts: list[str], pitch: int) -> list[str]:
+        """Prepend the slot-offset local if any statement reads it."""
+        if any("_lp" in s for s in stmts):
+            return [f"_lp = _l * {pitch}"] + stmts
+        return stmts
 
     # -- generation --------------------------------------------------------
 
@@ -372,6 +834,39 @@ class _BatchCodeGen(_CodeGen):
                 if isinstance(node, HRef):
                     cons_kind.setdefault(node.name, []).append(self.kinds[cname])
 
+        # transitively peel signals that feed only held registers (their
+        # write-back is skipped, so the whole alias cone is dead weight;
+        # state-folded bodies are mostly held registers)
+        live_use = dict(self.use_count)
+        dead: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, e in m.comb:
+                if name in dead or live_use.get(name, 0) or name in keep:
+                    continue
+                dead.add(name)
+                changed = True
+                for node in e.walk():
+                    if isinstance(node, HRef):
+                        live_use[node.name] -= 1
+        if dead:
+            self.phases = [
+                (kind, [s for s in sigs if s not in dead])
+                for kind, sigs in self.phases
+            ]
+
+        # resident registers whose packed word the body actually reads
+        edge_names = set(m.outputs.values()) | {sig for _, sig in self.live_next}
+        for e in self._edge_exprs():
+            for node in e.walk():
+                if isinstance(node, HRef):
+                    edge_names.add(node.name)
+        used_sregs = sorted(
+            r for r in self.resident
+            if live_use.get(r) or r in edge_names
+        )
+
         L: list[str] = []
         bufs: list[str] = []
 
@@ -381,6 +876,11 @@ class _BatchCodeGen(_CodeGen):
         def emit_lane(line: str) -> None:
             L.append("            " + line)
 
+        def flush_pending() -> None:
+            for line in self._pending:
+                emit(line)
+            self._pending.clear()
+
         # packed registers and inputs into locals
         for r in m.regs.values():
             if r.width == 1:
@@ -389,20 +889,28 @@ class _BatchCodeGen(_CodeGen):
             if r.width == 1 and r.name in nc_emit:
                 emit(f"q_{r.name} = p_{r.name} ^ ONES")
                 self.ncache[f"p_{r.name}"] = f"q_{r.name}"
+        for r in used_sregs:
+            emit(f"s_{r} = sregs[{r!r}]")
         p_inputs = [nm for nm, w in m.inputs.items() if w == 1]
         w_inputs = [nm for nm, w in m.inputs.items() if w != 1]
         if p_inputs or w_inputs:
             for nm in p_inputs:
                 emit(f"p_{nm} = 0")
+            for nm in sorted(self.sform_inputs):
+                emit(f"s_{nm} = 0")
             for nm in w_inputs:
                 bufs.append(f"wi_{nm}")
-            emit("for _l in range(n):")
-            emit_lane("_inp = inputs[_l]")
+            in_stmts = ["_inp = inputs[_l]"]
             for nm in p_inputs:
-                emit_lane(f"p_{nm} |= (_inp.get({nm!r}, 0) & 1) << _l")
+                in_stmts.append(f"p_{nm} |= (_inp.get({nm!r}, 0) & 1) << _l")
             for nm in w_inputs:
                 mask = (1 << m.inputs[nm]) - 1
-                emit_lane(f"wi_{nm}[_l] = _inp.get({nm!r}, 0) & {mask}")
+                in_stmts.append(f"wi_{nm}[_l] = _inp.get({nm!r}, 0) & {mask}")
+                if nm in self.sform_inputs:
+                    in_stmts.append(f"s_{nm} |= wi_{nm}[_l] << _lp")
+            emit("for _l in range(n):")
+            for stmt in self._maybe_lp(in_stmts, self.pitch):
+                emit_lane(stmt)
 
         for name in sorted(self.listed):
             bufs.append(f"x_{name}")
@@ -410,7 +918,7 @@ class _BatchCodeGen(_CodeGen):
         def accumulated(s: str) -> bool:
             """Does the 1-bit scalar-rooted signal *s* need packed form?"""
             return (
-                any(k == "p" for k in cons_kind.get(s, []))
+                any(k in ("p", "w") for k in cons_kind.get(s, []))
                 or s in keep
                 or any(self.phase_of[c] != self.phase_of[s]
                        for c in self.consumers.get(s, []))
@@ -433,15 +941,53 @@ class _BatchCodeGen(_CodeGen):
                             self.ncache[f"p_{name}"] = f"q_{name}"
                 continue
 
+            if kind == "w":
+                for name in sigs:
+                    e = exprs[name]
+                    cons = cons_kind.get(name, [])
+                    if e.width == 1:
+                        # compares and mixed flag logic: slot-spaced
+                        # d-form feeds SWAR consumers; one compress per
+                        # signal feeds the packed/scalar worlds
+                        need_d = any(k == "w" for k in cons)
+                        need_p = (not need_d) or name in keep or any(
+                            k in ("p", "s") for k in cons
+                        )
+                        code = self.dform(e)
+                        flush_pending()
+                        if need_d:
+                            self.dstore.add(name)
+                            emit(f"d_{name} = {code}")
+                            code = f"d_{name}"
+                        if need_p:
+                            self._use_cp = True
+                            emit(f"p_{name} = _cp({code})")
+                            if name in nc_emit:
+                                emit(f"q_{name} = p_{name} ^ ONES")
+                                self.ncache[f"p_{name}"] = f"q_{name}"
+                    else:
+                        code = self.wval(e)
+                        flush_pending()
+                        if (self.use_count.get(name, 0) == 1 and name not in keep
+                                and cons == ["w"]
+                                and len(code) <= _INLINE_LEN
+                                and paren_depth(code) <= _INLINE_DEPTH):
+                            self.winline[name] = code
+                        else:
+                            emit(f"s_{name} = {code}")
+                continue
+
             # scalar phase: one loop over lanes
             phase_set = set(sigs)
             body_exprs = [exprs[s] for s in sigs]
             for s in sigs:
                 if exprs[s].width == 1 and accumulated(s):
                     emit(f"p_{s} = 0")
+                elif s in self.sform_comb:
+                    emit(f"s_{s} = 0")
             for arr in sorted(self._arrays_in(body_exprs)):
                 emit(f"al_{arr} = arrays[{arr!r}]")
-            for wreg in sorted(self._wide_regs_in(m, body_exprs)):
+            for wreg in sorted(self._wide_regs_in(body_exprs)):
                 emit(f"wr_{wreg} = wregs[{wreg!r}]")
             # hoist lane-loop reads used more than once in this phase
             ref_count: Counter = Counter()
@@ -457,8 +1003,14 @@ class _BatchCodeGen(_CodeGen):
                     continue
                 if self.packed_src.get(nm) and nm not in phase_set:
                     hoists.append(f"v_{nm} = (p_{nm} >> _l) & 1")
+                elif self.kinds.get(nm) == "w" and nm not in phase_set:
+                    mask = (1 << exprs[nm].width) - 1
+                    hoists.append(f"v_{nm} = (s_{nm} >> _lp) & {mask}")
                 elif nm in self.listed and nm not in phase_set:
                     hoists.append(f"v_{nm} = x_{nm}[_l]")
+                elif nm in self.resident:
+                    mask = (1 << m.regs[nm].width) - 1
+                    hoists.append(f"v_{nm} = (s_{nm} >> _lp) & {mask}")
                 elif nm in m.regs and m.regs[nm].width != 1:
                     hoists.append(f"v_{nm} = wr_{nm}[_l]")
                 else:
@@ -488,14 +1040,22 @@ class _BatchCodeGen(_CodeGen):
                         self.lane_local.add(s)
                     else:
                         lane(f"p_{s} |= {self.expr(e)} << _l")
-                elif s in self.listed:
+                elif s in self.listed or s in self.sform_comb:
                     code = self.expr(e)
-                    if any(c in phase_set for c in self.consumers.get(s, [])):
-                        lane(f"v_{s} = {code}")
-                        lane(f"x_{s}[_l] = v_{s}")
-                        self.lane_local.add(s)
-                    else:
+                    direct_store = (
+                        s in self.listed
+                        and s not in self.sform_comb
+                        and not any(c in phase_set for c in self.consumers.get(s, []))
+                    )
+                    if direct_store:
                         lane(f"x_{s}[_l] = {code}")
+                    else:
+                        lane(f"v_{s} = {code}")
+                        self.lane_local.add(s)
+                        if s in self.listed:
+                            lane(f"x_{s}[_l] = v_{s}")
+                        if s in self.sform_comb:
+                            lane(f"s_{s} |= v_{s} << _lp")
                 else:
                     code = self.expr(e)
                     if (uses == 1 and s not in keep
@@ -507,7 +1067,7 @@ class _BatchCodeGen(_CodeGen):
                         self.lane_local.add(s)
             if lane_stmts:
                 emit("for _l in range(n):")
-                for stmt in lane_stmts:
+                for stmt in self._maybe_lp(lane_stmts, self.pitch):
                     L.append("            " + stmt)
             # complements of accumulators used as packed selectors
             for s in sigs:
@@ -518,59 +1078,129 @@ class _BatchCodeGen(_CodeGen):
 
         # -- clock edge ----------------------------------------------------
         # Packed register updates read packed locals, which still hold the
-        # pre-edge values, so the dict stores can happen immediately.
-        for reg, sig in m.reg_next.items():
+        # pre-edge values, so the dict stores can happen immediately; the
+        # same holds for SWAR-resident registers whose next value lives in
+        # a packed local (one dict store per register, not per lane).
+        for reg, sig in self.live_next:
             if m.regs[reg].width != 1:
                 continue
-            if self._resolve_alias(sig) == reg:
-                continue  # provably holds this cycle
             emit(f"pregs[{reg!r}] = p_{sig}")
+        res_pack: list[tuple[str, str]] = []   # resident, packed next value
+        res_lane: list[tuple[str, str]] = []   # resident, per-lane next value
+        wide_next: list[tuple[str, str]] = []  # per-lane-list registers
+        for reg, sig in self.live_next:
+            if m.regs[reg].width == 1:
+                continue
+            if reg in self.resident:
+                if self.kinds.get(sig) == "w" and sig not in self.winline:
+                    res_pack.append((reg, sig))
+                else:
+                    res_lane.append((reg, sig))
+            else:
+                wide_next.append((reg, sig))
+        for reg, sig in res_pack:
+            emit(f"sregs[{reg!r}] = s_{sig}")
         self.lane_local = set()
         self.inline = {}
         edge_exprs = self._edge_exprs()
-        wide_next = [
-            (reg, sig) for reg, sig in m.reg_next.items()
-            if m.regs[reg].width != 1 and self._resolve_alias(sig) != reg
-        ]
         edge_arrays = sorted({wr.array for wr in m.array_writes} | self._arrays_in(edge_exprs))
         for arr in edge_arrays:
             emit(f"al_{arr} = arrays[{arr!r}]")
-        edge_names = [sig for _, sig in wide_next] + list(m.outputs.values())
+        out_names = list(m.outputs.values())
         edge_reg_reads = {
-            nm for nm in edge_names if nm in m.regs and m.regs[nm].width != 1
+            nm for nm in ([sig for _, sig in wide_next] + out_names)
+            if nm in m.regs and m.regs[nm].width != 1 and nm not in self.resident
         }
-        preload = self._wide_regs_in(m, edge_exprs) | edge_reg_reads | {r for r, _ in wide_next}
+        preload = (self._wide_regs_in(edge_exprs) | edge_reg_reads
+                   | {r for r, _ in wide_next})
         for wreg in sorted(preload):
             emit(f"wr_{wreg} = wregs[{wreg!r}]")
+        for reg, _ in res_lane:
+            emit(f"ns_{reg} = 0")
+
+        # Write ports fire on a handful of lanes most cycles.  When every
+        # enable is a 1-bit name (which has a lane-contiguous packed
+        # word) or a constant, each port iterates only its *set* enable
+        # bits instead of testing all n lanes.  Lanes own their array
+        # stores, so per-port loops preserve the per-lane declaration
+        # order exactly.
+        fast_ports = all(
+            isinstance(wr.enable, HConst)
+            or (isinstance(wr.enable, HRef) and wr.enable.width == 1)
+            for wr in m.array_writes
+        )
+        ports_in_lane_loop = list(m.array_writes)
+        if fast_ports:
+            ports_in_lane_loop = []
+            for wr in m.array_writes:
+                arr = m.arrays[wr.array]
+                addr = self.expr(wr.addr)
+                idx = addr if (1 << wr.addr.width) <= arr.size else f"{addr} % {arr.size}"
+                body = [f"a_{a} = al_{a}[_l]"
+                        for a in sorted(self._arrays_in([wr.addr, wr.data]))]
+                body.append(f"al_{wr.array}[_l][{idx}] = {self.expr(wr.data)}")
+                body = self._maybe_lp(body, self.pitch)
+                if isinstance(wr.enable, HConst):
+                    if wr.enable.value == 0:
+                        continue
+                    emit("for _l in range(n):")
+                    for stmt in body:
+                        emit_lane(stmt)
+                else:
+                    emit(f"_e = {self.pref(wr.enable.name)}")
+                    emit("while _e:")
+                    emit_lane("_lb = _e & -_e")
+                    emit_lane("_l = _lb.bit_length() - 1")
+                    emit_lane("_e ^= _lb")
+                    for stmt in body:
+                        emit_lane(stmt)
+
         emit("outs = []")
         emit("_outs_append = outs.append")
-        emit("for _l in range(n):")
-        for arr in sorted(self._arrays_in(edge_exprs)):
-            emit_lane(f"a_{arr} = al_{arr}[_l]")
+        edge_stmts: list[str] = []
+        lane = edge_stmts.append
+        if ports_in_lane_loop:
+            for arr in sorted(self._arrays_in(edge_exprs)):
+                lane(f"a_{arr} = al_{arr}[_l]")
         # 1. next register values, computed from pre-edge state
         for reg, sig in wide_next:
-            emit_lane(f"_n_{reg} = {self.ref(sig)}")
+            lane(f"_n_{reg} = {self.ref(sig)}")
+        for reg, sig in res_lane:
+            lane(f"ns_{reg} |= {self.ref(sig)} << _lp")
         # 2. array write ports, in declaration order (old registers visible)
-        for wr in m.array_writes:
+        for wr in ports_in_lane_loop:
             arr = m.arrays[wr.array]
             addr = self.expr(wr.addr)
             idx = addr if (1 << wr.addr.width) <= arr.size else f"{addr} % {arr.size}"
-            emit_lane(f"if {self.bool_expr(wr.enable)}:")
-            emit_lane(f"    al_{wr.array}[_l][{idx}] = {self.expr(wr.data)}")
+            lane(f"if {self.bool_expr(wr.enable)}:")
+            lane(f"    al_{wr.array}[_l][{idx}] = {self.expr(wr.data)}")
         # 3. output ports (pre-edge register values, current-cycle signals)
         outs = ", ".join(f"{p!r}: {self.ref(sig)}" for p, sig in m.outputs.items())
-        emit_lane("_outs_append({" + outs + "})")
-        # 4. commit the new register values
+        lane("_outs_append({" + outs + "})")
+        # 4. commit the new per-lane register values
         for reg, _ in wide_next:
-            emit_lane(f"wr_{reg}[_l] = _n_{reg}")
+            lane(f"wr_{reg}[_l] = _n_{reg}")
+        emit("for _l in range(n):")
+        for stmt in self._maybe_lp(edge_stmts, self.pitch):
+            emit_lane(stmt)
+        for reg, _ in res_lane:
+            emit(f"sregs[{reg!r}] = ns_{reg}")
         emit("return outs")
 
         # scratch buffers are allocated once per lane count by the factory
-        # and bound as default arguments (plain fast locals in the step)
+        # and bound as default arguments (plain fast locals in the step);
+        # SWAR masks depend only on the lane count and bind the same way
         header = ["def _make_batch_step(n):", "    ONES = (1 << n) - 1"]
+        if self._pool_lines or self._use_cp or self._use_sp:
+            header.append(f"    _lay = get_layout({self.pitch}, n)")
+            if self._use_cp:
+                header.append("    _cp = _lay.compressor()")
+            if self._use_sp:
+                header.append("    _sp = _lay.spreader()")
+            header += self._pool_lines
         header += [f"    {b}_buf = [0] * n" for b in bufs]
         params = "".join(f", {b}={b}_buf" for b in bufs)
-        header.append(f"    def _step(pregs, wregs, arrays, inputs{params}):")
+        header.append(f"    def _step(pregs, wregs, sregs, arrays, inputs{params}):")
         body = "\n".join(L) if L else "        pass"
         return _SIGNED_HELPER + "\n".join(header) + "\n" + body + "\n    return _step"
 
@@ -642,12 +1272,16 @@ _MAX_BODIES = 16
 
 
 class _BatchEntry:
-    """All compiled batched artifacts for one module object."""
+    """All compiled batched artifacts for one (module, engine) pair."""
 
-    def __init__(self, module: Module):
-        gen = _BatchCodeGen(module)
+    def __init__(self, module: Module, swar: bool = True):
+        gen = _BatchCodeGen(module, swar=swar)
+        self.swar = swar
+        self.kinds: dict[str, str] = dict(gen.kinds)
+        self.resident = gen.resident
         self.source = gen.generate()
-        namespace: dict = {}
+        self.pitch = gen.pitch
+        namespace: dict = {"get_layout": get_layout}
         exec(compile(self.source, f"<hdl-batch:{module.name}>", "exec"), namespace)  # noqa: S102
         self.factory: Callable[[int], Callable] = namespace["_make_batch_step"]
         self.steps: dict[int, Callable] = {}
@@ -659,7 +1293,7 @@ class _BatchEntry:
         def __init__(self, module: Module, source: str):
             self.module = module
             self.source = source
-            namespace: dict = {}
+            namespace: dict = {"get_layout": get_layout}
             exec(compile(source, f"<hdl-batch:{module.name}:fold>", "exec"), namespace)  # noqa: S102
             self.factory = namespace["_make_batch_step"]
             self.steps: dict[int, Callable] = {}
@@ -677,7 +1311,12 @@ class _BatchEntry:
         return fn
 
     def body_for(self, module: Module, combo: tuple) -> Optional["_BatchEntry._Body"]:
-        """The specialized body for a uniform *combo*, compiled lazily."""
+        """The specialized body for a uniform *combo*, compiled lazily.
+
+        The folded body is generated with the *entry's* slot pitch and
+        resident-register set so it reads and writes exactly the same
+        packed state layout as the generic step function.
+        """
         if combo in self.bodies:
             return self.bodies[combo]
         binding = {reg: v for reg, v in zip(self.dispatch, combo) if v is not None}
@@ -686,16 +1325,22 @@ class _BatchEntry:
         if binding and compiled < _MAX_BODIES:
             folded = _fold_module(module, binding)
             if len(folded.comb) <= _FOLD_THRESHOLD * max(len(module.comb), 1):
-                body = self._Body(folded, _BatchCodeGen(folded).generate())
+                gen = _BatchCodeGen(
+                    folded, swar=self.swar, pitch=self.pitch, resident=self.resident
+                )
+                body = self._Body(folded, gen.generate())
         self.bodies[combo] = body
         return body
 
 
-def _batch_entry(module: Module) -> _BatchEntry:
-    entry = _BATCH_CACHE.get(module)
+def _batch_entry(module: Module, swar: bool = True) -> _BatchEntry:
+    entries = _BATCH_CACHE.get(module)
+    if entries is None:
+        entries = {}
+        _BATCH_CACHE.set(module, entries)
+    entry = entries.get(swar)
     if entry is None:
-        entry = _BatchEntry(module)
-        _BATCH_CACHE.set(module, entry)
+        entry = entries[swar] = _BatchEntry(module, swar)
     return entry
 
 
@@ -751,7 +1396,9 @@ class BatchSimulator:
     """N independent executions of one module, advanced together.
 
     State layout: 1-bit registers live *packed* in :attr:`pregs` (bit
-    ``l`` = lane ``l``); wider registers in :attr:`wregs` as per-lane
+    ``l`` = lane ``l``); registers of 2..33 bits live *slot-packed* in
+    :attr:`sregs` (lane ``l`` occupies bits ``[l*pitch, l*pitch+width)``
+    of one big integer); wider registers in :attr:`wregs` as per-lane
     lists; arrays in :attr:`arrays` as per-lane sparse dicts.  Use
     :meth:`get_reg` / :meth:`set_reg` / :meth:`lane_view` for scalar
     access -- each lane is bit-identical, cycle for cycle, to a scalar
@@ -761,7 +1408,9 @@ class BatchSimulator:
     sequence of per-lane dicts, and returns the per-lane output-port
     dicts.  Pass ``optimize=False`` to batch the raw IR (the default
     mirrors :class:`Simulator` and runs the module through the shared
-    optimization pipeline first).
+    optimization pipeline first); pass ``swar=False`` to disable the
+    SWAR tier and evaluate every multi-bit signal per lane (the PR-2
+    engine, kept for benchmarking the SWAR tier against).
     """
 
     def __init__(
@@ -770,6 +1419,7 @@ class BatchSimulator:
         lanes: int,
         optimize: bool = True,
         specialize: bool = True,
+        swar: bool = True,
     ):
         if lanes < 1:
             raise ValueError(f"lane count must be >= 1, got {lanes}")
@@ -782,14 +1432,22 @@ class BatchSimulator:
         self.lanes = lanes
         self.cycles = 0
         self.specialize = specialize
-        self._entry = _batch_entry(module)
+        self.swar = swar
+        self._entry = _batch_entry(module, swar)
         self._step = self._entry.step(lanes)
         self.source = self._entry.source
+        self.pitch = self._entry.pitch
+        self._layout = (
+            get_layout(self.pitch, lanes) if self._entry.resident else None
+        )
         self.pregs: dict[str, int] = {}
+        self.sregs: dict[str, int] = {}
         self.wregs: dict[str, list[int]] = {}
         for r in module.regs.values():
             if r.width == 1:
                 self.pregs[r.name] = ((1 << lanes) - 1) if (r.init & 1) else 0
+            elif r.name in self._entry.resident:
+                self.sregs[r.name] = self._layout.replicate(r.init, r.width)
             else:
                 self.wregs[r.name] = [r.init] * lanes
         self.arrays: dict[str, list[dict[int, int]]] = {
@@ -797,16 +1455,30 @@ class BatchSimulator:
         }
         self._ones = (1 << lanes) - 1
         self._empty_inputs = [{}] * lanes
-        self._dispatch = [
-            (name, module.regs[name].width == 1) for name in self._entry.dispatch
-        ]
+        self._dispatch = []
+        for name in self._entry.dispatch:
+            if module.regs[name].width == 1:
+                self._dispatch.append((name, "p", 1))
+            elif name in self._entry.resident:
+                mask = (1 << module.regs[name].width) - 1
+                self._dispatch.append((name, "w", mask))
+            else:
+                self._dispatch.append((name, "s", 0))
 
     # -- state access -------------------------------------------------------
+
+    @property
+    def signal_tiers(self) -> dict[str, str]:
+        """Combinational signal -> evaluation tier: ``'p'`` (packed
+        1-bit), ``'w'`` (SWAR slots), or ``'s'`` (per-lane scalar)."""
+        return dict(self._entry.kinds)
 
     def get_reg(self, lane: int, name: str) -> int:
         reg = self.module.regs[name]
         if reg.width == 1:
             return (self.pregs[name] >> lane) & 1
+        if name in self.sregs:
+            return (self.sregs[name] >> (lane * self.pitch)) & ((1 << reg.width) - 1)
         return self.wregs[name][lane]
 
     def set_reg(self, lane: int, name: str, value: int) -> None:
@@ -815,6 +1487,8 @@ class BatchSimulator:
         if reg.width == 1:
             bit = 1 << lane
             self.pregs[name] = (self.pregs[name] & ~bit) | (bit if value else 0)
+        elif name in self.sregs:
+            self.sregs[name] = self._layout.set(self.sregs[name], lane, reg.width, value)
         else:
             self.wregs[name][lane] = value
 
@@ -852,14 +1526,22 @@ class BatchSimulator:
     def _uniform_combo(self) -> Optional[tuple]:
         vals = []
         some = False
-        for name, onebit in self._dispatch:
-            if onebit:
+        for name, mode, mask in self._dispatch:
+            if mode == "p":
                 p = self.pregs[name]
                 if p == 0:
                     vals.append(0)
                     some = True
                 elif p == self._ones:
                     vals.append(1)
+                    some = True
+                else:
+                    vals.append(None)
+            elif mode == "w":
+                word = self.sregs[name]
+                v0 = word & mask
+                if word == v0 * self._layout.unit:
+                    vals.append(v0)
                     some = True
                 else:
                     vals.append(None)
@@ -885,9 +1567,9 @@ class BatchSimulator:
                 body = self._entry.body_for(self.module, combo)
                 if body is not None:
                     return body.step(self.lanes)(
-                        self.pregs, self.wregs, self.arrays, lane_inputs
+                        self.pregs, self.wregs, self.sregs, self.arrays, lane_inputs
                     )
-        return self._step(self.pregs, self.wregs, self.arrays, lane_inputs)
+        return self._step(self.pregs, self.wregs, self.sregs, self.arrays, lane_inputs)
 
     def run(self, cycles: int, inputs: InputLike = None) -> list[dict[str, int]]:
         out: list[dict[str, int]] = [{} for _ in range(self.lanes)]

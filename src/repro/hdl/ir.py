@@ -45,6 +45,74 @@ OPS: dict[str, Optional[int]] = {
 BOOL_OUT = frozenset(["eq", "ne", "lt", "le", "gt", "ge", "lts", "les", "gts", "ges", "land", "lor", "lnot"])
 
 
+def significant_bits(
+    e: "HExpr",
+    env: Optional[dict[str, int]] = None,
+    memo: Optional[dict[int, int]] = None,
+) -> int:
+    """A sound upper bound on the number of significant (possibly
+    non-zero) low bits of *e*'s value, at most ``e.width``.
+
+    *env* maps signal names to already-computed bounds (defaults to each
+    reference's declared width); *memo* (keyed by node identity) makes
+    repeated queries over shared subtrees linear instead of per-path.
+    Used by the width-narrowing pass and the SWAR eligibility analysis:
+    a value whose bound fits a narrower width can be computed at that
+    width with identical results for the width-monotone operators (no
+    wraparound can occur at either width).
+    """
+    if isinstance(e, HConst):
+        return max(e.value.bit_length(), 1)
+    if isinstance(e, HRef):
+        bound = env.get(e.name, e.width) if env else e.width
+        return min(bound, e.width)
+    assert isinstance(e, HOp)
+    if memo is not None:
+        got = memo.get(id(e))
+        if got is not None:
+            return got
+    w = e.width
+    op = e.op
+    if op in BOOL_OUT:
+        if memo is not None:
+            memo[id(e)] = 1
+        return 1
+    a = [significant_bits(c, env, memo) for c in e.args]
+    if op == "add":
+        out = min(max(a[0], a[1]) + 1, w)
+    elif op == "mul":
+        out = min(a[0] + a[1], w)
+    elif op == "and":
+        out = min(a[0], a[1], w)
+    elif op in ("or", "xor"):
+        out = min(max(a[0], a[1]), w)
+    elif op == "mux":
+        out = min(max(a[1], a[2]), w)
+    elif op == "zext":
+        out = min(a[0], w)
+    elif op == "shl":
+        out = min(a[0] + e.args[1].value, w) if isinstance(e.args[1], HConst) else w
+    elif op == "shr":
+        if isinstance(e.args[1], HConst):
+            out = min(max(a[0] - e.args[1].value, 1), w)
+        else:
+            out = min(a[0], w)
+    elif op == "slice":
+        out = min(e.hi - e.lo + 1, max(a[0] - e.lo, 1), w)
+    elif op == "mod":
+        # x % 0 yields x, so the dividend's bound is the only safe one
+        out = min(a[0], w)
+    elif op == "cat":
+        lower = sum(c.width for c in e.args[1:])
+        out = min(lower + a[0], w)
+    else:
+        # read/sub/neg/not/sext/div/asr can populate every result bit
+        out = w
+    if memo is not None:
+        memo[id(e)] = out
+    return out
+
+
 @dataclass(frozen=True)
 class HExpr:
     """Base class for IR expressions."""
@@ -198,7 +266,14 @@ class Module:
     # -- validation ----------------------------------------------------------------
 
     def validate(self) -> None:
-        """Check SSA discipline, reference order and widths."""
+        """Check SSA discipline, reference order and widths.
+
+        Width discipline: ``and``/``or``/``xor`` results and ``mux``
+        arms are not masked by any backend (the value is trusted to fit
+        the declared width), so operands wider than the node are
+        rejected here rather than silently producing out-of-range
+        "w-bit" values downstream.
+        """
         defined = set(self.inputs) | set(self.regs)
         for name, expr in self.comb:
             for node in expr.walk():
@@ -206,6 +281,18 @@ class Module:
                     raise ValueError(f"{self.name}: signal {name!r} reads undefined {node.name!r}")
                 if isinstance(node, HOp) and node.op == "read" and node.array not in self.arrays:
                     raise ValueError(f"{self.name}: read of unknown array {node.array!r}")
+                if isinstance(node, HOp):
+                    if node.op in ("and", "or", "xor"):
+                        wide = [a.width for a in node.args if a.width > node.width]
+                    elif node.op == "mux":
+                        wide = [a.width for a in node.args[1:] if a.width > node.width]
+                    else:
+                        wide = []
+                    if wide:
+                        raise ValueError(
+                            f"{self.name}: signal {name!r} has a {node.op!r} of "
+                            f"width {node.width} with wider operand(s) {wide}"
+                        )
             defined.add(name)
         for reg, sig in self.reg_next.items():
             if sig not in defined:

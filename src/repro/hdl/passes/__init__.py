@@ -32,6 +32,7 @@ from repro.hdl.passes.base import (
 from repro.hdl.passes.constfold import ConstantFold, eval_op
 from repro.hdl.passes.cse import CommonSubexpr
 from repro.hdl.passes.dce import DeadSignalElim
+from repro.hdl.passes.narrow import NarrowWidths
 from repro.hdl.passes.simplify import SimplifyLogic
 
 #: Highest supported optimization level.
@@ -44,7 +45,8 @@ def default_passes(level: int = MAX_OPT_LEVEL) -> list[Pass]:
         return []
     if level == 1:
         return [ConstantFold(), DeadSignalElim()]
-    return [ConstantFold(), SimplifyLogic(), CommonSubexpr(), DeadSignalElim()]
+    return [ConstantFold(), NarrowWidths(), SimplifyLogic(), CommonSubexpr(),
+            DeadSignalElim()]
 
 
 # raw module -> {level: optimized module}
@@ -87,6 +89,7 @@ __all__ = [
     "ConstantFold",
     "DeadSignalElim",
     "MAX_OPT_LEVEL",
+    "NarrowWidths",
     "OptResult",
     "Pass",
     "PassManager",

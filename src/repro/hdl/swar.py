@@ -1,0 +1,374 @@
+"""SWAR (SIMD-within-a-register) primitives for lane-packed values.
+
+The lane-batched simulator (:mod:`repro.hdl.batch`) holds every 1-bit
+signal as one integer with bit ``l`` = lane ``l``.  This module extends
+the same idea to *multi-bit* signals: ``n`` lanes of a ``w``-bit value
+(``2 <= w <= 33``) are packed into one big integer of ``n`` fixed-size
+slots.  Each slot is ``pitch`` bits wide with ``pitch > w``, so every
+slot carries at least one zero *guard bit* above the value; arithmetic
+carries and borrows are absorbed by the guard band and can never leak
+into the neighbouring lane.
+
+Canonical form
+--------------
+
+A packed word for width ``w`` is *canonical* when every bit outside the
+per-slot value region ``[l * pitch, l * pitch + w)`` is zero.  All
+primitives here consume and produce canonical words; the correctness
+argument for each is a two-line bound on the per-slot intermediate:
+
+* ``add``: slot sum ``< 2**(w+1) <= 2**pitch`` -- the carry stays in the
+  guard band and is masked off;
+* ``sub``/``neg``: the minuend is first OR-ed with ``2**w`` per slot, so
+  the slot difference stays in ``[1, 2**(w+1))`` and no borrow crosses a
+  slot boundary;
+* compares: the classic guard-bit borrow trick -- ``(x | G) - y`` has
+  the per-slot guard bit set iff ``x >= y``.
+
+1-bit results (compares) are returned *lane-contiguous* (bit ``l`` =
+lane ``l``), the same layout the batched simulator's packed-tag world
+uses; :meth:`SwarLayout.compress` / :meth:`SwarLayout.spread` convert
+between slot-spaced and lane-contiguous bit layouts in ``O(log n)``
+big-integer operations (binary doubling), not ``O(n)`` Python loops.
+
+All primitives are pure functions of a :class:`SwarLayout` -- the
+batched code generator emits the same formulas inline with the layout's
+masks bound as closure constants, and ``tests/test_swar.py`` checks
+every primitive differentially against the scalar semantics of
+:mod:`repro.hdl.sim` across widths 2..33 and lane counts 1..64.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+#: Widest signal the SWAR tier packs (the 33-bit tagged-word boundary).
+SWAR_MAX_WIDTH = 33
+
+
+class SwarLayout:
+    """Slot geometry and precomputed masks for ``lanes`` slots of
+    ``pitch`` bits each.
+
+    Masks are built lazily per width and cached -- a layout is shared by
+    every signal of a module (the batched codegen picks one ``pitch``
+    for the whole design), so the per-width dictionaries stay tiny.
+    """
+
+    def __init__(self, pitch: int, lanes: int):
+        if pitch < 2:
+            raise ValueError(f"slot pitch must be >= 2, got {pitch}")
+        if lanes < 1:
+            raise ValueError(f"lane count must be >= 1, got {lanes}")
+        self.pitch = pitch
+        self.lanes = lanes
+        #: one set bit at the base of every slot
+        self.unit = sum(1 << (lane * pitch) for lane in range(lanes))
+        #: lane-contiguous all-ones (the packed-1-bit world's ONES)
+        self.lane_ones = (1 << lanes) - 1
+        self._vmask: dict[int, int] = {}
+        self._gmask: dict[int, int] = {}
+        self._smask: dict[int, int] = {}
+        # binary-doubling schedules for compress/spread: before step k
+        # (group size g = 2**k), lane l's bit sits at
+        # (l // g) * g * pitch + (l % g); each step merges odd groups
+        # into the even group below them.
+        self._steps: list[tuple[int, int, int, int]] = []
+        g = 1
+        while g < lanes:
+            blk = 2 * g
+            shift = g * (pitch - 1)
+            keep = 0
+            for base in range(0, lanes, blk):
+                keep |= ((1 << blk) - 1) << (base * pitch)
+            low = 0
+            for base in range(0, lanes, blk):
+                low |= ((1 << g) - 1) << (base * pitch)
+            self._steps.append((shift, keep, low, keep ^ low))
+            g = blk
+        # one-multiply gather/scatter magics.  With n <= pitch - 1 the
+        # partial products x * sum(2**(j*(pitch-1))) occupy pairwise
+        # distinct bit positions (pitch and pitch-1 are coprime and the
+        # lane index is too small to alias), so a single multiplication
+        # moves every lane bit without carries:
+        #   compress: diagonal terms land contiguously at (n-1)*(pitch-1)
+        #   spread:   diagonal terms are the only ones on slot bases
+        self._magic = None
+        if 1 < lanes <= pitch - 1:
+            magic = sum(1 << (j * (pitch - 1)) for j in range(lanes))
+            self._magic = (magic, (lanes - 1) * (pitch - 1))
+
+    # -- masks --------------------------------------------------------------
+
+    def replicate(self, value: int, width: int) -> int:
+        """*value* (masked to *width* bits) copied into every slot."""
+        if width > self.pitch - 1:
+            raise ValueError(f"width {width} does not fit pitch {self.pitch}")
+        return (value & ((1 << width) - 1)) * self.unit
+
+    def vmask(self, width: int) -> int:
+        """Value mask: the low *width* bits of every slot."""
+        m = self._vmask.get(width)
+        if m is None:
+            m = self._vmask[width] = self.replicate((1 << width) - 1, width)
+        return m
+
+    def gmask(self, width: int) -> int:
+        """Guard mask: bit *width* of every slot."""
+        m = self._gmask.get(width)
+        if m is None:
+            if width > self.pitch - 1:
+                raise ValueError(f"width {width} does not fit pitch {self.pitch}")
+            m = self._gmask[width] = (1 << width) * self.unit
+        return m
+
+    def smask(self, width: int) -> int:
+        """Sign mask: bit *width - 1* of every slot."""
+        m = self._smask.get(width)
+        if m is None:
+            m = self._smask[width] = (1 << (width - 1)) * self.unit
+        return m
+
+    # -- layout conversion --------------------------------------------------
+
+    def compress(self, x: int) -> int:
+        """Bits at slot bases (``l * pitch``) gathered to bit ``l``."""
+        if self._magic is not None:
+            magic, shift = self._magic
+            return ((x * magic) >> shift) & self.lane_ones
+        for shift, keep, _, _ in self._steps:
+            x = (x | (x >> shift)) & keep
+        return x
+
+    def spread(self, x: int) -> int:
+        """Bit ``l`` scattered to the base of slot ``l`` (compress⁻¹)."""
+        if self._magic is not None:
+            return (x * self._magic[0]) & self.unit
+        for shift, _, low, high in reversed(self._steps):
+            x = (x & low) | ((x & high) << shift)
+        return x
+
+    def compressor(self):
+        """:meth:`compress` as a minimal closure (the batched step calls
+        it hundreds of times per cycle, so dispatch overhead matters)."""
+        if self._magic is not None:
+            magic, shift = self._magic
+            ones = self.lane_ones
+            return lambda x: ((x * magic) >> shift) & ones
+        return self.compress
+
+    def spreader(self):
+        """:meth:`spread` as a minimal closure."""
+        if self._magic is not None:
+            magic = self._magic[0]
+            unit = self.unit
+            return lambda x: (x * magic) & unit
+        return self.spread
+
+    # -- state packing ------------------------------------------------------
+
+    def pack(self, values: Sequence[int], width: int) -> int:
+        """Per-lane *values* packed into one canonical word."""
+        mask = (1 << width) - 1
+        word = 0
+        for lane, v in enumerate(values):
+            word |= (v & mask) << (lane * self.pitch)
+        return word
+
+    def unpack(self, word: int, width: int) -> list[int]:
+        """Canonical *word* split back into per-lane values."""
+        mask = (1 << width) - 1
+        return [(word >> (lane * self.pitch)) & mask for lane in range(self.lanes)]
+
+    def get(self, word: int, lane: int, width: int) -> int:
+        return (word >> (lane * self.pitch)) & ((1 << width) - 1)
+
+    def set(self, word: int, lane: int, width: int, value: int) -> int:
+        slot = ((1 << width) - 1) << (lane * self.pitch)
+        return (word & ~slot) | ((value & ((1 << width) - 1)) << (lane * self.pitch))
+
+
+@lru_cache(maxsize=64)
+def get_layout(pitch: int, lanes: int) -> SwarLayout:
+    """Shared :class:`SwarLayout` instances (mask tables are reused)."""
+    return SwarLayout(pitch, lanes)
+
+
+# ----------------------------------------------------------------- arithmetic
+
+
+def swar_add(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    """Per-slot ``(x + y) mod 2**w``; the carry dies in the guard band."""
+    return (x + y) & lay.vmask(w)
+
+
+def swar_sub(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    """Per-slot ``(x - y) mod 2**w`` via a borrowed guard bit."""
+    return ((x | lay.gmask(w)) - y) & lay.vmask(w)
+
+
+def swar_neg(lay: SwarLayout, x: int, w: int) -> int:
+    """Per-slot ``(-x) mod 2**w`` (``2**w - x``, guard absorbs ``x=0``)."""
+    return (lay.gmask(w) - x) & lay.vmask(w)
+
+
+# -------------------------------------------------------------------- bitwise
+
+
+def swar_and(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return x & y
+
+
+def swar_or(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return x | y
+
+
+def swar_xor(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return x ^ y
+
+
+def swar_not(lay: SwarLayout, x: int, w: int) -> int:
+    return x ^ lay.vmask(w)
+
+
+# --------------------------------------------------------- shifts-by-constant
+
+
+def swar_shl(lay: SwarLayout, x: int, k: int, w: int) -> int:
+    """Per-slot ``(x << k) mod 2**w`` for a *constant* k.
+
+    Bits that would leave the value region are masked off *before* the
+    shift, so nothing ever crosses into the next slot.
+    """
+    if k <= 0:
+        return x
+    if k >= w:
+        return 0
+    return (x & lay.vmask(w - k)) << k
+
+
+def swar_shr(lay: SwarLayout, x: int, k: int, w: int) -> int:
+    """Per-slot logical ``x >> k`` for a constant k."""
+    if k <= 0:
+        return x
+    if k >= w:
+        return 0
+    return (x >> k) & lay.vmask(w - k)
+
+
+def swar_asr(lay: SwarLayout, x: int, k: int, w: int) -> int:
+    """Per-slot arithmetic ``x >> k`` (shift clamped to ``w - 1``,
+    matching the scalar simulator's convention)."""
+    k = min(k, w - 1)
+    if k <= 0:
+        return x
+    t = (x >> k) & lay.vmask(w - k)
+    m = lay.replicate(1 << (w - 1 - k), w)
+    return (((t ^ m) | lay.gmask(w)) - m) & lay.vmask(w)
+
+
+# ---------------------------------------------------------- width adaptation
+
+
+def swar_zext(lay: SwarLayout, x: int, w_from: int, w_to: int) -> int:
+    """Zero-extension is the identity on canonical words."""
+    return x
+
+
+def swar_sext(lay: SwarLayout, x: int, w_from: int, w_to: int) -> int:
+    """Per-slot sign-extension from *w_from* to *w_to* bits."""
+    if w_from >= w_to:
+        return x
+    m = lay.smask(w_from)
+    return (((x ^ m) | lay.gmask(w_to)) - m) & lay.vmask(w_to)
+
+
+def swar_slice(lay: SwarLayout, x: int, hi: int, lo: int) -> int:
+    """Per-slot bit-field extract ``x[hi:lo]``."""
+    return (x >> lo) & lay.vmask(hi - lo + 1)
+
+
+def swar_cat(lay: SwarLayout, parts: Sequence[tuple[int, int]]) -> int:
+    """Per-slot concatenation of ``(word, width)`` parts, most
+    significant first (total width must stay within the pitch)."""
+    word = 0
+    shift = 0
+    for part, width in reversed(list(parts)):
+        word |= part << shift
+        shift += width
+    return word
+
+
+# ------------------------------------------------------------------ compares
+# All compares return *lane-contiguous* flags: bit l = lane l.
+
+
+def _guards_eq(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    d = x ^ y
+    return (lay.gmask(w) - d) & lay.gmask(w)
+
+
+def _guards_le(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    """Guard bit of slot l set iff ``x_l <= y_l`` (unsigned)."""
+    return ((y | lay.gmask(w)) - x) & lay.gmask(w)
+
+
+def swar_eq(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return lay.compress(_guards_eq(lay, x, y, w) >> w)
+
+
+def swar_ne(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return lay.compress((_guards_eq(lay, x, y, w) ^ lay.gmask(w)) >> w)
+
+
+def swar_ult(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return lay.compress((_guards_le(lay, y, x, w) ^ lay.gmask(w)) >> w)
+
+
+def swar_ule(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return lay.compress(_guards_le(lay, x, y, w) >> w)
+
+
+def swar_ugt(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return swar_ult(lay, y, x, w)
+
+
+def swar_uge(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return swar_ule(lay, y, x, w)
+
+
+def _sign_flip(lay: SwarLayout, x: int, w: int) -> int:
+    return x ^ lay.smask(w)
+
+
+def swar_slt(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return swar_ult(lay, _sign_flip(lay, x, w), _sign_flip(lay, y, w), w)
+
+
+def swar_sle(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return swar_ule(lay, _sign_flip(lay, x, w), _sign_flip(lay, y, w), w)
+
+
+def swar_sgt(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return swar_slt(lay, y, x, w)
+
+
+def swar_sge(lay: SwarLayout, x: int, y: int, w: int) -> int:
+    return swar_sle(lay, y, x, w)
+
+
+# ----------------------------------------------------------------------- mux
+
+
+def select_mask(lay: SwarLayout, sel_lanes: int, w: int) -> int:
+    """Lane-contiguous 1-bit *sel_lanes* expanded to a full per-slot
+    value mask (all *w* value bits set where the lane selects)."""
+    base = lay.spread(sel_lanes)
+    return (base << w) - base
+
+
+def swar_mux(lay: SwarLayout, sel_lanes: int, a: int, b: int, w: int) -> int:
+    """Per-slot ``a if sel else b`` with a lane-contiguous selector."""
+    mv = select_mask(lay, sel_lanes, w)
+    return b ^ ((a ^ b) & mv)

@@ -52,7 +52,12 @@ def _emit(e: HExpr) -> str:
         mask = (1 << e.width) - 1
         return f"(({a[0]} >> {e.lo}) & {e.width}'h{mask:x})"
     if op == "zext":
-        return a[0]
+        # explicit zero-pad: a bare operand would be self-determined at
+        # its own (narrower) width inside concatenations
+        pad = e.width - e.args[0].width
+        if pad <= 0:
+            return a[0]
+        return f"{{{{{pad}{{1'b0}}}}, {a[0]}}}"
     if op == "sext":
         return f"$signed({a[0]})"
     if op == "read":

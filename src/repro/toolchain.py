@@ -167,17 +167,24 @@ class Toolchain:
         """A fresh-state simulator over the (shared) optimized module."""
         return Simulator(self.optimize(design), optimize=False)
 
-    def batch_simulator(self, design: Design, lanes: int) -> BatchSimulator:
+    def batch_simulator(
+        self, design: Design, lanes: int, swar: bool = True
+    ) -> BatchSimulator:
         """A fresh-state *lane-batched* simulator over the (shared)
         optimized module: one vectorized step advances *lanes* independent
         machine states, each bit-identical to :meth:`simulator`.
 
-        The batched step function, its per-lane-count factories, and any
-        state-specialized fast-path bodies are cached per module object --
-        the same structural key every other artifact here hangs off -- so
-        repeated calls (randomized suites, the eval driver) compile once.
+        *swar* selects the engine generation: ``True`` (default) packs
+        multi-bit signals into guard-banded SWAR slots on top of the
+        packed 1-bit tag world; ``False`` compiles the two-tier
+        packed/per-lane engine.  The batched step function, its
+        per-lane-count factories, and any state-specialized fast-path
+        bodies are cached per (module object, engine) pair -- the same
+        structural key every other artifact here hangs off -- so repeated
+        calls (randomized suites, the eval driver) compile once per
+        engine.
         """
-        return BatchSimulator(self.optimize(design), lanes, optimize=False)
+        return BatchSimulator(self.optimize(design), lanes, optimize=False, swar=swar)
 
     def synthesize(self, design: Design) -> CostReport:
         """Gate census / area / delay / power of the optimized module (cached)."""

@@ -1,11 +1,17 @@
 """Hypothesis strategies generating random well-formed Sapper programs.
 
-Used by the noninterference property tests (Theorem 1) and by the
-randomized compiler-conformance tests.  Generated programs always
-satisfy the Appendix A.1 well-formedness conditions by construction:
-every state body ends in a terminator, branch arms agree on
-termination, gotos stay within sibling groups, and only non-leaf states
-fall.
+Used by the noninterference property tests (Theorem 1), the randomized
+compiler-conformance tests, and the batched-simulator equivalence
+suites.  Generated programs always satisfy the Appendix A.1
+well-formedness conditions by construction: every state body ends in a
+terminator, branch arms agree on termination, gotos stay within sibling
+groups, and only non-leaf states fall.
+
+Register widths are drawn from :data:`REG_WIDTHS`, which spans the
+1-bit edge case, the 33-bit SWAR packing boundary, and 34 bits (one
+past it, exercising the batched simulator's per-lane fallback tier);
+expression constants and slices adapt to the drawn widths instead of
+assuming the old fixed 8-bit registers.
 """
 
 from __future__ import annotations
@@ -20,60 +26,85 @@ REG_NAMES = ["r0", "r1", "r2", "r3"]
 INPUT_SPECS = [("in_lo", "L"), ("in_hi", "H"), ("in_dyn", None)]
 ARRAY = "buf"
 
+#: Candidate register widths: 1-bit edge case, a couple of ordinary
+#: datapath widths, and the 32/33/34 SWAR boundary neighbourhood.
+REG_WIDTHS = [1, 2, 8, 16, 32, 33, 34]
+
+
+def reg_widths() -> st.SearchStrategy[int]:
+    """Signal-width strategy covering the SWAR boundary and edge cases."""
+    return st.sampled_from(REG_WIDTHS)
+
 
 @st.composite
-def expressions(draw, depth: int = 0) -> ast.Exp:
+def constants(draw, width: int) -> ast.Const:
+    """A constant that fits *width* bits, biased toward boundary values."""
+    mask = (1 << width) - 1
+    value = draw(
+        st.integers(0, min(mask, 255))
+        | st.sampled_from([0, 1, mask, 1 << (width - 1)])
+    )
+    return ast.Const(value & mask, width)
+
+
+@st.composite
+def expressions(draw, widths: dict[str, int], depth: int = 0) -> ast.Exp:
     choices = ["const", "reg", "input"]
     if depth < 2:
         choices += ["binop", "binop", "cond", "slice", "arr"]
     kind = draw(st.sampled_from(choices))
     if kind == "const":
-        return ast.Const(draw(st.integers(0, 255)), 8)
+        return draw(constants(draw(st.sampled_from(sorted(set(widths.values()))))))
     if kind == "reg":
         return ast.RegRef(draw(st.sampled_from(REG_NAMES)))
     if kind == "input":
         return ast.RegRef(draw(st.sampled_from([n for n, _ in INPUT_SPECS])))
     if kind == "binop":
         op = draw(st.sampled_from(["+", "-", "&", "|", "^", "==", "<", "*", ">>", "%"]))
-        return ast.BinOp(op, draw(expressions(depth + 1)), draw(expressions(depth + 1)))
+        return ast.BinOp(
+            op, draw(expressions(widths, depth + 1)), draw(expressions(widths, depth + 1))
+        )
     if kind == "cond":
         return ast.Cond(
-            draw(expressions(depth + 1)), draw(expressions(depth + 1)), draw(expressions(depth + 1))
+            draw(expressions(widths, depth + 1)),
+            draw(expressions(widths, depth + 1)),
+            draw(expressions(widths, depth + 1)),
         )
     if kind == "slice":
-        hi = draw(st.integers(1, 7))
+        name = draw(st.sampled_from(REG_NAMES))
+        hi = draw(st.integers(0, widths[name] - 1))
         lo = draw(st.integers(0, hi))
-        return ast.Slice(ast.RegRef(draw(st.sampled_from(REG_NAMES))), hi, lo)
-    return ast.ArrIndex(ARRAY, draw(expressions(depth + 1)))
+        return ast.Slice(ast.RegRef(name), hi, lo)
+    return ast.ArrIndex(ARRAY, draw(expressions(widths, depth + 1)))
 
 
 @st.composite
-def plain_commands(draw, labeller, depth: int = 0) -> ast.Cmd:
+def plain_commands(draw, labeller, widths: dict[str, int], depth: int = 0) -> ast.Cmd:
     """Commands with no goto/fall (usable anywhere in a body)."""
     choices = ["assign", "assign", "arr", "settag"]
     if depth < 2:
         choices += ["if", "if", "otherwise"]
     kind = draw(st.sampled_from(choices))
     if kind == "assign":
-        return ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions()))
+        return ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions(widths)))
     if kind == "arr":
-        return ast.AssignArr(ARRAY, draw(expressions(2)), draw(expressions(1)))
+        return ast.AssignArr(ARRAY, draw(expressions(widths, 2)), draw(expressions(widths, 1)))
     if kind == "settag":
         return ast.SetTag(
             ast.EntReg(draw(st.sampled_from(REG_NAMES))),
             ast.TagConst(draw(st.sampled_from(["L", "H"]))),
         )
     if kind == "otherwise":
-        primary = ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions()))
-        handler = ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions()))
+        primary = ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions(widths)))
+        handler = ast.AssignReg(draw(st.sampled_from(REG_NAMES)), draw(expressions(widths)))
         return ast.Otherwise(primary, handler)
-    then = draw(st.lists(plain_commands(labeller, depth + 1), min_size=1, max_size=2))
-    els = draw(st.lists(plain_commands(labeller, depth + 1), min_size=0, max_size=2))
-    return ast.If(labeller(), draw(expressions(1)), ast.seq(*then), ast.seq(*els))
+    then = draw(st.lists(plain_commands(labeller, widths, depth + 1), min_size=1, max_size=2))
+    els = draw(st.lists(plain_commands(labeller, widths, depth + 1), min_size=0, max_size=2))
+    return ast.If(labeller(), draw(expressions(widths, 1)), ast.seq(*then), ast.seq(*els))
 
 
 @st.composite
-def terminators(draw, labeller, siblings: list[str], can_fall: bool) -> ast.Cmd:
+def terminators(draw, labeller, widths: dict[str, int], siblings: list[str], can_fall: bool) -> ast.Cmd:
     """A command that always ends in goto/fall, possibly conditionally."""
     targets = st.sampled_from(siblings)
     shape = draw(st.sampled_from(["goto", "goto", "fall", "cond"]))
@@ -82,32 +113,37 @@ def terminators(draw, labeller, siblings: list[str], can_fall: bool) -> ast.Cmd:
     if shape == "cond":
         then_t = ast.Goto(draw(targets))
         els_t = ast.Fall() if (can_fall and draw(st.booleans())) else ast.Goto(draw(targets))
-        return ast.If(labeller(), draw(expressions(1)), then_t, els_t)
+        return ast.If(labeller(), draw(expressions(widths, 1)), then_t, els_t)
     return ast.Goto(draw(targets))
 
 
 @st.composite
-def programs(draw) -> ast.Program:
+def programs(draw, widths: dict[str, int] | None = None) -> ast.Program:
     counter = [0]
 
     def labeller() -> str:
         counter[0] += 1
         return f"gif{counter[0]}"
 
+    if widths is None:
+        widths = {name: draw(reg_widths()) for name in REG_NAMES}
+    for name, _label in INPUT_SPECS:
+        widths.setdefault(name, 8)
+
     decls: list = []
     for name in REG_NAMES:
-        decls.append(ast.RegDecl(name, 8, "reg", draw(st.sampled_from(LABELS))))
+        decls.append(ast.RegDecl(name, widths[name], "reg", draw(st.sampled_from(LABELS))))
     for name, label in INPUT_SPECS:
-        decls.append(ast.RegDecl(name, 8, "input", label))
+        decls.append(ast.RegDecl(name, widths[name], "input", label))
     decls.append(ast.RegDecl("out_lo", 8, "output", "L"))
     decls.append(ast.ArrDecl(ARRAY, 8, 8, draw(st.sampled_from(["L", "H"]))))
 
     def body(siblings: list[str], can_fall: bool) -> ast.Cmd:
-        cmds = draw(st.lists(plain_commands(labeller), min_size=0, max_size=3))
+        cmds = draw(st.lists(plain_commands(labeller, widths), min_size=0, max_size=3))
         maybe_out = draw(st.booleans())
         if maybe_out:
-            cmds.append(ast.AssignReg("out_lo", draw(expressions())))
-        cmds.append(draw(terminators(labeller, siblings, can_fall)))
+            cmds.append(ast.AssignReg("out_lo", draw(expressions(widths))))
+        cmds.append(draw(terminators(labeller, widths, siblings, can_fall)))
         return ast.seq(*cmds)
 
     # state A (enforced L, with 1-2 dynamic/enforced children), state B (enforced)
@@ -124,6 +160,19 @@ def programs(draw) -> ast.Program:
     state_a = ast.StateDef("A", body(tops, can_fall=True), label="L", children=kids)
     state_b = ast.StateDef("B", body(tops, can_fall=False), label=draw(st.sampled_from(["L", "H"])))
     return ast.Program(tuple(decls), (state_a, state_b), name="random")
+
+
+@st.composite
+def wide_programs(draw) -> ast.Program:
+    """Programs whose registers straddle the SWAR boundary: at least one
+    register at 32/33 bits and one at the 1/2-bit edge."""
+    widths = {
+        "r0": draw(st.sampled_from([32, 33])),
+        "r1": draw(st.sampled_from([1, 2])),
+        "r2": draw(st.sampled_from([8, 16, 33, 34])),
+        "r3": draw(reg_widths()),
+    }
+    return draw(programs(widths=widths))
 
 
 @st.composite

@@ -42,11 +42,11 @@ def assert_lanes_match_scalars(module, batch, sims, cycle):
                 )
 
 
-def run_lockstep(design, traces, cycles):
+def run_lockstep(design, traces, cycles, swar=True):
     """Drive a batch and per-lane scalar sims with identical stimulus."""
     module = design.module
     lanes = len(traces)
-    batch = BatchSimulator(module, lanes)
+    batch = BatchSimulator(module, lanes, swar=swar)
     sims = [Simulator(module) for _ in range(lanes)]
     for cycle in range(cycles):
         lane_inputs = [
@@ -89,6 +89,256 @@ class TestRandomizedBatchEquivalence:
         design = compile_program(info, lat, secure=True, name="rand_uniform")
         trace = data.draw(strategies.stimulus_traces(cycles=6))
         run_lockstep(design, [trace, trace, trace], cycles=6)
+
+
+class TestSwarTier:
+    """The wide-word SWAR tier: mixed register widths across the 33-bit
+    packing boundary, non-uniform FSM states, and explicit tier
+    assignment (no silent fallback to per-lane loops)."""
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(strategies.wide_programs(), st.integers(2, 5), st.data())
+    def test_swar_path_matches_scalar_lanes(self, program, lanes, data):
+        """Random programs with 1/2-bit and 32/33/34-bit registers:
+        per-lane traces diverge the FSM states, and every lane must stay
+        bit-identical to its scalar twin through the SWAR engine."""
+        lat = two_level()
+        info = analyze(program, lat)
+        design = compile_program(info, lat, secure=True, name="rand_swar")
+        traces = [
+            data.draw(strategies.stimulus_traces(cycles=5), label=f"lane{lane}")
+            for lane in range(lanes)
+        ]
+        batch = run_lockstep(design, traces, cycles=5)
+        # the two engines must classify identically on the engine flag
+        assert batch.swar and "w" not in BatchSimulator(
+            design.module, lanes, swar=False
+        ).signal_tiers.values()
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(strategies.wide_programs(), st.data())
+    def test_pre_swar_engine_still_bit_identical(self, program, data):
+        """The swar=False engine (the regression-benchmark baseline)
+        stays bit-identical on the same mixed-width programs."""
+        lat = two_level()
+        design = compile_program(analyze(program, lat), lat, secure=True, name="rand_plain")
+        trace = data.draw(strategies.stimulus_traces(cycles=4))
+        run_lockstep(design, [trace, trace], cycles=4, swar=False)
+
+    ADDER = """
+    reg[31:0] a; reg[31:0] b; reg[32:0] sum; reg[0:0] flag;
+    input[7:0] x;
+    state s : L = {
+        a := a + x;
+        b := b ^ (a << 2);
+        sum := a + b;
+        flag := a < b;
+        goto s;
+    }
+    """
+
+    def test_datapath_lands_in_swar_tier(self):
+        """On a pure add/xor/shift/compare datapath every multi-bit
+        signal must be assigned to the SWAR tier -- a per-lane fallback
+        here is a performance regression, not a preference."""
+        design = compile_program(self.ADDER, two_level(), name="swar_adder")
+        batch = BatchSimulator(design.module, 4)
+        tiers = batch.signal_tiers
+        assert set(tiers.values()) <= {"p", "w"}, (
+            f"unexpected per-lane fallback: "
+            f"{[n for n, k in tiers.items() if k == 's']}"
+        )
+        assert "w" in tiers.values(), "SWAR tier unused on a wide datapath"
+        # 33-bit sum register: packed storage at the boundary width
+        assert "sum" in batch.sregs and batch.pitch >= 34
+
+    VARSHIFT = """
+    reg[15:0] v; input[3:0] k;
+    state s : L = { v := v >> k; goto s; }
+    """
+
+    def test_variable_shift_falls_back_per_lane(self):
+        """Variable shifts have no SWAR form: they must land in the
+        scalar tier (and still simulate bit-identically)."""
+        design = compile_program(self.VARSHIFT, two_level(), name="varshift")
+        batch = BatchSimulator(design.module, 3)
+        tiers = batch.signal_tiers
+        shift_sigs = [
+            n for n, k in tiers.items()
+            if k == "s" and batch.module.width_of(n) > 1
+        ]
+        assert shift_sigs, "variable-shift cone should be scalar-tier"
+        sims = [Simulator(design.module) for _ in range(3)]
+        for cycle in range(40):
+            inputs = [{"v": 0, "k": (cycle + lane) % 16} for lane in range(3)]
+            want = [s.step(i) for s, i in zip(sims, inputs)]
+            assert batch.step(inputs) == want, cycle
+            assert_lanes_match_scalars(design.module, batch, sims, cycle)
+
+    def test_out_of_width_bitwise_ir_is_rejected(self):
+        """Bitwise/mux nodes with operands wider than the node violate
+        the width discipline every backend trusts (no engine masks
+        them; the packed tag world would silently corrupt neighbouring
+        lanes).  validate() rejects them up front, so the batched
+        engines never see such IR (regression: a width-1 mux over 8-bit
+        arms used to classify as SWAR and crash the generated step)."""
+        from repro.hdl import HOp, HRef, Module
+
+        def degenerate(op, args, width):
+            m = Module("t")
+            m.add_input("sel", 1)
+            m.add_input("a", 8)
+            m.add_input("b", 8)
+            m.add_reg("r", width)
+            m.assign("t", HOp(op, args, width))
+            m.set_reg_next("r", HRef("t", width))
+            m.set_output("o", HRef("t", width))
+            return m
+
+        for op, args, width in [
+            ("mux", (HRef("sel", 1), HRef("a", 8), HRef("b", 8)), 1),
+            ("or", (HRef("a", 8), HRef("sel", 1)), 1),
+            ("and", (HRef("a", 8), HRef("b", 8)), 4),
+        ]:
+            m = degenerate(op, args, width)
+            with pytest.raises(ValueError, match="wider operand"):
+                m.validate()
+            with pytest.raises(ValueError, match="wider operand"):
+                BatchSimulator(m, 3, optimize=False)
+
+        # 1-bit ops over 1-bit operands of course stay legal
+        ok = degenerate("mux", (HRef("sel", 1), HRef("sel", 1), HRef("sel", 1)), 1)
+        ok.validate()
+        assert BatchSimulator(ok, 2, optimize=False).step()
+
+    def test_narrowed_slice_does_not_leak_across_lanes(self):
+        """The narrowing pass legally shrinks a signal under a slice
+        whose lo/hi were sized for the old padded width; the SWAR slice
+        emitter must clamp against the operand width instead of
+        shifting the neighbouring lane's slot into view (regression:
+        lane 0 used to read lanes 3-4's bits)."""
+        from repro.hdl import HOp, HRef, Module
+        from repro.hdl.passes import run_pipeline
+
+        m = Module("t")
+        x = m.add_input("x", 8)
+        y = m.add_input("y", 8)
+        m.assign("s", HOp("add", (HOp("zext", (x,), 64), HOp("zext", (y,), 64)), 64))
+        m.assign("hifield", HOp("slice", (HRef("s", 64),), 6, hi=40, lo=35))
+        m.assign("lofield", HOp("slice", (HRef("s", 64),), 6, hi=8, lo=3))
+        m.assign("bit", HOp("slice", (HRef("s", 64),), 1, hi=35, lo=35))
+        r = m.add_reg("acc", 6)
+        m.assign("nxt", HOp("or", (HRef("hifield", 6), HRef("lofield", 6)), 6))
+        m.set_reg_next("acc", HRef("nxt", 6))
+        m.set_output("o", HRef("nxt", 6))
+        m.set_output("b", HRef("bit", 1))
+        opt = run_pipeline(m).module
+        batch = BatchSimulator(opt, 4, optimize=False)
+        sims = [Simulator(opt, optimize=False) for _ in range(4)]
+        for cycle in range(24):
+            inputs = [
+                {"x": (37 * lane + cycle) & 255, "y": (91 * lane + 3 * cycle) & 255}
+                for lane in range(4)
+            ]
+            want = [s.step(i) for s, i in zip(sims, inputs)]
+            assert batch.step(inputs) == want, cycle
+            assert_lanes_match_scalars(opt, batch, sims, cycle)
+
+    def test_nested_slice_keeps_every_truncation(self):
+        """An outer slice reaching past an inner slice's top must see
+        zeros, exactly like the scalar engine (regression: the SWAR
+        slice flattening clamped only against the innermost operand and
+        read the underlying bits instead)."""
+        from repro.hdl import HOp, HRef, Module
+
+        m = Module("t")
+        x = m.add_input("x", 16)
+        m.assign("s1", HOp("slice", (x,), 4, hi=7, lo=4))
+        m.assign("s2", HOp("slice", (HRef("s1", 4),), 8, hi=7, lo=0))
+        m.assign("deep", HOp("slice", (HOp("slice", (x,), 6, hi=13, lo=8),), 3, hi=4, lo=2))
+        r = m.add_reg("acc", 8)
+        m.assign("nxt", HOp("or", (HRef("s2", 8), HOp("zext", (HRef("deep", 3),), 8)), 8))
+        m.set_reg_next("acc", HRef("nxt", 8))
+        m.set_output("o", HRef("nxt", 8))
+        m.validate()
+        batch = BatchSimulator(m, 4, optimize=False)
+        assert batch.signal_tiers["nxt"] == "w"
+        sims = [Simulator(m, optimize=False) for _ in range(4)]
+        for cycle in range(24):
+            inputs = [{"x": (0xFFF0 ^ (2477 * lane + 301 * cycle)) & 0xFFFF}
+                      for lane in range(4)]
+            want = [s.step(i) for s, i in zip(sims, inputs)]
+            assert batch.step(inputs) == want, cycle
+            assert_lanes_match_scalars(m, batch, sims, cycle)
+
+    def test_folded_bodies_respect_entry_pitch(self):
+        """A narrow-slot module whose scalar cone hides wider
+        intermediates: state-folded bodies re-optimize the module and
+        must not pack anything wider than the entry's slot pitch."""
+        src = """
+        reg[7:0] acc; reg[7:0] aux; reg[31:0] wide; input[7:0] x;
+        state top : L = {
+            let state p = {
+                acc := acc + x;
+                wide := (wide * 3) + acc;
+                if (acc > 200) { goto q; } else { goto p; }
+            } in
+            let state q = { aux := aux + 1; acc := 0; goto p; } in
+            fall;
+        }
+        state other : L = { acc := acc - 1; goto other; }
+        """
+        design = compile_program(src, two_level(), name="pitch_fold")
+        batch = BatchSimulator(design.module, 4)
+        sims = [Simulator(design.module) for _ in range(4)]
+        for cycle in range(150):
+            inp = {"x": 7, "x__tag": 0}
+            assert batch.step(inp) == [s.step(inp) for s in sims], cycle
+            assert_lanes_match_scalars(batch.module, batch, sims, cycle)
+        assert any(b is not None for b in batch._entry.bodies.values()), (
+            "expected at least one specialized body to compile"
+        )
+        assert batch._entry.pitch == batch.pitch == 33  # 32-bit reg + guard
+
+    def test_one_bit_constant_shifts(self):
+        """Width-1 constant shifts are SWAR-eligible and must compile
+        and run bit-identically (regression: the flag emitter had no
+        shift case and codegen raised ValueError on valid designs)."""
+        src = """
+        reg[0:0] f; reg[0:0] g; reg[0:0] h; input[0:0] x;
+        state s : L = {
+            f := (f >> 1) | x;
+            g := g >> 0;
+            h := x;
+            goto s;
+        }
+        """
+        design = compile_program(src, two_level(), name="bitshift")
+        for optimize in (True, False):
+            batch = BatchSimulator(design.module, 3, optimize=optimize)
+            sims = [Simulator(design.module, optimize=optimize) for _ in range(3)]
+            for cycle in range(20):
+                inputs = [
+                    {"x": (cycle >> lane) & 1, "x__tag": 0} for lane in range(3)
+                ]
+                want = [s.step(i) for s, i in zip(sims, inputs)]
+                assert batch.step(inputs) == want, (optimize, cycle)
+                assert_lanes_match_scalars(batch.module, batch, sims, cycle)
+
+    def test_engines_cached_per_flag(self):
+        design = compile_program(self.ADDER, two_level(), name="swar_cache")
+        module = design.module
+        b_swar = BatchSimulator(module, 2)
+        b_plain = BatchSimulator(module, 2, swar=False)
+        assert b_swar._entry is not b_plain._entry
+        assert b_swar._entry is BatchSimulator(module, 4)._entry
+        assert b_plain._entry is BatchSimulator(module, 4, swar=False)._entry
+        assert "w" in b_swar.signal_tiers.values()
+        assert "w" not in b_plain.signal_tiers.values()
+        # packed state accessors agree across engines
+        b_swar.set_reg(1, "sum", 0x1_2345_6789 & ((1 << 33) - 1))
+        assert b_swar.get_reg(1, "sum") == 0x1_2345_6789 & ((1 << 33) - 1)
+        assert b_swar.get_reg(0, "sum") == 0
 
 
 class TestSpecializedFastPath:

@@ -186,6 +186,25 @@ class TestVerilog:
         m.set_output("q", m.fresh(HOp("div", (a, b), 8), "q"))
         assert "== 0) ?" in emit_verilog(m)
 
+    def test_zext_pads_explicitly_inside_concat(self):
+        """Verilog concatenations are self-determined: a zext emitted
+        as its bare operand would contribute only the narrow width and
+        shift every more-significant part down (regression: narrowed
+        signals under a cat silently mis-aligned the emitted RTL)."""
+        m = Module("pad")
+        x = m.add_input("x", 8)
+        y = m.add_input("y", 8)
+        m.assign("w", HOp("zext", (x,), 24))
+        m.assign("c", HOp("cat", (y, HRef("w", 24)), 32))
+        m.set_output("o", HRef("c", 32))
+        text = emit_verilog(m, optimize=False)
+        assert "{{16{1'b0}}, x}" in text
+        # width-preserving zext stays a bare operand
+        m2 = Module("nopad")
+        a = m2.add_input("a", 8)
+        m2.set_output("o", m2.fresh(HOp("zext", (a,), 8), "z"))
+        assert "1'b0" not in emit_verilog(m2, optimize=False)
+
 
 class TestNetlist:
     def test_counter_netlist_simulates(self):

@@ -20,6 +20,7 @@ from repro.hdl.passes import (
     CommonSubexpr,
     ConstantFold,
     DeadSignalElim,
+    NarrowWidths,
     PassManager,
     SimplifyLogic,
     default_passes,
@@ -188,6 +189,82 @@ class TestCse:
         assert find(out, "b") == HOp("mul", (HRef("a", 8), x), 8)
 
 
+class TestNarrowWidths:
+    """The SWAR-enabling narrowing pre-pass: oversized operators shrink
+    to their significant-bit bound, shrinkable signals lose their zext
+    padding outright, and everything stays bit-exact."""
+
+    def padded_module(self):
+        m = Module("t")
+        x = m.add_input("x", 8)
+        y = m.add_input("y", 8)
+        m.assign("wx", HOp("zext", (x,), 64))
+        m.assign("wy", HOp("zext", (y,), 64))
+        m.assign("s", HOp("add", (HRef("wx", 64), HRef("wy", 64)), 64))
+        m.assign("hit", HOp("eq", (HRef("s", 64), HConst(300, 64)), 1))
+        m.set_output("hit", HRef("hit", 1))
+        return m
+
+    def test_narrows_padded_add_and_compare(self):
+        out, changed = NarrowWidths().run(self.padded_module())
+        assert changed
+        widths = {n: e.width for n, e in out.comb}
+        # the 64-bit add now computes at its 9-bit bound
+        assert widths["s"] <= 33
+        # idempotent: a second run is a no-op
+        out2, changed2 = NarrowWidths().run(out)
+        assert not changed2 and out2 is out
+
+    def test_signal_shrinking_is_bit_exact(self):
+        import random
+
+        m = self.padded_module()
+        opt = run_pipeline(m).module
+        assert all(e.width <= 33 for _, e in opt.comb)
+        raw, new = Simulator(m, optimize=False), Simulator(opt, optimize=False)
+        rng = random.Random(5)
+        for _ in range(256):
+            inp = {"x": rng.randrange(256), "y": rng.randrange(256)}
+            assert raw.step(inp) == new.step(inp)
+
+    def test_protected_signals_keep_declared_widths(self):
+        m = Module("t")
+        x = m.add_input("x", 8)
+        r = m.add_reg("r", 64)
+        m.assign("wide", HOp("zext", (x,), 64))
+        m.set_reg_next("r", HRef("wide", 64))
+        m.set_output("o", HRef("wide", 64))
+        out, _ = NarrowWidths().run(m)
+        out.validate()
+        assert dict(out.comb)["wide"].width == 64
+
+    def test_leaves_genuinely_wide_values_alone(self):
+        m = Module("t")
+        x = m.add_input("x", 40)
+        y = m.add_input("y", 40)
+        m.assign("s", HOp("add", (x, y), 40))  # bound 41 > limit
+        m.set_output("o", HRef("s", 40))
+        out, changed = NarrowWidths().run(m)
+        assert not changed and out is m
+
+    def test_width_sensitive_consumers_get_rewrapped(self):
+        import random
+
+        m = Module("t")
+        x = m.add_input("x", 8)
+        m.assign("w", HOp("zext", (x,), 64))
+        # sext reads the declared argument width: must stay wrapped
+        m.assign("sx", HOp("sext", (HOp("slice", (HRef("w", 64),), 8, hi=7, lo=0),), 16))
+        m.assign("out", HOp("add", (HRef("sx", 16), HConst(1, 16)), 16))
+        m.set_output("o", HRef("out", 16))
+        opt = run_pipeline(m).module
+        raw, new = Simulator(m, optimize=False), Simulator(opt, optimize=False)
+        rng = random.Random(9)
+        for _ in range(256):
+            inp = {"x": rng.randrange(256)}
+            assert raw.step(inp) == new.step(inp)
+
+
 class TestDce:
     def test_drops_dead_keeps_live(self):
         m = Module("t")
@@ -256,7 +333,9 @@ class TestPipeline:
         result = run_pipeline(design.module)
         assert len(result.module.comb) < len(design.module.comb)
         assert result.signals_removed > 0
-        assert {s.name for s in result.stats} == {"constfold", "simplify", "cse", "dce"}
+        assert {s.name for s in result.stats} == {
+            "constfold", "narrow", "simplify", "cse", "dce"
+        }
 
     def test_optimize_is_memoized_and_idempotent(self):
         lat = two_level()
@@ -269,7 +348,7 @@ class TestPipeline:
     def test_levels(self):
         assert default_passes(0) == []
         assert len(default_passes(1)) == 2
-        assert len(default_passes(2)) == 4
+        assert len(default_passes(2)) == 5
 
     def test_validates_output(self):
         lat = two_level()

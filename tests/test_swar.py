@@ -1,0 +1,265 @@
+"""Differential property tests for the SWAR primitive library.
+
+Every primitive in :mod:`repro.hdl.swar` is checked against the scalar
+reference semantics of the simulator (mask-and-shift on per-lane
+values) across the full supported parameter space: widths 2..33
+(boundaries inclusive), lane counts 1..64, random and adversarial
+operands, and slot pitches at and above the minimum guard band.  Each
+check also asserts the *canonical form* invariant -- no result bit
+outside any slot's value region -- which is exactly the guard-bit
+non-leakage property: a carry, borrow, or shift in one lane must never
+disturb its neighbours.
+
+Both layout-conversion code paths are exercised: the one-multiply
+gather/scatter (``lanes <= pitch - 1``) and the binary-doubling ladder
+(``lanes > pitch - 1``).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import swar as S
+from repro.hdl.swar import SWAR_MAX_WIDTH, SwarLayout, get_layout
+
+MASK = lambda w: (1 << w) - 1  # noqa: E731
+
+
+def signed(v: int, w: int) -> int:
+    return v - (1 << w) if (v >> (w - 1)) & 1 else v
+
+
+def assert_canonical(lay: SwarLayout, word: int, width: int) -> None:
+    """No bit outside the per-slot value regions (guard non-leakage)."""
+    assert word & ~lay.vmask(width) == 0, (
+        f"guard band polluted: pitch={lay.pitch} lanes={lay.lanes} width={width}"
+    )
+
+
+def operand_lists(w: int, lanes: int):
+    """Per-lane operands biased toward carry/borrow boundary values."""
+    boundary = st.sampled_from([0, 1, MASK(w), MASK(w) - 1, 1 << (w - 1)])
+    return st.lists(
+        st.integers(0, MASK(w)) | boundary, min_size=lanes, max_size=lanes
+    )
+
+
+@st.composite
+def cases(draw, min_width: int = 2, max_width: int = SWAR_MAX_WIDTH):
+    w = draw(st.integers(min_width, max_width))
+    lanes = draw(st.integers(1, 64))
+    # pitch w+1 is the minimum guard band; larger pitches flip the
+    # layout between the multiply and doubling conversion paths
+    pitch = w + draw(st.sampled_from([1, 1, 2, 33]))
+    lay = get_layout(pitch, lanes)
+    xs = draw(operand_lists(w, lanes))
+    ys = draw(operand_lists(w, lanes))
+    return lay, w, xs, ys
+
+
+class TestArithmetic:
+    @given(cases())
+    def test_add_sub_neg(self, case):
+        lay, w, xs, ys = case
+        x, y = lay.pack(xs, w), lay.pack(ys, w)
+        for got_word, want in [
+            (S.swar_add(lay, x, y, w), [(a + b) & MASK(w) for a, b in zip(xs, ys)]),
+            (S.swar_sub(lay, x, y, w), [(a - b) & MASK(w) for a, b in zip(xs, ys)]),
+            (S.swar_neg(lay, x, w), [(-a) & MASK(w) for a in xs]),
+        ]:
+            assert_canonical(lay, got_word, w)
+            assert lay.unpack(got_word, w) == want
+
+    @given(cases())
+    def test_bitwise(self, case):
+        lay, w, xs, ys = case
+        x, y = lay.pack(xs, w), lay.pack(ys, w)
+        for got_word, want in [
+            (S.swar_and(lay, x, y, w), [a & b for a, b in zip(xs, ys)]),
+            (S.swar_or(lay, x, y, w), [a | b for a, b in zip(xs, ys)]),
+            (S.swar_xor(lay, x, y, w), [a ^ b for a, b in zip(xs, ys)]),
+            (S.swar_not(lay, x, w), [a ^ MASK(w) for a in xs]),
+        ]:
+            assert_canonical(lay, got_word, w)
+            assert lay.unpack(got_word, w) == want
+
+
+class TestShifts:
+    @given(cases(), st.integers(0, SWAR_MAX_WIDTH + 2))
+    def test_shl_shr(self, case, k):
+        lay, w, xs, _ = case
+        x = lay.pack(xs, w)
+        got = S.swar_shl(lay, x, k, w)
+        assert_canonical(lay, got, w)
+        assert lay.unpack(got, w) == [(a << k) & MASK(w) if k < w else 0 for a in xs]
+        got = S.swar_shr(lay, x, k, w)
+        assert_canonical(lay, got, w)
+        assert lay.unpack(got, w) == [a >> k if k < w else 0 for a in xs]
+
+    @given(cases(), st.integers(0, SWAR_MAX_WIDTH + 2))
+    def test_asr_matches_signed_shift(self, case, k):
+        lay, w, xs, _ = case
+        x = lay.pack(xs, w)
+        got = S.swar_asr(lay, x, k, w)
+        assert_canonical(lay, got, w)
+        # the scalar simulator clamps arithmetic shifts at w - 1
+        want = [(signed(a, w) >> min(k, w - 1)) & MASK(w) for a in xs]
+        assert lay.unpack(got, w) == want
+
+
+class TestWidthAdaptation:
+    @given(cases(max_width=SWAR_MAX_WIDTH - 1), st.data())
+    def test_zext_sext(self, case, data):
+        lay, w, xs, _ = case
+        w2 = data.draw(st.integers(w, lay.pitch - 1), label="w_to")
+        x = lay.pack(xs, w)
+        assert S.swar_zext(lay, x, w, w2) == x  # canonical form: identity
+        got = S.swar_sext(lay, x, w, w2)
+        assert_canonical(lay, got, w2)
+        assert lay.unpack(got, w2) == [signed(a, w) & MASK(w2) for a in xs]
+
+    @given(cases(), st.data())
+    def test_slice(self, case, data):
+        lay, w, xs, _ = case
+        hi = data.draw(st.integers(0, w - 1), label="hi")
+        lo = data.draw(st.integers(0, hi), label="lo")
+        x = lay.pack(xs, w)
+        got = S.swar_slice(lay, x, hi, lo)
+        assert_canonical(lay, got, hi - lo + 1)
+        assert lay.unpack(got, hi - lo + 1) == [
+            (a >> lo) & MASK(hi - lo + 1) for a in xs
+        ]
+
+    @given(st.integers(1, 64), st.data())
+    def test_cat(self, lanes, data):
+        widths = data.draw(
+            st.lists(st.integers(1, 16), min_size=1, max_size=3).filter(
+                lambda ws: sum(ws) <= SWAR_MAX_WIDTH
+            ),
+            label="part widths",
+        )
+        total = sum(widths)
+        lay = get_layout(total + 1, lanes)
+        parts = [
+            (data.draw(operand_lists(pw, lanes), label="part"), pw) for pw in widths
+        ]
+        packed = [(lay.pack(vals, pw), pw) for vals, pw in parts]
+        got = S.swar_cat(lay, packed)
+        assert_canonical(lay, got, total)
+        want = []
+        for lane in range(lanes):
+            v = 0
+            for vals, pw in parts:  # most significant first
+                v = (v << pw) | vals[lane]
+            want.append(v)
+        assert lay.unpack(got, total) == want
+
+
+CMP_CASES = [
+    (S.swar_eq, lambda a, b, w: a == b),
+    (S.swar_ne, lambda a, b, w: a != b),
+    (S.swar_ult, lambda a, b, w: a < b),
+    (S.swar_ule, lambda a, b, w: a <= b),
+    (S.swar_ugt, lambda a, b, w: a > b),
+    (S.swar_uge, lambda a, b, w: a >= b),
+    (S.swar_slt, lambda a, b, w: signed(a, w) < signed(b, w)),
+    (S.swar_sle, lambda a, b, w: signed(a, w) <= signed(b, w)),
+    (S.swar_sgt, lambda a, b, w: signed(a, w) > signed(b, w)),
+    (S.swar_sge, lambda a, b, w: signed(a, w) >= signed(b, w)),
+]
+
+
+class TestCompares:
+    @given(cases())
+    def test_all_compares_lane_contiguous(self, case):
+        lay, w, xs, ys = case
+        x, y = lay.pack(xs, w), lay.pack(ys, w)
+        for fn, ref in CMP_CASES:
+            got = fn(lay, x, y, w)
+            want = sum(
+                int(ref(a, b, w)) << lane for lane, (a, b) in enumerate(zip(xs, ys))
+            )
+            assert got == want, fn.__name__
+
+    @given(cases())
+    def test_equal_operands(self, case):
+        lay, w, xs, _ = case
+        x = lay.pack(xs, w)
+        assert S.swar_eq(lay, x, x, w) == lay.lane_ones
+        assert S.swar_ult(lay, x, x, w) == 0
+        assert S.swar_ule(lay, x, x, w) == lay.lane_ones
+
+
+class TestMux:
+    @given(cases(), st.data())
+    def test_mux_selects_per_lane(self, case, data):
+        lay, w, xs, ys = case
+        sel = data.draw(st.integers(0, lay.lane_ones), label="sel")
+        x, y = lay.pack(xs, w), lay.pack(ys, w)
+        got = S.swar_mux(lay, sel, x, y, w)
+        assert_canonical(lay, got, w)
+        assert lay.unpack(got, w) == [
+            a if (sel >> lane) & 1 else b for lane, (a, b) in enumerate(zip(xs, ys))
+        ]
+
+
+class TestLayout:
+    @given(st.integers(2, 67), st.integers(1, 64), st.data())
+    def test_compress_spread_roundtrip(self, pitch, lanes, data):
+        lay = get_layout(pitch, lanes)
+        bits = data.draw(st.integers(0, lay.lane_ones), label="bits")
+        spread = lay.spread(bits)
+        assert spread == sum(
+            ((bits >> lane) & 1) << (lane * pitch) for lane in range(lanes)
+        )
+        assert lay.compress(spread) == bits
+
+    @given(cases())
+    def test_pack_unpack_get_set(self, case):
+        lay, w, xs, ys = case
+        word = lay.pack(xs, w)
+        assert lay.unpack(word, w) == xs
+        assert_canonical(lay, word, w)
+        for lane in range(lay.lanes):
+            assert lay.get(word, lane, w) == xs[lane]
+        for lane in range(lay.lanes):
+            word = lay.set(word, lane, w, ys[lane])
+        assert lay.unpack(word, w) == ys
+
+    def test_layout_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="pitch"):
+            SwarLayout(1, 4)
+        with pytest.raises(ValueError, match="lane count"):
+            SwarLayout(8, 0)
+        with pytest.raises(ValueError, match="fit"):
+            get_layout(8, 2).replicate(1, 8)
+
+
+class TestGuardNonLeakage:
+    """Adversarial neighbour patterns: a lane computing at the extreme
+    (max value, deepest borrow, widest carry) must leave both neighbours
+    bit-exact.  This is the property the guard band exists for."""
+
+    @settings(max_examples=60)
+    @given(st.integers(2, SWAR_MAX_WIDTH), st.integers(3, 16), st.integers(1, 14))
+    def test_extreme_lane_leaves_neighbours_alone(self, w, lanes, victim):
+        victim %= lanes
+        lay = get_layout(w + 1, lanes)  # minimum guard band: worst case
+        xs = [MASK(w) if i == victim else i % (MASK(w) + 1) for i in range(lanes)]
+        ys = [MASK(w) if i == victim else (i * 7) % (MASK(w) + 1) for i in range(lanes)]
+        x, y = lay.pack(xs, w), lay.pack(ys, w)
+        for fn, ref in [
+            (S.swar_add, lambda a, b: (a + b) & MASK(w)),
+            (S.swar_sub, lambda a, b: (a - b) & MASK(w)),
+        ]:
+            got = lay.unpack(fn(lay, x, y, w), w)
+            for lane in range(lanes):
+                assert got[lane] == ref(xs[lane], ys[lane]), (
+                    f"lane {lane} corrupted by lane {victim}'s overflow"
+                )
+        # borrow chain: 0 - max in the victim lane
+        zs = [0 if i == victim else xs[i] for i in range(lanes)]
+        got = lay.unpack(S.swar_sub(lay, lay.pack(zs, w), y, w), w)
+        for lane in range(lanes):
+            assert got[lane] == (zs[lane] - ys[lane]) & MASK(w)
