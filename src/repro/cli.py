@@ -10,15 +10,22 @@ Built entirely on the :class:`~repro.toolchain.Toolchain` facade::
 Common options: ``--lattice two|diamond``, ``--insecure`` (compile the
 Base variant with tracking stripped), ``--no-opt`` (raw compiler
 output), ``--name`` (module name).  ``simulate`` drives constant input
-values given as ``-i port=value`` (tag inputs as ``port__tag=bits``)
+values given as ``-i port=value`` (tag inputs as ``port__tag=bits``;
+with ``--lanes``, ``port=v0,v1,...`` drives one value per lane)
 and prints the output ports each cycle plus a violation summary;
 ``--lanes N`` advances N independent machine states per cycle through
 the lane-batched simulator (bit-identical to N scalar runs), and
 ``--engine {scalar,batch,swar}`` pins the simulation engine (``auto``
-picks scalar at one lane and the SWAR wide-word engine beyond)::
+picks scalar at one lane and the SWAR wide-word engine beyond).
+``--compact`` (default; disable with ``--no-compact``) retires lanes
+whose ``halted`` output fires from the batch -- the simulator repacks
+its state to the surviving lanes, keeping skewed multi-lane runs at
+full occupancy, and stops early once every lane has halted -- and the
+summary reports active lane-cycles and the final occupancy::
 
     python -m repro simulate design.sapper -n 100 --lanes 8 --quiet
     python -m repro simulate design.sapper -n 100 --lanes 8 --engine batch
+    python -m repro simulate design.sapper -n 100 --lanes 8 --no-compact
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.lattice import Lattice, diamond, two_level
 from repro.toolchain import Toolchain
@@ -67,7 +74,8 @@ def _build_parser() -> argparse.ArgumentParser:
     common(sim)
     sim.add_argument("-n", "--cycles", type=int, default=32, help="cycles to run")
     sim.add_argument("-i", "--input", action="append", default=[], metavar="PORT=VALUE",
-                     help="constant input drive (repeatable)")
+                     help="constant input drive (repeatable); with --lanes, "
+                          "PORT=V0,V1,... drives one value per lane")
     sim.add_argument("--lanes", type=_positive_int, default=1, metavar="N",
                      help="advance N independent machine states with the "
                           "lane-batched simulator (default: 1, scalar)")
@@ -79,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           "'swar' (adds guard-banded wide-word lane "
                           "packing), or 'auto' (scalar at 1 lane, swar "
                           "beyond; default)")
+    sim.add_argument("--compact", action=argparse.BooleanOptionalAction, default=True,
+                     help="retire lanes whose 'halted' output fires and repack "
+                          "the batch to the survivors (lane compaction), "
+                          "stopping early once every lane has halted; "
+                          "default on, a no-op for designs without a 'halted' "
+                          "output port or with --lanes 1")
     sim.add_argument("--quiet", action="store_true", help="only print the summary")
 
     common(sub.add_parser("synth", help="synthesize to a gate census / cost report"))
@@ -99,17 +113,40 @@ def _design(args: argparse.Namespace, tc: Toolchain):
     return tc.compile(source, lattice, secure=not args.insecure, name=name), lattice
 
 
-def _parse_inputs(pairs: Sequence[str]) -> dict[str, int]:
-    out: dict[str, int] = {}
+def _parse_inputs(pairs: Sequence[str]) -> dict[str, Union[int, list[int]]]:
+    """``PORT=VALUE`` drives every lane; ``PORT=V0,V1,...`` drives one
+    value per lane (length must match ``--lanes``)."""
+    out: dict[str, Union[int, list[int]]] = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"bad --input {pair!r}: expected PORT=VALUE")
         port, _, value = pair.partition("=")
         try:
-            out[port.strip()] = int(value, 0)
+            if "," in value:
+                out[port.strip()] = [int(v, 0) for v in value.split(",")]
+            else:
+                out[port.strip()] = int(value, 0)
         except ValueError:
             raise SystemExit(f"bad --input {pair!r}: {value!r} is not an integer")
     return out
+
+
+def _lane_stimulus(
+    inputs: dict[str, Union[int, list[int]]], lanes: int
+) -> Optional[list[dict[str, int]]]:
+    """Per-lane input dicts when any port carries a per-lane list."""
+    if not any(isinstance(v, list) for v in inputs.values()):
+        return None
+    for port, value in inputs.items():
+        if isinstance(value, list) and len(value) != lanes:
+            raise SystemExit(
+                f"--input {port} drives {len(value)} lanes but --lanes is {lanes}"
+            )
+    return [
+        {port: (value[lane] if isinstance(value, list) else value)
+         for port, value in inputs.items()}
+        for lane in range(lanes)
+    ]
 
 
 def _cmd_compile(args: argparse.Namespace, tc: Toolchain) -> int:
@@ -136,26 +173,46 @@ def _cmd_simulate(args: argparse.Namespace, tc: Toolchain) -> int:
             f"--engine scalar supports --lanes 1 only (got {args.lanes}); "
             "use --engine batch or swar"
         )
+    if engine == "scalar" and any(isinstance(v, list) for v in inputs.values()):
+        raise SystemExit(
+            "per-lane input lists (PORT=V0,V1,...) need the batched engine; "
+            "pass --lanes N"
+        )
     if engine in ("batch", "swar"):
         swar = engine == "swar"
         if args.no_opt:
             sim = BatchSimulator(design.module, args.lanes, optimize=False, swar=swar)
         else:
             sim = tc.batch_simulator(design, args.lanes, swar=swar)
+        lane_stim = _lane_stimulus(inputs, args.lanes)
         violations = [0] * args.lanes
-        outs: list[dict[str, int]] = [{} for _ in range(args.lanes)]
+        final: list[dict[str, int]] = [{} for _ in range(args.lanes)]
         for cycle in range(args.cycles):
-            outs = sim.step(inputs)
-            for lane, out in enumerate(outs):
+            outs = sim.step(lane_stim if lane_stim is not None else inputs)
+            for pos, out in enumerate(outs):
+                lane = sim.active_lanes[pos]
                 violations[lane] += int(bool(out.get("violation", 0)))
+                final[lane] = out
             if not args.quiet:
                 ports = " | ".join(
                     " ".join(f"{k}={v}" for k, v in out.items()) for out in outs
                 )
                 print(f"cycle {cycle:4d}  {ports}")
-        print(f"# {args.cycles} cycles x {args.lanes} lanes "
-              f"({args.cycles * args.lanes} lane-cycles)")
-        for lane, out in enumerate(outs):
+            if args.compact:
+                retire = [pos for pos, out in enumerate(outs) if out.get("halted")]
+                if retire and len(retire) == sim.lanes:
+                    break  # every lane halted; nothing left to simulate
+                if retire:
+                    gone = set(retire)
+                    sim.compact(retire)
+                    if lane_stim is not None:  # keep stimulus lane-aligned
+                        lane_stim = [
+                            d for pos, d in enumerate(lane_stim) if pos not in gone
+                        ]
+        print(f"# {sim.cycles} cycles x {args.lanes} lanes "
+              f"({sim.lane_cycles} active lane-cycles, final occupancy "
+              f"{sim.lanes}/{args.lanes})")
+        for lane, out in enumerate(final):
             print(f"# lane {lane}: {violations[lane]} violation cycle(s), "
                   f"final outputs: {out}")
         return 0

@@ -42,6 +42,23 @@ that binding and re-optimized by :func:`repro.hdl.passes.optimize`'s
 pipeline.  Bodies are compiled lazily per observed state and cached;
 bindings that fail to shrink the module are remembered and skipped.
 
+**Majority-cohort dispatch** -- when lanes *disagree* on the control
+registers, the step can still split the batch by dominant binding: the
+majority cohort's state is gathered into cohort-packed words
+(generalized compress/expand, O(log width) per word from a cached
+per-mask schedule), stepped through the folded body at cohort width,
+and mask-merged back, while only the minority runs the generic step.
+Each compiled step records its state footprint so marshalling moves
+exactly what the body reads and writes -- held registers travel in
+neither direction.
+
+**Lane compaction** -- :meth:`BatchSimulator.compact` retires lanes
+mid-run (halted machines, exhausted budgets), repacking every piece of
+state down to the survivors and re-entering the per-lane-count step
+cache at the new width, so skewed workload suites keep full occupancy;
+:attr:`BatchSimulator.active_lanes` maps compacted positions back to
+construction-time lane ids.
+
 All compiled artifacts are cached per (module object, engine flag) --
 the same structural identity the :class:`~repro.toolchain.Toolchain`
 keys its artifacts by -- so every ``BatchSimulator`` over one module
@@ -53,6 +70,7 @@ benchmark suite to measure the SWAR tier's speedup).
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
 
 from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
@@ -82,6 +100,123 @@ _INLINE_DEPTH = 90
 
 #: module -> {swar flag -> _BatchEntry} with every compiled artifact.
 _BATCH_CACHE = WeakIdMemo()
+
+
+# ------------------------------------------------------- cohort bit movement
+#
+# Lane compaction and majority-cohort dispatch both move per-lane state
+# between a full-width word and a cohort-packed word.  For a cohort
+# described by a bit mask, the classic generalized compress/expand
+# (Hacker's Delight 7-4/7-5) does this in O(log width) big-int
+# operations per word -- independent of cohort size -- from a mask
+# schedule computed once per cohort pattern and cached.
+
+
+def _pext_plan(mask: int, width: int) -> list[int]:
+    """The per-step move masks for compress/expand over *width* bits."""
+    full = (1 << width) - 1
+    m = mask & full
+    mk = (~mask << 1) & full
+    steps: list[int] = []
+    for i in range(max(1, (width - 1).bit_length())):
+        mp = mk
+        shift = 1
+        while shift < width:
+            mp ^= (mp << shift) & full
+            shift <<= 1
+        mv = mp & m
+        steps.append(mv)
+        m = (m ^ mv) | (mv >> (1 << i))
+        mk &= ~mp
+    return steps
+
+
+def _pext(x: int, mask: int, steps: Sequence[int]) -> int:
+    """Bits of *x* at the set positions of *mask*, packed to the low end."""
+    x &= mask
+    for i, mv in enumerate(steps):
+        t = x & mv
+        x = (x ^ t) | (t >> (1 << i))
+    return x
+
+
+def _pdep(x: int, mask: int, steps: Sequence[int]) -> int:
+    """Low bits of *x* scattered to the set positions of *mask*."""
+    for i in range(len(steps) - 1, -1, -1):
+        mv = steps[i]
+        x = (x & ~mv) | ((x << (1 << i)) & mv)
+    return x & mask
+
+
+class _CohortPlan:
+    """Gather/scatter schedule for one cohort of lanes.
+
+    Lane-contiguous words (the packed 1-bit tag world) and slot-spaced
+    words (SWAR ``sregs``) both repack through the same schedule: the
+    slot mask is the lane mask with every set bit widened to a full
+    slot, so whole slots travel intact and in lane order.  Small
+    cohorts skip the log-step schedule for a plain positions loop,
+    which is cheaper below a handful of lanes.
+    """
+
+    _LOOP_MAX = 4
+
+    def __init__(self, mask: int, lanes: int, pitch: int):
+        self.mask = mask
+        self.positions = [lane for lane in range(lanes) if (mask >> lane) & 1]
+        self.k = len(self.positions)
+        self.inv = ((1 << lanes) - 1) ^ mask
+        self._steps = None if self.k <= self._LOOP_MAX else _pext_plan(mask, lanes)
+        self.pitch = pitch
+        if pitch:
+            slot = (1 << pitch) - 1
+            smask = 0
+            for lane in self.positions:
+                smask |= slot << (lane * pitch)
+            self.smask = smask
+            self.sinv = ((1 << (lanes * pitch)) - 1) ^ smask
+            self._slot = slot
+            self._ssteps = (
+                None if self._steps is None else _pext_plan(smask, lanes * pitch)
+            )
+
+    # lane-contiguous words (bit l = lane l)
+
+    def gather(self, x: int) -> int:
+        if self._steps is None:
+            out = 0
+            for i, lane in enumerate(self.positions):
+                out |= ((x >> lane) & 1) << i
+            return out
+        return _pext(x, self.mask, self._steps)
+
+    def scatter(self, x: int) -> int:
+        if self._steps is None:
+            out = 0
+            for i, lane in enumerate(self.positions):
+                out |= ((x >> i) & 1) << lane
+            return out
+        return _pdep(x, self.mask, self._steps)
+
+    # slot-spaced words (lane l occupies bits [l * pitch, (l+1) * pitch))
+
+    def sgather(self, x: int) -> int:
+        if self._ssteps is None:
+            pitch, slot = self.pitch, self._slot
+            out = 0
+            for i, lane in enumerate(self.positions):
+                out |= ((x >> (lane * pitch)) & slot) << (i * pitch)
+            return out
+        return _pext(x, self.smask, self._ssteps)
+
+    def sscatter(self, x: int) -> int:
+        if self._ssteps is None:
+            pitch, slot = self.pitch, self._slot
+            out = 0
+            for i, lane in enumerate(self.positions):
+                out |= ((x >> (i * pitch)) & slot) << (lane * pitch)
+            return out
+        return _pdep(x, self.smask, self._ssteps)
 
 
 def _packable(e: HExpr) -> bool:
@@ -866,6 +1001,12 @@ class _BatchCodeGen(_CodeGen):
             r for r in self.resident
             if live_use.get(r) or r in edge_names
         )
+        used_pregs = [
+            r.name for r in m.regs.values()
+            if r.width == 1 and (live_use.get(r.name) or r.name in edge_names)
+        ]
+        wreg_loads: set[str] = set()
+        array_loads: set[str] = set()
 
         L: list[str] = []
         bufs: list[str] = []
@@ -881,14 +1022,16 @@ class _BatchCodeGen(_CodeGen):
                 emit(line)
             self._pending.clear()
 
-        # packed registers and inputs into locals
-        for r in m.regs.values():
-            if r.width == 1:
-                emit(f"p_{r.name} = pregs[{r.name!r}]")
-        for r in m.regs.values():
-            if r.width == 1 and r.name in nc_emit:
-                emit(f"q_{r.name} = p_{r.name} ^ ONES")
-                self.ncache[f"p_{r.name}"] = f"q_{r.name}"
+        # packed registers and inputs into locals (only registers the
+        # live body or the clock edge actually reads -- state-folded
+        # bodies hold most registers, and the cohort-split dispatcher
+        # gathers exactly this set when it marshals a cohort)
+        for r in used_pregs:
+            emit(f"p_{r} = pregs[{r!r}]")
+        for r in used_pregs:
+            if r in nc_emit:
+                emit(f"q_{r} = p_{r} ^ ONES")
+                self.ncache[f"p_{r}"] = f"q_{r}"
         for r in used_sregs:
             emit(f"s_{r} = sregs[{r!r}]")
         p_inputs = [nm for nm, w in m.inputs.items() if w == 1]
@@ -986,8 +1129,10 @@ class _BatchCodeGen(_CodeGen):
                 elif s in self.sform_comb:
                     emit(f"s_{s} = 0")
             for arr in sorted(self._arrays_in(body_exprs)):
+                array_loads.add(arr)
                 emit(f"al_{arr} = arrays[{arr!r}]")
             for wreg in sorted(self._wide_regs_in(body_exprs)):
+                wreg_loads.add(wreg)
                 emit(f"wr_{wreg} = wregs[{wreg!r}]")
             # hoist lane-loop reads used more than once in this phase
             ref_count: Counter = Counter()
@@ -1105,6 +1250,7 @@ class _BatchCodeGen(_CodeGen):
         edge_exprs = self._edge_exprs()
         edge_arrays = sorted({wr.array for wr in m.array_writes} | self._arrays_in(edge_exprs))
         for arr in edge_arrays:
+            array_loads.add(arr)
             emit(f"al_{arr} = arrays[{arr!r}]")
         out_names = list(m.outputs.values())
         edge_reg_reads = {
@@ -1114,6 +1260,7 @@ class _BatchCodeGen(_CodeGen):
         preload = (self._wide_regs_in(edge_exprs) | edge_reg_reads
                    | {r for r, _ in wide_next})
         for wreg in sorted(preload):
+            wreg_loads.add(wreg)
             emit(f"wr_{wreg} = wregs[{wreg!r}]")
         for reg, _ in res_lane:
             emit(f"ns_{reg} = 0")
@@ -1186,6 +1333,19 @@ class _BatchCodeGen(_CodeGen):
         for reg, _ in res_lane:
             emit(f"sregs[{reg!r}] = ns_{reg}")
         emit("return outs")
+
+        # the step's state footprint, consumed by the cohort-split
+        # dispatcher: gather exactly what the body reads, merge back
+        # exactly what it writes (held registers travel neither way)
+        self.reads_pregs = tuple(used_pregs)
+        self.reads_sregs = tuple(used_sregs)
+        self.reads_wregs = tuple(sorted(wreg_loads))
+        self.writes_pregs = tuple(
+            reg for reg, _ in self.live_next if m.regs[reg].width == 1
+        )
+        self.writes_sregs = tuple(reg for reg, _ in res_pack + res_lane)
+        self.writes_wregs = tuple(reg for reg, _ in wide_next)
+        self.used_arrays = tuple(sorted(array_loads))
 
         # scratch buffers are allocated once per lane count by the factory
         # and bound as default arguments (plain fast locals in the step);
@@ -1271,6 +1431,27 @@ _FOLD_THRESHOLD = 0.5
 _MAX_BODIES = 16
 
 
+class _Marshal:
+    """State footprint of one compiled batched step function.
+
+    The cohort-split dispatcher gathers the words a step *reads* into
+    cohort-packed form and mask-merges back the words it *writes*;
+    everything else stays in place untouched (held registers keep their
+    full-width words, which is exactly the held semantics)."""
+
+    __slots__ = ("reads_p", "reads_s", "reads_w",
+                 "writes_p", "writes_s", "writes_w", "arrays")
+
+    def __init__(self, gen: "_BatchCodeGen"):
+        self.reads_p = gen.reads_pregs
+        self.reads_s = gen.reads_sregs
+        self.reads_w = gen.reads_wregs
+        self.writes_p = gen.writes_pregs
+        self.writes_s = gen.writes_sregs
+        self.writes_w = gen.writes_wregs
+        self.arrays = gen.used_arrays
+
+
 class _BatchEntry:
     """All compiled batched artifacts for one (module, engine) pair."""
 
@@ -1280,6 +1461,7 @@ class _BatchEntry:
         self.kinds: dict[str, str] = dict(gen.kinds)
         self.resident = gen.resident
         self.source = gen.generate()
+        self.marshal = _Marshal(gen)
         self.pitch = gen.pitch
         namespace: dict = {"get_layout": get_layout}
         exec(compile(self.source, f"<hdl-batch:{module.name}>", "exec"), namespace)  # noqa: S102
@@ -1290,9 +1472,10 @@ class _BatchEntry:
         self.bodies: dict[tuple, Optional["_BatchEntry._Body"]] = {}
 
     class _Body:
-        def __init__(self, module: Module, source: str):
+        def __init__(self, module: Module, source: str, marshal: _Marshal):
             self.module = module
             self.source = source
+            self.marshal = marshal
             namespace: dict = {"get_layout": get_layout}
             exec(compile(source, f"<hdl-batch:{module.name}:fold>", "exec"), namespace)  # noqa: S102
             self.factory = namespace["_make_batch_step"]
@@ -1328,7 +1511,8 @@ class _BatchEntry:
                 gen = _BatchCodeGen(
                     folded, swar=self.swar, pitch=self.pitch, resident=self.resident
                 )
-                body = self._Body(folded, gen.generate())
+                source = gen.generate()
+                body = self._Body(folded, source, _Marshal(gen))
         self.bodies[combo] = body
         return body
 
@@ -1411,7 +1595,47 @@ class BatchSimulator:
     optimization pipeline first); pass ``swar=False`` to disable the
     SWAR tier and evaluate every multi-bit signal per lane (the PR-2
     engine, kept for benchmarking the SWAR tier against).
+
+    **Lane compaction** -- :meth:`compact` drops retired lanes and
+    repacks every piece of state (packed tag words, slot-packed
+    ``sregs``, per-lane lists, array stores) down to the survivors, then
+    re-enters the per-lane-count step-function cache at the new width,
+    so skewed suites keep full occupancy.  ``retired`` names *current*
+    lane positions; :attr:`active_lanes` maps current positions back to
+    the lane ids the simulator was constructed with.  A *retire_when*
+    predicate (``(sim, lane) -> bool``) makes :meth:`run` compact
+    automatically.  Compaction invalidates previously created
+    :meth:`lane_view` objects (lane positions shift).
+
+    **Majority-cohort dispatch** -- when lanes disagree on the narrow
+    control registers, the step splits the batch by dominant binding:
+    the majority cohort runs the state-specialized (folded) body at
+    cohort width with mask-merged write-back, and only the minority pays
+    for the generic step.  On by default (*majority*); a cohort is split
+    out when it covers at least :attr:`majority_fraction` of the lanes.
+    The dispatcher is self-tuning: split steps are timed against a
+    running estimate of the generic step, and a binding whose splits
+    keep losing (on tag-cone-dominated designs both cohorts pay the
+    lane-count-independent packed-world cost, so a split only wins when
+    the folded body shrinks sharply) stops being split after a few
+    trials; probes that find no dominant binding back off
+    exponentially, so the probe cost vanishes on suites that never
+    concentrate.  Timing only picks *which* bit-identical path runs --
+    results never depend on it.
     """
+
+    #: smallest share of lanes the dominant binding must cover before
+    #: the step is split into specialized-majority + generic-minority
+    majority_fraction = 0.5
+
+    #: split trials per binding before its measured cost can retire it
+    _SPLIT_TRIALS = 8
+
+    #: bound on the failed-probe backoff (steps between probes)
+    _MAX_BACKOFF = 32
+
+    #: bound on cached cohort split plans (cleared by compaction)
+    _MAX_PLANS = 128
 
     def __init__(
         self,
@@ -1420,6 +1644,8 @@ class BatchSimulator:
         optimize: bool = True,
         specialize: bool = True,
         swar: bool = True,
+        retire_when: Optional[Callable[["BatchSimulator", int], bool]] = None,
+        majority: bool = True,
     ):
         if lanes < 1:
             raise ValueError(f"lane count must be >= 1, got {lanes}")
@@ -1433,6 +1659,22 @@ class BatchSimulator:
         self.cycles = 0
         self.specialize = specialize
         self.swar = swar
+        self.retire_when = retire_when
+        self.majority = majority
+        #: current lane position -> lane id at construction time
+        self.active_lanes: list[int] = list(range(lanes))
+        #: step counters: uniform fast path / cohort split / generic,
+        #: plus compaction events and aggregate active lane-cycles
+        self.uniform_steps = 0
+        self.split_steps = 0
+        self.generic_steps = 0
+        self.compactions = 0
+        self.lane_cycles = 0
+        self._plans: dict[int, tuple[_CohortPlan, _CohortPlan]] = {}
+        self._generic_time = 0.0            # EMA of one generic step
+        self._split_stats: dict[tuple, list] = {}  # combo -> [trials, ema]
+        self._majority_skip = 0             # failed-probe backoff countdown
+        self._majority_backoff = 1
         self._entry = _batch_entry(module, swar)
         self._step = self._entry.step(lanes)
         self.source = self._entry.source
@@ -1473,7 +1715,22 @@ class BatchSimulator:
         1-bit), ``'w'`` (SWAR slots), or ``'s'`` (per-lane scalar)."""
         return dict(self._entry.kinds)
 
+    def _check_lane(self, lane: int) -> int:
+        """Validate a caller-facing lane index (current position).
+
+        Without this, a negative index would silently wrap on the
+        per-lane lists while reading garbage from the packed words, and
+        an index past the (possibly compacted) lane count would silently
+        read zeros from the packed words.
+        """
+        if not 0 <= lane < self.lanes:
+            raise ValueError(
+                f"lane {lane} out of range for {self.lanes} active lane(s)"
+            )
+        return lane
+
     def get_reg(self, lane: int, name: str) -> int:
+        self._check_lane(lane)
         reg = self.module.regs[name]
         if reg.width == 1:
             return (self.pregs[name] >> lane) & 1
@@ -1482,6 +1739,7 @@ class BatchSimulator:
         return self.wregs[name][lane]
 
     def set_reg(self, lane: int, name: str, value: int) -> None:
+        self._check_lane(lane)
         reg = self.module.regs[name]
         value &= (1 << reg.width) - 1
         if reg.width == 1:
@@ -1493,10 +1751,11 @@ class BatchSimulator:
             self.wregs[name][lane] = value
 
     def lane_view(self, lane: int) -> _LaneView:
-        return _LaneView(self, lane)
+        return _LaneView(self, self._check_lane(lane))
 
     def lane_regs(self, lane: int) -> dict[str, int]:
         """A snapshot dict of one lane's registers."""
+        self._check_lane(lane)
         return {name: self.get_reg(lane, name) for name in self.module.regs}
 
     def load_array(self, lane: int, name: str, data: Union[dict, list]) -> None:
@@ -1505,12 +1764,82 @@ class BatchSimulator:
         Mutates the lane's store in place so live views of it (e.g. a
         :meth:`lane_view` held across the load) stay current.
         """
+        self._check_lane(lane)
         arr = self.module.arrays[name]
         mask = (1 << arr.width) - 1
         items = enumerate(data) if isinstance(data, list) else data.items()
         store = self.arrays[name][lane]
         store.clear()
         store.update({i: v & mask for i, v in items if v & mask != arr.default})
+
+    # -- occupancy management ----------------------------------------------
+
+    def compact(self, retired: Optional[Sequence[int]] = None) -> list[int]:
+        """Drop *retired* lanes and repack all state to the survivors.
+
+        *retired* lists current lane positions (defaults to the lanes
+        the *retire_when* predicate selects); duplicates and
+        out-of-range positions raise ``ValueError``, as does retiring
+        every lane -- at least one must survive.  Packed tag words,
+        slot-packed ``sregs``, per-lane register lists, and per-lane
+        array stores are all repacked in lane order; the step function
+        re-enters the per-lane-count cache at the new width (compiled
+        once per width, shared by every simulator over this module).
+        Returns the construction-time ids of the retired lanes, and
+        updates :attr:`active_lanes` for the survivors.
+        """
+        if retired is None:
+            if self.retire_when is None:
+                raise ValueError(
+                    "compact() needs retired lanes or a retire_when predicate"
+                )
+            retired = [
+                lane for lane in range(self.lanes) if self.retire_when(self, lane)
+            ]
+        retired = list(retired)
+        seen: set[int] = set()
+        for lane in retired:
+            self._check_lane(lane)
+            if lane in seen:
+                raise ValueError(f"duplicate lane index {lane} in retired lanes")
+            seen.add(lane)
+        if not seen:
+            return []
+        if len(seen) == self.lanes:
+            raise ValueError("cannot retire every lane; at least one must survive")
+        keep = [lane for lane in range(self.lanes) if lane not in seen]
+        k = len(keep)
+        pitch = self.pitch
+        for name, word in self.pregs.items():
+            self.pregs[name] = sum(
+                ((word >> lane) & 1) << i for i, lane in enumerate(keep)
+            )
+        for name, word in self.sregs.items():
+            mask = (1 << self.module.regs[name].width) - 1
+            self.sregs[name] = sum(
+                (((word >> (lane * pitch)) & mask) << (i * pitch))
+                for i, lane in enumerate(keep)
+            )
+        for name, lst in self.wregs.items():
+            self.wregs[name] = [lst[lane] for lane in keep]
+        for name, lst in self.arrays.items():
+            self.arrays[name] = [lst[lane] for lane in keep]
+        gone = [self.active_lanes[lane] for lane in sorted(seen)]
+        self.active_lanes = [self.active_lanes[lane] for lane in keep]
+        self.lanes = k
+        self._ones = (1 << k) - 1
+        self._empty_inputs = [{}] * k
+        if self._entry.resident:
+            self._layout = get_layout(pitch, k)
+        self._step = self._entry.step(k)
+        # lane-count-specific caches and cost estimates start over
+        self._plans.clear()
+        self._split_stats.clear()
+        self._generic_time = 0.0
+        self._majority_skip = 0
+        self._majority_backoff = 1
+        self.compactions += 1
+        return gone
 
     # -- running -----------------------------------------------------------
 
@@ -1557,22 +1886,169 @@ class BatchSimulator:
                     some = True
         return tuple(vals) if some else None
 
+    def _lane_combos(self) -> list[tuple]:
+        """Per-lane values of the dispatch registers."""
+        n = self.lanes
+        cols = []
+        for name, mode, mask in self._dispatch:
+            if mode == "p":
+                word = self.pregs[name]
+                cols.append([(word >> lane) & 1 for lane in range(n)])
+            elif mode == "w":
+                word = self.sregs[name]
+                pitch = self.pitch
+                cols.append([(word >> (lane * pitch)) & mask for lane in range(n)])
+            else:
+                cols.append(self.wregs[name])
+        return list(zip(*cols))
+
+    def _majority_step(self, lane_inputs: Sequence[dict]) -> Optional[list]:
+        """Split the batch by dominant dispatch binding, if worthwhile.
+
+        Returns the merged per-lane outputs, or ``None`` when no cohort
+        dominates (the threshold keeps marshalling overhead off steps
+        that could not win) or the dominant binding's folded body was
+        refused.
+        """
+        n = self.lanes
+        combos = self._lane_combos()
+        combo, count = Counter(combos).most_common(1)[0]
+        if count >= n or count < 2 or count < n * self.majority_fraction:
+            return None
+        stats = self._split_stats.get(combo)
+        if (stats is not None and stats[0] >= self._SPLIT_TRIALS
+                and self._generic_time and stats[1] > self._generic_time):
+            return None  # measured: splitting this binding loses here
+        body = self._entry.body_for(self.module, combo)
+        if body is None:
+            return None
+        mask = 0
+        for lane, c in enumerate(combos):
+            if c == combo:
+                mask |= 1 << lane
+        plans = self._plans.get(mask)
+        if plans is None:
+            if len(self._plans) >= self._MAX_PLANS:
+                self._plans.clear()
+            pitch = self.pitch if self.sregs else 0
+            plans = self._plans[mask] = (
+                _CohortPlan(mask, n, pitch),
+                _CohortPlan(mask ^ self._ones, n, pitch),
+            )
+        t0 = perf_counter()
+        outs = self._split_step(plans[0], plans[1], body, lane_inputs)
+        dt = perf_counter() - t0
+        if stats is None:
+            stats = self._split_stats[combo] = [0, dt]
+        stats[0] += 1
+        stats[1] = stats[1] * 0.8 + dt * 0.2
+        return outs
+
+    def _split_step(
+        self,
+        maj: _CohortPlan,
+        mino: _CohortPlan,
+        body: "_BatchEntry._Body",
+        lane_inputs: Sequence[dict],
+    ) -> list[dict[str, int]]:
+        """One cycle as two cohorts with mask-merged write-back.
+
+        Each cohort's pre-edge state is gathered into cohort-packed
+        words, stepped at cohort width (the majority through the folded
+        body, the minority through the generic step), and merged back
+        under the cohort's lane mask.  The cohorts partition the lanes,
+        so processing them sequentially is safe: a cohort's write-back
+        only touches its own lanes' bits, slots, and list positions.
+        """
+        pregs, sregs, wregs = self.pregs, self.sregs, self.wregs
+        arrays = self.arrays
+        outs: list = [None] * self.lanes
+        for plan, meta, step in (
+            (maj, body.marshal, body.step(maj.k)),
+            (mino, self._entry.marshal, self._entry.step(mino.k)),
+        ):
+            pos = plan.positions
+            c_pregs = {r: plan.gather(pregs[r]) for r in meta.reads_p}
+            c_sregs = {r: plan.sgather(sregs[r]) for r in meta.reads_s}
+            c_wregs = {r: [wregs[r][lane] for lane in pos] for r in meta.reads_w}
+            c_arrays = {a: [arrays[a][lane] for lane in pos] for a in meta.arrays}
+            c_inputs = [lane_inputs[lane] for lane in pos]
+            c_outs = step(c_pregs, c_wregs, c_sregs, c_arrays, c_inputs)
+            for r in meta.writes_p:
+                pregs[r] = (pregs[r] & plan.inv) | plan.scatter(c_pregs[r])
+            for r in meta.writes_s:
+                sregs[r] = (sregs[r] & plan.sinv) | plan.sscatter(c_sregs[r])
+            for r in meta.writes_w:
+                full, sub = wregs[r], c_wregs[r]
+                for i, lane in enumerate(pos):
+                    full[lane] = sub[i]
+            for i, lane in enumerate(pos):
+                outs[lane] = c_outs[i]
+        return outs
+
     def step(self, inputs: InputLike = None) -> list[dict[str, int]]:
         """Advance every lane one clock cycle; returns per-lane outputs."""
         self.cycles += 1
+        self.lane_cycles += self.lanes
         lane_inputs = self._lane_inputs(inputs)
         if self.specialize and self._dispatch:
             combo = self._uniform_combo()
             if combo is not None:
                 body = self._entry.body_for(self.module, combo)
                 if body is not None:
+                    self.uniform_steps += 1
                     return body.step(self.lanes)(
                         self.pregs, self.wregs, self.sregs, self.arrays, lane_inputs
                     )
-        return self._step(self.pregs, self.wregs, self.sregs, self.arrays, lane_inputs)
+            if self.majority and self.lanes >= 3:
+                if self._majority_skip:
+                    self._majority_skip -= 1
+                else:
+                    outs = self._majority_step(lane_inputs)
+                    if outs is not None:
+                        self.split_steps += 1
+                        self._majority_backoff = 1
+                        return outs
+                    self._majority_skip = self._majority_backoff
+                    self._majority_backoff = min(
+                        self._majority_backoff * 2, self._MAX_BACKOFF
+                    )
+        self.generic_steps += 1
+        t0 = perf_counter()
+        outs = self._step(self.pregs, self.wregs, self.sregs, self.arrays, lane_inputs)
+        dt = perf_counter() - t0
+        self._generic_time = (
+            dt if not self._generic_time else self._generic_time * 0.9 + dt * 0.1
+        )
+        return outs
 
     def run(self, cycles: int, inputs: InputLike = None) -> list[dict[str, int]]:
+        """Advance up to *cycles* cycles; returns the last per-lane outputs.
+
+        With a *retire_when* predicate set, retired lanes are compacted
+        away after every step (the returned list covers the surviving
+        lanes, in :attr:`active_lanes` order); the run stops early once
+        every remaining lane retires.
+        """
+        per_lane = not (inputs is None or isinstance(inputs, dict))
+        if per_lane:
+            inputs = list(inputs)  # aligned with current lane positions
         out: list[dict[str, int]] = [{} for _ in range(self.lanes)]
         for _ in range(cycles):
             out = self.step(inputs)
+            if self.retire_when is not None:
+                retired = [
+                    lane for lane in range(self.lanes)
+                    if self.retire_when(self, lane)
+                ]
+                if len(retired) == self.lanes:
+                    break
+                if retired:
+                    gone = set(retired)
+                    self.compact(retired)
+                    out = [o for lane, o in enumerate(out) if lane not in gone]
+                    if per_lane:  # keep the stimulus aligned with survivors
+                        inputs = [
+                            d for lane, d in enumerate(inputs) if lane not in gone
+                        ]
         return out

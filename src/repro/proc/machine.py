@@ -134,6 +134,13 @@ class BatchedMachines:
     packed tag cone is evaluated once per cycle regardless of lane
     count); below :attr:`MIN_LANES` callers are usually better off with
     scalar machines -- :func:`run_workloads` picks automatically.
+
+    With *compact* (the default), lanes are retired from the batch as
+    soon as they halt or exhaust their cycle budget: the simulator
+    repacks its state down to the surviving lanes, so a skewed suite
+    (one long program among many short ones) keeps full occupancy
+    instead of paying full-width steps until the slowest lane finishes.
+    Results are indexed by the *original* lane order either way.
     """
 
     #: lane count at which the batched engine overtakes scalar machines
@@ -145,11 +152,13 @@ class BatchedMachines:
         executables: list[Executable],
         lattice: Optional[Lattice] = None,
         secure: bool = True,
+        compact: bool = True,
     ):
         self.lattice = lattice or two_level()
         self.design = compile_processor(self.lattice, secure)
         self.sim = get_toolchain().batch_simulator(self.design, len(executables))
         self.lanes = len(executables)
+        self.compact = compact
         for lane, exe in enumerate(executables):
             self.sim.load_array(lane, "memory", exe.as_memory())
         self.outputs: list[list[int]] = [[] for _ in range(self.lanes)]
@@ -175,7 +184,9 @@ class BatchedMachines:
         for cycle in range(1, max(budgets, default=0) + 1):
             outs = sim.step()
             live = False
-            for lane, out in enumerate(outs):
+            retire: list[int] = []
+            for pos, out in enumerate(outs):
+                lane = sim.active_lanes[pos]
                 if self.halted_at[lane] is not None or cycle > budgets[lane]:
                     continue
                 spent[lane] = cycle
@@ -183,12 +194,17 @@ class BatchedMachines:
                     self.outputs[lane].append(out["out_port"])
                 if out.get("violation"):
                     self.violations[lane] += 1
-                if sim.get_reg(lane, halted_reg):
+                if sim.get_reg(pos, halted_reg):
                     self.halted_at[lane] = cycle
-                elif cycle < budgets[lane]:
+                    retire.append(pos)
+                elif cycle >= budgets[lane]:
+                    retire.append(pos)
+                else:
                     live = True
             if not live:
                 break
+            if self.compact and retire:
+                sim.compact(retire)
         return [
             RunResult(
                 outputs=list(self.outputs[lane]),
@@ -205,6 +221,7 @@ def run_workloads(
     lattice: Optional[Lattice] = None,
     max_cycles: Union[int, Sequence[int]] = 2_000_000,
     batched: Optional[bool] = None,
+    compact: bool = True,
 ) -> list[RunResult]:
     """Run many programs on the secure processor, one result per program.
 
@@ -213,12 +230,14 @@ def run_workloads(
     ``len(executables) >= BatchedMachines.MIN_LANES``, scalar machines
     below that (a batched step costs roughly the same as
     ~ :attr:`~BatchedMachines.MIN_LANES` scalar steps on this design, so
-    small suites with skewed run lengths are faster scalar).
+    small suites with skewed run lengths are faster scalar).  *compact*
+    lets the batched engine retire finished lanes mid-run (lane
+    compaction); results are identical either way.
     """
     if batched is None:
         batched = len(executables) >= BatchedMachines.MIN_LANES
     if batched:
-        return BatchedMachines(executables, lattice).run(max_cycles)
+        return BatchedMachines(executables, lattice, compact=compact).run(max_cycles)
     if isinstance(max_cycles, int):
         budgets = [max_cycles] * len(executables)
     else:

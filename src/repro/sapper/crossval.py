@@ -220,7 +220,13 @@ class BatchCrossValidation:
         lattice: Lattice,
         lanes: int,
         name: str = "design",
+        majority_fraction: Optional[float] = None,
     ):
+        """*majority_fraction* (0..1) overrides the batched engine's
+        majority-cohort dispatch threshold, so conformance suites can
+        force the split-step fast path (specialized majority cohort +
+        generic minority, mask-merged write-back) under the same
+        cycle-by-cycle architectural oracle as the generic engine."""
         from repro.hdl import BatchSimulator
 
         info = (
@@ -230,6 +236,8 @@ class BatchCrossValidation:
         self.design = compile_program(info, lattice, secure=True, name=name)
         self.lanes = lanes
         self.batch = BatchSimulator(self.design.module, lanes)
+        if majority_fraction is not None:
+            self.batch.majority_fraction = majority_fraction
         self.interps = [Interpreter(info, lattice) for _ in range(lanes)]
         self.mismatches: list[Mismatch] = []
         # per-lane comparison harness: the lane views are live, so one
@@ -296,10 +304,12 @@ def assert_equivalent_suite(
     cycles: int,
     stimuli: Sequence[Callable[[int], InputSpec]],
     name: str = "design",
+    majority_fraction: Optional[float] = None,
 ) -> BatchCrossValidation:
     """Run a suite of stimulus traces as lanes of one batched machine,
     each held to its own interpreter, and raise on any divergence."""
-    bcv = BatchCrossValidation(source, lattice, len(stimuli), name)
+    bcv = BatchCrossValidation(source, lattice, len(stimuli), name,
+                               majority_fraction=majority_fraction)
     mismatches = bcv.run(cycles, lambda lane, cycle: stimuli[lane](cycle))
     if mismatches:
         detail = "\n".join(str(m) for m in mismatches[:12])

@@ -168,7 +168,12 @@ class Toolchain:
         return Simulator(self.optimize(design), optimize=False)
 
     def batch_simulator(
-        self, design: Design, lanes: int, swar: bool = True
+        self,
+        design: Design,
+        lanes: int,
+        swar: bool = True,
+        retire_when: Optional[Callable[[BatchSimulator, int], bool]] = None,
+        majority: bool = True,
     ) -> BatchSimulator:
         """A fresh-state *lane-batched* simulator over the (shared)
         optimized module: one vectorized step advances *lanes* independent
@@ -177,14 +182,22 @@ class Toolchain:
         *swar* selects the engine generation: ``True`` (default) packs
         multi-bit signals into guard-banded SWAR slots on top of the
         packed 1-bit tag world; ``False`` compiles the two-tier
-        packed/per-lane engine.  The batched step function, its
-        per-lane-count factories, and any state-specialized fast-path
-        bodies are cached per (module object, engine) pair -- the same
-        structural key every other artifact here hangs off -- so repeated
-        calls (randomized suites, the eval driver) compile once per
-        engine.
+        packed/per-lane engine.  *retire_when* installs a lane-retirement
+        predicate (``(sim, lane) -> bool``) driving automatic lane
+        compaction in :meth:`BatchSimulator.run`; *majority* toggles
+        majority-cohort dispatch (split the batch by dominant
+        control-register binding, specialized body for the majority).
+        The batched step function, its per-lane-count factories, and any
+        state-specialized fast-path bodies are cached per (module
+        object, engine) pair -- the same structural key every other
+        artifact here hangs off -- so repeated calls (randomized suites,
+        the eval driver) compile once per engine, and compacted widths
+        re-enter the same per-lane-count cache.
         """
-        return BatchSimulator(self.optimize(design), lanes, optimize=False, swar=swar)
+        return BatchSimulator(
+            self.optimize(design), lanes, optimize=False, swar=swar,
+            retire_when=retire_when, majority=majority,
+        )
 
     def synthesize(self, design: Design) -> CostReport:
         """Gate census / area / delay / power of the optimized module (cached)."""

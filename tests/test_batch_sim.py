@@ -42,11 +42,13 @@ def assert_lanes_match_scalars(module, batch, sims, cycle):
                 )
 
 
-def run_lockstep(design, traces, cycles, swar=True):
+def run_lockstep(design, traces, cycles, swar=True, majority_fraction=None):
     """Drive a batch and per-lane scalar sims with identical stimulus."""
     module = design.module
     lanes = len(traces)
     batch = BatchSimulator(module, lanes, swar=swar)
+    if majority_fraction is not None:
+        batch.majority_fraction = majority_fraction
     sims = [Simulator(module) for _ in range(lanes)]
     for cycle in range(cycles):
         lane_inputs = [
@@ -339,6 +341,312 @@ class TestSwarTier:
         b_swar.set_reg(1, "sum", 0x1_2345_6789 & ((1 << 33) - 1))
         assert b_swar.get_reg(1, "sum") == 0x1_2345_6789 & ((1 << 33) - 1)
         assert b_swar.get_reg(0, "sum") == 0
+
+
+FSM_SRC = """
+reg[7:0] acc; reg[7:0] aux; input[7:0] x;
+state top : L = {
+    let state p = {
+        acc := acc + x;
+        if (acc > 200) { goto q; } else { goto p; }
+    } in
+    let state q = {
+        aux := aux + 1;
+        acc := 0;
+        goto p;
+    } in
+    fall;
+}
+state other : L = { acc := acc - 1; goto other; }
+"""
+
+
+class TestLaneCompaction:
+    """compact() must keep every surviving lane bit-identical to the
+    scalar run it replaces -- packed tag words, slot-packed sregs,
+    per-lane lists, and array state all repack in lane order, down to a
+    single lane, with retired lanes mapped through active_lanes."""
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(strategies.programs(), st.integers(2, 5), st.data())
+    def test_compaction_matches_scalar_lanes(self, program, lanes, data):
+        """Random programs and stimuli under a randomized retirement
+        schedule: after every compaction the surviving lanes' complete
+        state (regs, shadow tags, arrays) equals their scalar twins'."""
+        lat = two_level()
+        info = analyze(program, lat)
+        design = compile_program(info, lat, secure=True, name="rand_compact")
+        module = design.module
+        cycles = 6
+        traces = [
+            data.draw(strategies.stimulus_traces(cycles=cycles), label=f"lane{lane}")
+            for lane in range(lanes)
+        ]
+        batch = BatchSimulator(module, lanes)
+        sims = {lane: Simulator(module) for lane in range(lanes)}
+        for cycle in range(cycles):
+            active = list(batch.active_lanes)
+            lane_inputs = [
+                encode_inputs(design, traces[orig][cycle]) for orig in active
+            ]
+            want = [sims[orig].step(inp) for orig, inp in zip(active, lane_inputs)]
+            got = batch.step(lane_inputs)
+            assert got == want, f"cycle {cycle}: outputs diverge"
+            assert_lanes_match_scalars(
+                module, batch, [sims[orig] for orig in active], cycle
+            )
+            if batch.lanes > 1:
+                retired = data.draw(
+                    st.lists(
+                        st.integers(0, batch.lanes - 1),
+                        unique=True,
+                        max_size=batch.lanes - 1,
+                    ),
+                    label=f"retire@{cycle}",
+                )
+                if retired:
+                    gone = batch.compact(retired)
+                    for orig in gone:
+                        del sims[orig]
+                    survivors = [sims[orig] for orig in batch.active_lanes]
+                    assert_lanes_match_scalars(module, batch, survivors, cycle)
+
+    def test_compact_down_to_one_lane(self):
+        design = compile_program(samples.TDMA, two_level(), name="c1")
+        module = design.module
+        batch = BatchSimulator(module, 4)
+        sims = [Simulator(module) for _ in range(4)]
+        inp = {"hi_in": 9, "hi_in__tag": 1, "lo_in": 4, "lo_in__tag": 0}
+        for _ in range(20):
+            want = [s.step(inp) for s in sims]
+            assert batch.step(inp) == want
+        assert batch.compact([0, 1, 3]) == [0, 1, 3]
+        assert batch.active_lanes == [2] and batch.lanes == 1
+        sims = [sims[2]]
+        for cycle in range(30):
+            want = [s.step(inp) for s in sims]
+            assert batch.step(inp) == want
+            assert_lanes_match_scalars(module, batch, sims, cycle)
+
+    def test_compact_immediately_after_specialized_step(self):
+        """Compaction right after a specialized-body step must repack
+        the state the folded body just wrote (including held registers
+        it never touched) without losing a bit."""
+        design = compile_program(FSM_SRC, two_level(), name="fsm_compact")
+        module = design.module
+        batch = BatchSimulator(module, 4)
+        sims = [Simulator(module) for _ in range(4)]
+        inp = {"x": 7, "x__tag": 0}
+        for _ in range(120):
+            want = [s.step(inp) for s in sims]
+            assert batch.step(inp) == want
+        assert batch.uniform_steps > 0, "fast path never fired before compaction"
+        batch.compact([0, 2])
+        assert batch.active_lanes == [1, 3]
+        sims = [sims[1], sims[3]]
+        for cycle in range(120):
+            want = [s.step(inp) for s in sims]
+            assert batch.step(inp) == want
+            assert_lanes_match_scalars(module, batch, sims, cycle)
+
+    def test_retire_when_drives_run_compaction(self):
+        design = compile_program(samples.TDMA, two_level(), name="ret")
+        module = design.module
+        batch = BatchSimulator(
+            module, 3,
+            retire_when=lambda sim, lane: sim.active_lanes[lane] == 1
+            and sim.cycles >= 5,
+        )
+        outs = batch.run(10)
+        assert batch.active_lanes == [0, 2]
+        assert batch.lanes == 2 == len(outs)
+        assert batch.compactions == 1 and batch.cycles == 10
+        # identical to an uncompacted twin on the surviving lanes
+        twin = BatchSimulator(module, 3)
+        twin.run(10)
+        for pos, orig in enumerate(batch.active_lanes):
+            assert batch.lane_regs(pos) == twin.lane_regs(orig)
+
+    def test_run_reslices_per_lane_inputs_across_compaction(self):
+        """run() with a per-lane stimulus list must keep the list
+        aligned with the surviving positions after each compaction
+        (regression: the original list length tripped _lane_inputs'
+        count check on the first post-compaction step)."""
+        design = compile_program(FSM_SRC, two_level(), name="ret_inputs")
+        module = design.module
+        lane_inputs = [{"x": 3 + 50 * lane, "x__tag": 0} for lane in range(3)]
+        batch = BatchSimulator(
+            module, 3,
+            retire_when=lambda sim, lane: sim.active_lanes[lane] == 1
+            and sim.cycles >= 4,
+        )
+        out = batch.run(12, lane_inputs)
+        assert batch.active_lanes == [0, 2] and len(out) == 2
+        # surviving lanes saw their own stimulus throughout
+        sims = [Simulator(module) for _ in range(3)]
+        for cycle in range(12):
+            for lane, sim in enumerate(sims):
+                sim.step(lane_inputs[lane])
+        for pos, orig in enumerate(batch.active_lanes):
+            for name in module.regs:
+                assert batch.get_reg(pos, name) == sims[orig].regs[name], (orig, name)
+
+    def test_run_stops_when_every_lane_retires(self):
+        design = compile_program(samples.TDMA, two_level(), name="ret_all")
+        batch = BatchSimulator(design.module, 2, retire_when=lambda sim, lane: True)
+        batch.run(10)
+        assert batch.cycles == 1 and batch.lanes == 2  # stopped, not compacted
+
+    def test_compact_without_predicate_or_lanes_rejected(self):
+        design = compile_program(samples.TDMA, two_level(), name="noretire")
+        batch = BatchSimulator(design.module, 2)
+        with pytest.raises(ValueError, match="retire_when"):
+            batch.compact()
+        assert batch.compact([]) == []
+
+
+class TestMajorityDispatch:
+    """Cohort split + mask-merged write-back must equal the generic
+    step bit-for-bit for adversarially split lane populations."""
+
+    def _lockstep(self, lanes, lane_x, cycles=160, fraction=0.5):
+        design = compile_program(FSM_SRC, two_level(), name=f"fsm_maj{lanes}")
+        module = design.module
+        batch = BatchSimulator(module, lanes)
+        batch.majority_fraction = fraction
+        sims = [Simulator(module) for _ in range(lanes)]
+        for cycle in range(cycles):
+            lane_inputs = [{"x": lane_x[lane], "x__tag": 0} for lane in range(lanes)]
+            want = [s.step(i) for s, i in zip(sims, lane_inputs)]
+            got = batch.step(lane_inputs)
+            assert got == want, f"cycle {cycle}"
+            assert_lanes_match_scalars(module, batch, sims, cycle)
+        return batch
+
+    def test_half_and_half_split(self):
+        batch = self._lockstep(6, [3, 3, 3, 103, 103, 103])
+        assert batch.split_steps > 0, "50/50 population never split"
+
+    def test_n_minus_one_vs_one_split(self):
+        batch = self._lockstep(5, [3, 3, 3, 3, 103])
+        assert batch.split_steps > 0, "N-1/1 population never split"
+
+    def test_three_way_state_mix(self):
+        batch = self._lockstep(6, [3, 3, 53, 53, 103, 103], fraction=0.3)
+        assert batch.split_steps > 0, "three-way population never split"
+
+    def test_large_cohort_uses_log_step_schedule(self):
+        """Cohorts above the positions-loop threshold repack through
+        the generalized compress/expand schedule (lane and slot space)
+        and must stay bit-identical like the small-cohort loop path."""
+        batch = self._lockstep(8, [3] * 6 + [103] * 2)
+        assert batch.split_steps > 0
+        assert any(maj._steps is not None for maj, _ in batch._plans.values()), (
+            "no cohort ever took the log-step schedule"
+        )
+        assert batch._entry.marshal.reads_s, "slot-space marshalling unexercised"
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(strategies.programs(), st.integers(3, 6), st.data())
+    def test_majority_dispatch_matches_scalars(self, program, lanes, data):
+        """Random programs with per-lane stimulus under an eager split
+        threshold: every lane stays bit-identical to its scalar twin
+        whichever cohort it lands in."""
+        lat = two_level()
+        info = analyze(program, lat)
+        design = compile_program(info, lat, secure=True, name="rand_majority")
+        traces = [
+            data.draw(strategies.stimulus_traces(cycles=5), label=f"lane{lane}")
+            for lane in range(lanes)
+        ]
+        run_lockstep(design, traces, cycles=5, majority_fraction=0.34)
+
+    def test_bodies_shared_across_cohort_widths(self):
+        """One folded body serves every lane width: the full batch, a
+        compacted batch, and majority cohorts all re-enter the same
+        cached entry at their own width."""
+        design = compile_program(FSM_SRC, two_level(), name="fsm_widths")
+        module = design.module
+        batch = BatchSimulator(module, 6)
+        inp = {"x": 7, "x__tag": 0}
+        for _ in range(120):
+            batch.step(inp)
+        entry = batch._entry
+        assert any(b is not None and 6 in b.steps for b in entry.bodies.values())
+        batch.compact([4, 5])
+        for _ in range(120):
+            batch.step(inp)
+        shared = [
+            b for b in entry.bodies.values()
+            if b is not None and {4, 6} <= set(b.steps)
+        ]
+        assert shared, "specialized bodies must be shared across lane widths"
+        # a second simulator over the same module reuses the same bodies
+        assert BatchSimulator(module, 3)._entry.bodies is entry.bodies
+
+    def test_split_disabled_by_flag(self):
+        design = compile_program(FSM_SRC, two_level(), name="fsm_nomaj")
+        module = design.module
+        batch = BatchSimulator(module, 6, majority=False)
+        ref = BatchSimulator(module, 6)
+        ref.majority_fraction = 0.3
+        for cycle in range(160):
+            lane_inputs = [{"x": 3 + 50 * (lane % 3), "x__tag": 0} for lane in range(6)]
+            assert batch.step(lane_inputs) == ref.step(lane_inputs), cycle
+        assert batch.split_steps == 0
+        assert ref.split_steps > 0
+
+
+class TestLaneIndexValidation:
+    """Per-lane accessors must reject duplicate and out-of-range lane
+    indices instead of silently wrapping (negative list indexing) or
+    reading zeros past the packed words."""
+
+    def _batch(self, lanes=3):
+        design = compile_program(samples.TDMA, two_level(), name="val")
+        return BatchSimulator(design.module, lanes)
+
+    def test_duplicate_retired_lanes_rejected(self):
+        batch = self._batch()
+        with pytest.raises(ValueError, match="duplicate lane"):
+            batch.compact([1, 1])
+        # the failed call must not have touched any state
+        assert batch.lanes == 3 and batch.active_lanes == [0, 1, 2]
+        assert batch.compactions == 0
+
+    def test_out_of_range_lanes_rejected(self):
+        batch = self._batch()
+        for lane in (-1, 3, 17):
+            with pytest.raises(ValueError, match="out of range"):
+                batch.get_reg(lane, "acc")
+            with pytest.raises(ValueError, match="out of range"):
+                batch.set_reg(lane, "acc", 1)
+            with pytest.raises(ValueError, match="out of range"):
+                batch.lane_view(lane)
+            with pytest.raises(ValueError, match="out of range"):
+                batch.lane_regs(lane)
+            with pytest.raises(ValueError, match="out of range"):
+                batch.compact([lane])
+        with pytest.raises(ValueError, match="out of range"):
+            batch.compact([0, 1, -1])
+
+    def test_compacted_batch_rejects_stale_positions(self):
+        batch = self._batch(4)
+        batch.compact([1, 2])
+        with pytest.raises(ValueError, match="out of range"):
+            batch.get_reg(2, "acc")
+        with pytest.raises(ValueError, match="cannot retire every lane"):
+            batch.compact([0, 1])
+
+    def test_load_array_validates_lane(self):
+        src = """
+        mem[7:0] buf[16]; reg[7:0] a; input[3:0] i;
+        state s : L = { a := buf[i]; goto s; }
+        """
+        design = compile_program(src, two_level(), name="val_mem")
+        batch = BatchSimulator(design.module, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            batch.load_array(2, "buf", [1, 2, 3])
 
 
 class TestSpecializedFastPath:

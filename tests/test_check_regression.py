@@ -70,6 +70,32 @@ class TestCollect:
     def test_swar_speedup_is_a_gated_ratio(self):
         assert "swar_speedup" in check_regression.RATIO_KEYS
 
+    def test_compaction_speedup_is_a_gated_ratio(self):
+        """The skewed-suite compaction ratio gates like the other
+        machine-relative speedups; its companion diagnostics
+        (occupancy, cohort_split_ratio) ride along in extra_info but
+        are informational only."""
+        assert "compaction_speedup" in check_regression.RATIO_KEYS
+        doc = bench_json(
+            {"test_skew": 1e-6},
+            extra={"test_skew": {"compaction_speedup": 1.7,
+                                 "occupancy": 0.41,
+                                 "cohort_split_ratio": 0.02}},
+        )
+        got = check_regression.collect(doc)
+        assert got["ratios"] == {"compaction_speedup": 1.7}
+        assert "occupancy" not in got["gates"]
+
+    def test_compaction_ratio_below_floor_fails(self, tmp_path, capsys):
+        base = {k: dict(v) for k, v in BASE.items()}
+        base["ratios"]["compaction_speedup"] = 1.6
+        doc = current_doc()
+        doc["benchmarks"][2]["extra_info"]["compaction_speedup"] = 1.27
+        assert run_main(tmp_path, doc, baseline=base) == 1  # floor 1.28
+        assert "compaction_speedup" in capsys.readouterr().out
+        doc["benchmarks"][2]["extra_info"]["compaction_speedup"] = 1.28
+        assert run_main(tmp_path, doc, baseline=base) == 0
+
 
 class TestMissingAndNewMetrics:
     def test_missing_gate_metric_fails(self, tmp_path, capsys):

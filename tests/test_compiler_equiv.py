@@ -324,6 +324,35 @@ class TestBatchedSuites:
         ]
         assert_equivalent_suite(samples.ADDER_CHECK, two_level(), 16, stimuli)
 
+    def test_suite_under_eager_cohort_dispatch(self):
+        """The batched conformance oracle with majority-cohort dispatch
+        forced eager: lanes split across FSM states run through the
+        specialized-majority / generic-minority path and must still
+        match their interpreters entity for entity, cycle for cycle."""
+        src = """
+        reg[7:0] acc; reg[7:0] aux; input[7:0] x;
+        state top : L = {
+            let state p = {
+                acc := acc + x;
+                if (acc > 200) { goto q; } else { goto p; }
+            } in
+            let state q = { aux := aux + 1; acc := 0; goto p; } in
+            fall;
+        }
+        state other : L = { acc := acc - 1; goto other; }
+        """
+        stimuli = [
+            rotate_inputs([{"x": (3, "L")}]),
+            rotate_inputs([{"x": (3, "L")}]),
+            rotate_inputs([{"x": (3, "L")}]),
+            rotate_inputs([{"x": (103, "L")}]),
+        ]
+        bcv = assert_equivalent_suite(
+            src, two_level(), 120, stimuli, name="fsm_suite",
+            majority_fraction=0.5,
+        )
+        assert bcv.batch.split_steps > 0, "cohort dispatch never fired"
+
     def test_enforcement_suite_with_divergent_violations(self):
         # lanes violate (or not) independently; per-lane violation events
         # must match each lane's interpreter exactly

@@ -15,6 +15,7 @@ We test this three ways:
   closing the loop on the compiler.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.lattice import two_level
@@ -209,23 +210,33 @@ class TestHardwareNoninterference:
     """The same observation on the compiled design: low-tagged registers
     and outputs of two hardware runs agree when low inputs agree.
 
-    The two runs execute as the two lanes of one
+    The two runs execute as lanes of one
     :class:`~repro.hdl.batch.BatchSimulator` -- the paired-execution
     shape noninterference checking always has, and exactly what the
-    batched engine exists for.
+    batched engine exists for.  In ``compact+majority`` mode the pair
+    runs inside a four-lane batch with an eager cohort-split threshold
+    and the padding lanes are compacted away mid-trace, so the GLIFT
+    tag behaviour is verified on the cohort-dispatch and compaction
+    code paths, not just the generic step.
     """
 
-    def _run_pair(self, src, trace_pairs):
+    def _run_pair(self, src, trace_pairs, compacted=False):
         from repro.hdl import BatchSimulator
         from repro.sapper.compiler import compile_program
         from repro.sapper.crossval import encode_inputs
 
         lat = two_level()
         design = compile_program(src, lat, name="ni_hw")
-        batch = BatchSimulator(design.module, 2)
+        batch = BatchSimulator(design.module, 4 if compacted else 2)
+        if compacted:
+            batch.majority_fraction = 0.5
 
         for cycle, (in1, in2) in enumerate(trace_pairs):
-            o1, o2 = batch.step([encode_inputs(design, in1), encode_inputs(design, in2)])
+            enc1, enc2 = encode_inputs(design, in1), encode_inputs(design, in2)
+            if batch.lanes == 4:  # padding lanes replay run 1's stimulus
+                o1, o2 = batch.step([enc1, enc2, enc1, enc1])[:2]
+            else:
+                o1, o2 = batch.step([enc1, enc2])
             for port in design.module.outputs:
                 if port.endswith("__tag") or port == "violation":
                     continue
@@ -237,8 +248,15 @@ class TestHardwareNoninterference:
                 if t1 == 0 or t2 == 0:
                     assert t1 == t2, f"tag {reg}"
                     assert batch.get_reg(0, reg) == batch.get_reg(1, reg), f"reg {reg}"
+            if compacted and batch.lanes == 4 and cycle >= len(trace_pairs) // 2:
+                assert batch.compact([2, 3]) == [2, 3]
+                assert batch.active_lanes == [0, 1]
+        if compacted:
+            assert batch.compactions == 1, "compaction path never exercised"
 
-    def test_hardware_implicit_flow(self):
+    @pytest.mark.parametrize("compacted", [False, True],
+                             ids=["plain", "compact+majority"])
+    def test_hardware_implicit_flow(self, compacted):
         lat = two_level()
         src = """
         reg[7:0] lo : L; reg[7:0] d; input h : H; output[7:0] out_lo : L;
@@ -249,9 +267,61 @@ class TestHardwareNoninterference:
         }
         """
         trace = [{"h": (i & 1, "H")} for i in range(8)]
-        self._run_pair(src, vary_high(trace, "L", lat))
+        self._run_pair(src, vary_high(trace, "L", lat), compacted)
 
-    def test_hardware_tdma(self):
+    @pytest.mark.parametrize("compacted", [False, True],
+                             ids=["plain", "compact+majority"])
+    def test_hardware_tdma(self, compacted):
         lat = two_level()
         trace = [{"hi_in": (i * 3, "H"), "lo_in": (i, "L")} for i in range(120)]
-        self._run_pair(samples.TDMA, vary_high(trace, "L", lat))
+        self._run_pair(samples.TDMA, vary_high(trace, "L", lat), compacted)
+
+    def test_hardware_split_dispatch_carries_the_pair(self):
+        """A noninterference pair plus two padding lanes whose FSM
+        state legitimately diverges through a *low* selector (a high
+        selector's goto would be suppressed by enforcement, keeping
+        every lane uniform): the cohort split genuinely runs, and the
+        pair's low-observable state must stay equal under the
+        mask-merged write-back."""
+        from repro.hdl import BatchSimulator
+        from repro.sapper.compiler import compile_program
+        from repro.sapper.crossval import encode_inputs
+
+        src = """
+        input[7:0] h : H; input[1:0] sel : L; reg[7:0] c1; reg[7:0] sec : H;
+        output[7:0] out_lo : L;
+        state a : L = {
+            c1 := c1 + 1; sec := sec + h; out_lo := c1;
+            if (sel == 1) { goto b; } else { goto a; }
+        }
+        state b : L = {
+            c1 := c1 + 2; out_lo := c1;
+            if (sel == 2) { goto c; } else { goto a; }
+        }
+        state c : L = { c1 := c1 + 3; goto a; }
+        """
+        design = compile_program(src, two_level(), name="ni_split")
+        batch = BatchSimulator(design.module, 4)
+        batch.majority_fraction = 0.5
+        for cycle in range(24):
+            enc1 = encode_inputs(
+                design, {"h": (cycle * 7 & 255, "H"), "sel": (cycle % 3, "L")}
+            )
+            # run 2: same low stimulus, different high values
+            enc2 = encode_inputs(
+                design, {"h": ((cycle * 7 + 77) & 255, "H"), "sel": (cycle % 3, "L")}
+            )
+            # padding lanes: a shifted low schedule diverges their FSM
+            enc3 = encode_inputs(
+                design, {"h": (0, "H"), "sel": ((cycle + 1) % 3, "L")}
+            )
+            o1, o2 = batch.step([enc1, enc2, enc3, enc3])[:2]
+            t1, t2 = o1.get("out_lo__tag", 0), o2.get("out_lo__tag", 0)
+            if t1 == 0 or t2 == 0:
+                assert t1 == t2 and o1["out_lo"] == o2["out_lo"], f"cycle {cycle}"
+            for reg, tag_reg in design.reg_tag.items():
+                rt1, rt2 = batch.get_reg(0, tag_reg), batch.get_reg(1, tag_reg)
+                if rt1 == 0 or rt2 == 0:
+                    assert rt1 == rt2, f"tag {reg}"
+                    assert batch.get_reg(0, reg) == batch.get_reg(1, reg), f"reg {reg}"
+        assert batch.split_steps > 0, "cohort dispatch never fired on the NI pair"

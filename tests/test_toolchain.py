@@ -103,6 +103,50 @@ class TestCli:
         out = capsys.readouterr().out
         assert "8 cycles" in out and "violation" in out
 
+    HALTING = """
+    reg[7:0] cnt; input[7:0] k; output halted : L; output[7:0] v : L;
+    state s : L = { cnt := cnt + k; halted := cnt > 9; v := cnt; goto s; }
+    """
+
+    def test_simulate_compact_stops_when_all_lanes_halt(self, tmp_path, capsys):
+        path = tmp_path / "halting.sapper"
+        path.write_text(self.HALTING)
+        args = ["simulate", str(path), "-n", "50", "--lanes", "4",
+                "-i", "k=3", "--quiet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # every lane halts at cycle 4; --compact (default) stops there
+        assert "# 4 cycles x 4 lanes" in out and "16 active lane-cycles" in out
+        assert main([*args, "--no-compact"]) == 0
+        out = capsys.readouterr().out
+        assert "# 50 cycles x 4 lanes" in out and "200 active lane-cycles" in out
+
+    def test_simulate_per_lane_inputs_compact_partial_retirement(
+        self, tmp_path, capsys
+    ):
+        """Per-lane stimulus (PORT=V0,V1,...) skews the halt times, so
+        lanes retire one by one: the partial-compaction branch runs and
+        the summary still reports by original lane id."""
+        path = tmp_path / "halting.sapper"
+        path.write_text(self.HALTING)
+        assert main(["simulate", str(path), "-n", "50", "--lanes", "4",
+                     "-i", "k=1,2,5,20", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        # halts at cycles 10/5/2/1: three partial compactions, then the
+        # last lane stops the run at cycle 10
+        assert "# 10 cycles x 4 lanes" in out
+        assert "18 active lane-cycles" in out and "final occupancy 1/4" in out
+        assert "# lane 3" in out and "'v': 20" in out  # original-lane mapping
+
+    def test_simulate_per_lane_inputs_need_lanes(self, tmp_path):
+        path = tmp_path / "halting.sapper"
+        path.write_text(self.HALTING)
+        with pytest.raises(SystemExit, match="batched engine"):
+            main(["simulate", str(path), "-n", "5", "-i", "k=1,2", "--quiet"])
+        with pytest.raises(SystemExit, match="drives 2 lanes"):
+            main(["simulate", str(path), "-n", "5", "--lanes", "3",
+                  "-i", "k=1,2", "--quiet"])
+
     def test_synth_reports_census(self, tdma_file, capsys):
         assert main(["synth", tdma_file]) == 0
         out = capsys.readouterr().out
