@@ -15,8 +15,10 @@ with ``--lanes``, ``port=v0,v1,...`` drives one value per lane)
 and prints the output ports each cycle plus a violation summary;
 ``--lanes N`` advances N independent machine states per cycle through
 the lane-batched simulator (bit-identical to N scalar runs), and
-``--engine {scalar,batch,swar}`` pins the simulation engine (``auto``
-picks scalar at one lane and the SWAR wide-word engine beyond).
+``--engine {scalar,batch,swar,vector}`` pins the simulation engine
+(``auto`` picks scalar at one lane, the SWAR wide-word engine for
+small batches, and the NumPy vector engine -- when NumPy is
+installed -- from 64 lanes up, where its ufunc amortization wins).
 ``--compact`` (default; disable with ``--no-compact``) retires lanes
 whose ``halted`` output fires from the batch -- the simulator repacks
 its state to the surviving lanes, keeping skewed multi-lane runs at
@@ -39,6 +41,17 @@ from repro.lattice import Lattice, diamond, two_level
 from repro.toolchain import Toolchain
 
 _LATTICES = {"two": two_level, "diamond": diamond}
+
+#: Lane count from which ``--engine auto`` prefers the NumPy vector
+#: engine: measured on the secure processor, the ufunc-amortized tier
+#: overtakes SWAR lane packing between 32 and 128 lanes.
+_VECTOR_AUTO_LANES = 64
+
+
+def _have_numpy() -> bool:
+    from repro.hdl.vector import HAVE_NUMPY
+
+    return HAVE_NUMPY
 
 
 def _positive_int(text: str) -> int:
@@ -79,14 +92,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--lanes", type=_positive_int, default=1, metavar="N",
                      help="advance N independent machine states with the "
                           "lane-batched simulator (default: 1, scalar)")
-    sim.add_argument("--engine", choices=["auto", "scalar", "batch", "swar"],
+    sim.add_argument("--engine",
+                     choices=["auto", "scalar", "batch", "swar", "vector"],
                      default="auto",
                      help="simulation engine: 'scalar' (one Simulator per "
                           "run, --lanes 1 only), 'batch' (lane-packed tags "
                           "+ per-lane datapath, the pre-SWAR engine), "
                           "'swar' (adds guard-banded wide-word lane "
-                          "packing), or 'auto' (scalar at 1 lane, swar "
-                          "beyond; default)")
+                          "packing), 'vector' (NumPy uint64 lane arrays; "
+                          "needs numpy), or 'auto' (scalar at 1 lane, swar "
+                          "for small batches, vector from 64 lanes when "
+                          "numpy is available; default)")
     sim.add_argument("--compact", action=argparse.BooleanOptionalAction, default=True,
                      help="retire lanes whose 'halted' output fires and repack "
                           "the batch to the survivors (lane compaction), "
@@ -167,23 +183,37 @@ def _cmd_simulate(args: argparse.Namespace, tc: Toolchain) -> int:
     inputs = _parse_inputs(args.input)
     engine = args.engine
     if engine == "auto":
-        engine = "swar" if args.lanes > 1 else "scalar"
+        if args.lanes <= 1:
+            engine = "scalar"
+        elif args.lanes >= _VECTOR_AUTO_LANES and _have_numpy():
+            engine = "vector"  # ufunc amortization beats lane packing
+        else:
+            engine = "swar"
     if engine == "scalar" and args.lanes > 1:
         raise SystemExit(
             f"--engine scalar supports --lanes 1 only (got {args.lanes}); "
-            "use --engine batch or swar"
+            "use --engine batch, swar, or vector"
         )
     if engine == "scalar" and any(isinstance(v, list) for v in inputs.values()):
         raise SystemExit(
             "per-lane input lists (PORT=V0,V1,...) need the batched engine; "
             "pass --lanes N"
         )
-    if engine in ("batch", "swar"):
-        swar = engine == "swar"
+    if engine == "vector" and not _have_numpy():
+        from repro.hdl.vector import _NUMPY_HINT
+
+        raise SystemExit(_NUMPY_HINT)
+    if engine in ("batch", "swar", "vector"):
         if args.no_opt:
-            sim = BatchSimulator(design.module, args.lanes, optimize=False, swar=swar)
+            if engine == "vector":
+                from repro.hdl import VectorSimulator
+
+                sim = VectorSimulator(design.module, args.lanes, optimize=False)
+            else:
+                sim = BatchSimulator(design.module, args.lanes, optimize=False,
+                                     swar=engine == "swar")
         else:
-            sim = tc.batch_simulator(design, args.lanes, swar=swar)
+            sim = tc.batch_simulator(design, args.lanes, engine=engine)
         lane_stim = _lane_stimulus(inputs, args.lanes)
         violations = [0] * args.lanes
         final: list[dict[str, int]] = [{} for _ in range(args.lanes)]

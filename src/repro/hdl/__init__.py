@@ -9,6 +9,8 @@ transform it.  Tooling:
   specialized Python step function per module (our ModelSim substitute).
 * :mod:`repro.hdl.batch` -- lane-batched simulation: one vectorized step
   function advances N independent machine states bit-identically.
+* :mod:`repro.hdl.vector` -- the NumPy uint64 native tier over the
+  batched engine (lanes as the vector axis; optional dependency).
 * :mod:`repro.hdl.verilog` -- synthesizable Verilog text emission.
 * :mod:`repro.hdl.synth` / :mod:`repro.hdl.techlib` -- structural
   lowering to gate counts with a 90 nm-style cell library; area, critical
@@ -25,6 +27,7 @@ from repro.hdl.ir import ArrayDef, ArrayWrite, HConst, HExpr, HOp, HRef, Module,
 from repro.hdl.passes import PassManager, optimize
 from repro.hdl.sim import Simulator
 from repro.hdl.synth import CostReport, synthesize
+from repro.hdl.vector import HAVE_NUMPY, VectorSimulator
 from repro.hdl.verilog import emit_verilog
 
 __all__ = [
@@ -38,6 +41,8 @@ __all__ = [
     "HOp",
     "Simulator",
     "BatchSimulator",
+    "VectorSimulator",
+    "HAVE_NUMPY",
     "synthesize",
     "CostReport",
     "emit_verilog",

@@ -73,7 +73,7 @@ from collections import Counter
 from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
 
-from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module, significant_bits
 from repro.hdl.passes.base import WeakIdMemo
 from repro.hdl.sim import _SIGNED_HELPER, _CodeGen, paren_depth
 from repro.hdl.swar import SWAR_MAX_WIDTH, get_layout
@@ -310,7 +310,8 @@ class _BatchCodeGen(_CodeGen):
         super().__init__(module)
         m = module
         self.swar = swar
-        #: comb signal -> 'p' (packed 1-bit) | 'w' (SWAR) | 's' (scalar)
+        self._limit = (pitch - 1) if pitch else SWAR_MAX_WIDTH
+        #: comb signal -> 'p' (packed 1-bit) | 'w' (wide tier) | 's' (scalar)
         self.kinds: dict[str, str] = {}
         #: any name -> has a packed (bit-per-lane) representation
         self.packed_src: dict[str, bool] = {}
@@ -319,15 +320,8 @@ class _BatchCodeGen(_CodeGen):
             self.packed_src[r.name] = r.width == 1
         for name, w in m.inputs.items():
             self.packed_src[name] = w == 1
-        limit = (pitch - 1) if pitch else SWAR_MAX_WIDTH
         for name, e in m.comb:
-            if e.width == 1 and _packable(e):
-                kind = "p"
-            elif swar and _swar_ok(e, limit):
-                kind = "w"
-            else:
-                kind = "s"
-            self.kinds[name] = kind
+            self.kinds[name] = self._classify(e)
             self.packed_src[name] = e.width == 1
             for node in e.walk():
                 if isinstance(node, HRef):
@@ -374,34 +368,11 @@ class _BatchCodeGen(_CodeGen):
                 self.kinds[name] = "s"
                 worklist.extend(by_ref.get(name, ()))
 
-        # SWAR state layout: registers in 2..33 bits live slot-packed.
-        if resident is not None:
-            self.resident = resident
-        else:
-            self.resident = frozenset(
-                r.name for r in m.regs.values()
-                if swar and 2 <= r.width <= SWAR_MAX_WIDTH
-            )
-        if pitch is not None:
-            self.pitch = pitch
-        elif not swar:
-            self.pitch = 0
-        else:
-            # only what actually gets packed sizes the slots: nodes of
-            # SWAR-classified trees (operands included) and the
-            # slot-resident registers -- a 33-bit intermediate inside a
-            # scalar-tier mul cone must not widen every packed word
-            maxw = 1
-            for name, e in m.comb:
-                if self.kinds[name] != "w":
-                    continue
-                for node in e.walk():
-                    if node.width <= SWAR_MAX_WIDTH:
-                        maxw = max(maxw, node.width)
-            for r in m.regs.values():
-                if r.name in self.resident:
-                    maxw = max(maxw, r.width)
-            self.pitch = maxw + 1
+        # Wide-tier state layout: which registers live in ``sregs``, and
+        # (for SWAR) the shared slot pitch.  Both are overridable so the
+        # vector tier can widen residency to 64 bits with no pitch.
+        self.resident = resident if resident is not None else self._default_resident()
+        self.pitch = pitch if pitch is not None else self._compute_pitch()
 
         # wide scalar signals / inputs whose packed form SWAR trees read
         self.sform_comb: set[str] = set()
@@ -425,9 +396,47 @@ class _BatchCodeGen(_CodeGen):
         self.lane_local: set[str] = set()   # names bound to lane locals
         self._pool: dict[tuple, str] = {}
         self._pool_lines: list[str] = []
+        self._sbmemo: dict[int, int] = {}   # significant-bits memo
         self._tmp = 0
         self._use_cp = self._use_sp = False
         self._pending: list[str] = []
+
+    # -- tier classification / state layout (overridable) ------------------
+
+    def _classify(self, e: HExpr) -> str:
+        """Evaluation tier for one combinational expression tree."""
+        if e.width == 1 and _packable(e):
+            return "p"
+        if self.swar and _swar_ok(e, self._limit):
+            return "w"
+        return "s"
+
+    def _default_resident(self) -> frozenset:
+        if not self.swar:
+            return frozenset()
+        return frozenset(
+            r.name for r in self.module.regs.values()
+            if 2 <= r.width <= SWAR_MAX_WIDTH
+        )
+
+    def _compute_pitch(self) -> int:
+        if not self.swar:
+            return 0
+        # only what actually gets packed sizes the slots: nodes of
+        # SWAR-classified trees (operands included) and the
+        # slot-resident registers -- a 33-bit intermediate inside a
+        # scalar-tier mul cone must not widen every packed word
+        maxw = 1
+        for name, e in self.module.comb:
+            if self.kinds[name] != "w":
+                continue
+            for node in e.walk():
+                if node.width <= SWAR_MAX_WIDTH:
+                    maxw = max(maxw, node.width)
+        for r in self.module.regs.values():
+            if r.name in self.resident:
+                maxw = max(maxw, r.width)
+        return maxw + 1
 
     # -- scheduling --------------------------------------------------------
 
@@ -548,6 +557,10 @@ class _BatchCodeGen(_CodeGen):
             self._pool_lines.append(f"    {name} = {expr}")
         return got
 
+    def _sig_bits(self, e: HExpr) -> int:
+        """Sound upper bound on *e*'s non-zero low bits (memoized)."""
+        return significant_bits(e, None, self._sbmemo)
+
     def _fresh(self, code: str) -> str:
         self._tmp += 1
         name = f"_w{self._tmp}"
@@ -610,16 +623,27 @@ class _BatchCodeGen(_CodeGen):
     # Lane-contiguous form (the packed tag world's layout) is produced
     # once per signal with a single compress when the p-world needs it.
 
+    def _spread_flag(self, name: str) -> str:
+        """Code converting the packed form of *name* to wide-tier flag
+        form (SWAR: slot-spaced; vector: boolean ndarray)."""
+        self._use_sp = True
+        return f"_sp({self.pref(name)})"
+
+    def _pack_flag(self, code: str) -> str:
+        """Code converting a wide-tier flag back to lane-contiguous
+        packed form (SWAR: compress; vector: packbits)."""
+        self._use_cp = True
+        return f"_cp({code})"
+
     def dref(self, name: str) -> str:
         """Slot-spaced flag form of the 1-bit signal *name*."""
         if self.kinds.get(name) == "w" and name in self.dstore:
             return f"d_{name}"
         got = self.dcache.get(name)
         if got is None:
-            self._use_sp = True
             self._tmp += 1
             got = self.dcache[name] = f"dc_{self._tmp}"
-            self._pending.append(f"{got} = _sp({self.pref(name)})")
+            self._pending.append(f"{got} = {self._spread_flag(name)}")
         return got
 
     def dform(self, e: HExpr) -> str:
@@ -720,6 +744,10 @@ class _BatchCodeGen(_CodeGen):
         op = e.op
         if op == "add":
             a, b = self.wval(e.args[0]), self.wval(e.args[1])
+            # mask elision: when the sum provably cannot carry into the
+            # guard bit, the slots stay canonical without the clamp
+            if max(self._sig_bits(e.args[0]), self._sig_bits(e.args[1])) + 1 <= w:
+                return f"({a} + {b})"
             return f"(({a} + {b}) & {self._vm(w)})"
         if op == "sub":
             a, b = self.wval(e.args[0]), self.wval(e.args[1])
@@ -801,6 +829,10 @@ class _BatchCodeGen(_CodeGen):
             if op != "asr" and k >= w:
                 return "0"
             if op == "shl":
+                # mask elision: a value already fitting w - k bits cannot
+                # spill into the guard band when shifted left by k
+                if self._sig_bits(e.args[0]) <= w - k:
+                    return f"({a} << {k})"
                 return f"(({a} & {self._vm(w - k)}) << {k})"
             t = f"(({a} >> {k}) & {self._vm(w - k)})"
             if op == "shr":
@@ -811,6 +843,10 @@ class _BatchCodeGen(_CodeGen):
 
     # -- scalar expression emission ----------------------------------------
 
+    def _lane_read(self, name: str, width: int) -> str:
+        """Per-lane scalar read of a wide-tier signal or resident register."""
+        return f"(s_{name} >> _lp) & {(1 << width) - 1}"
+
     def ref(self, name: str) -> str:
         inl = self.inline.get(name)
         if inl is not None:
@@ -820,13 +856,11 @@ class _BatchCodeGen(_CodeGen):
         if self.packed_src.get(name):
             return f"((p_{name} >> _l) & 1)"
         if self.kinds.get(name) == "w":
-            mask = (1 << self.exprs[name].width) - 1
-            return f"((s_{name} >> _lp) & {mask})"
+            return f"({self._lane_read(name, self.exprs[name].width)})"
         if name in self.listed:
             return f"x_{name}[_l]"
         if name in self.resident:
-            mask = (1 << self.module.regs[name].width) - 1
-            return f"((s_{name} >> _lp) & {mask})"
+            return f"({self._lane_read(name, self.module.regs[name].width)})"
         if name in self.module.regs:
             return f"wr_{name}[_l]"
         if name in self.module.inputs:
@@ -938,12 +972,35 @@ class _BatchCodeGen(_CodeGen):
         return stmts
 
     # -- generation --------------------------------------------------------
+    #
+    # ``generate`` is decomposed into per-section emitters so a subclass
+    # (the NumPy vector tier) can replace just the pieces whose lowering
+    # differs -- input marshalling, the wide phase, per-lane reads, edge
+    # write-back, the factory header -- while sharing the packed tag
+    # world, the scheduler, and the overall step structure verbatim.
 
-    def generate(self) -> str:
+    def _emit(self, line: str) -> None:
+        self._L.append("        " + line)
+
+    def _emit_lane(self, line: str) -> None:
+        self._L.append("            " + line)
+
+    def _flush_pending(self) -> None:
+        for line in self._pending:
+            self._emit(line)
+        self._pending.clear()
+
+    def _accumulated(self, s: str) -> bool:
+        """Does the 1-bit scalar-rooted signal *s* need packed form?"""
+        return (
+            any(k in ("p", "w") for k in self.cons_kind.get(s, []))
+            or s in self.keep
+            or any(self.phase_of[c] != self.phase_of[s]
+                   for c in self.consumers.get(s, []))
+        )
+
+    def _prep_emission(self) -> None:
         m = self.module
-        self._schedule()
-        exprs = self.exprs
-        keep = self.keep
 
         # complements of packed mux selectors referenced more than once
         ncount: Counter = Counter()
@@ -961,13 +1018,13 @@ class _BatchCodeGen(_CodeGen):
                         ncount[node.args[0].name] += 1
                 elif node.op in ("not", "lnot") and isinstance(node.args[0], HRef):
                     ncount[node.args[0].name] += 1
-        nc_emit = {nm for nm, c in ncount.items() if c >= 2}
+        self.nc_emit = {nm for nm, c in ncount.items() if c >= 2}
 
-        cons_kind: dict[str, list[str]] = {}
+        self.cons_kind: dict[str, list[str]] = {}
         for cname, ce in m.comb:
             for node in ce.walk():
                 if isinstance(node, HRef):
-                    cons_kind.setdefault(node.name, []).append(self.kinds[cname])
+                    self.cons_kind.setdefault(node.name, []).append(self.kinds[cname])
 
         # transitively peel signals that feed only held registers (their
         # write-back is skipped, so the whole alias cone is dead weight;
@@ -978,7 +1035,7 @@ class _BatchCodeGen(_CodeGen):
         while changed:
             changed = False
             for name, e in m.comb:
-                if name in dead or live_use.get(name, 0) or name in keep:
+                if name in dead or live_use.get(name, 0) or name in self.keep:
                     continue
                 dead.add(name)
                 changed = True
@@ -997,239 +1054,271 @@ class _BatchCodeGen(_CodeGen):
             for node in e.walk():
                 if isinstance(node, HRef):
                     edge_names.add(node.name)
-        used_sregs = sorted(
+        self.used_sregs = sorted(
             r for r in self.resident
             if live_use.get(r) or r in edge_names
         )
-        used_pregs = [
+        self.used_pregs = [
             r.name for r in m.regs.values()
             if r.width == 1 and (live_use.get(r.name) or r.name in edge_names)
         ]
-        wreg_loads: set[str] = set()
-        array_loads: set[str] = set()
+        self._wreg_loads: set[str] = set()
+        self._array_loads: set[str] = set()
+        self._L: list[str] = []
+        self._bufs: list[str] = []
 
-        L: list[str] = []
-        bufs: list[str] = []
-
-        def emit(line: str) -> None:
-            L.append("        " + line)
-
-        def emit_lane(line: str) -> None:
-            L.append("            " + line)
-
-        def flush_pending() -> None:
-            for line in self._pending:
-                emit(line)
-            self._pending.clear()
-
+    def _emit_state_loads(self) -> None:
         # packed registers and inputs into locals (only registers the
         # live body or the clock edge actually reads -- state-folded
         # bodies hold most registers, and the cohort-split dispatcher
         # gathers exactly this set when it marshals a cohort)
-        for r in used_pregs:
-            emit(f"p_{r} = pregs[{r!r}]")
-        for r in used_pregs:
-            if r in nc_emit:
-                emit(f"q_{r} = p_{r} ^ ONES")
+        for r in self.used_pregs:
+            self._emit(f"p_{r} = pregs[{r!r}]")
+        for r in self.used_pregs:
+            if r in self.nc_emit:
+                self._emit(f"q_{r} = p_{r} ^ ONES")
                 self.ncache[f"p_{r}"] = f"q_{r}"
-        for r in used_sregs:
-            emit(f"s_{r} = sregs[{r!r}]")
+        for r in self.used_sregs:
+            self._emit(f"s_{r} = sregs[{r!r}]")
+
+    def _emit_input_marshal(self) -> None:
+        m = self.module
         p_inputs = [nm for nm, w in m.inputs.items() if w == 1]
         w_inputs = [nm for nm, w in m.inputs.items() if w != 1]
-        if p_inputs or w_inputs:
-            for nm in p_inputs:
-                emit(f"p_{nm} = 0")
-            for nm in sorted(self.sform_inputs):
-                emit(f"s_{nm} = 0")
-            for nm in w_inputs:
-                bufs.append(f"wi_{nm}")
-            in_stmts = ["_inp = inputs[_l]"]
-            for nm in p_inputs:
-                in_stmts.append(f"p_{nm} |= (_inp.get({nm!r}, 0) & 1) << _l")
-            for nm in w_inputs:
-                mask = (1 << m.inputs[nm]) - 1
-                in_stmts.append(f"wi_{nm}[_l] = _inp.get({nm!r}, 0) & {mask}")
-                if nm in self.sform_inputs:
-                    in_stmts.append(f"s_{nm} |= wi_{nm}[_l] << _lp")
-            emit("for _l in range(n):")
-            for stmt in self._maybe_lp(in_stmts, self.pitch):
-                emit_lane(stmt)
+        if not (p_inputs or w_inputs):
+            return
+        for nm in p_inputs:
+            self._emit(f"p_{nm} = 0")
+        for nm in sorted(self.sform_inputs):
+            self._emit(f"s_{nm} = 0")
+        for nm in w_inputs:
+            self._bufs.append(f"wi_{nm}")
+        in_stmts = ["_inp = inputs[_l]"]
+        for nm in p_inputs:
+            in_stmts.append(f"p_{nm} |= (_inp.get({nm!r}, 0) & 1) << _l")
+        for nm in w_inputs:
+            mask = (1 << m.inputs[nm]) - 1
+            in_stmts.append(f"wi_{nm}[_l] = _inp.get({nm!r}, 0) & {mask}")
+            if nm in self.sform_inputs:
+                in_stmts.append(f"s_{nm} |= wi_{nm}[_l] << _lp")
+        self._emit("for _l in range(n):")
+        for stmt in self._maybe_lp(in_stmts, self.pitch):
+            self._emit_lane(stmt)
 
+    def generate(self) -> str:
+        self._schedule()
+        self._prep_emission()
+        self._emit_state_loads()
+        self._emit_input_marshal()
         for name in sorted(self.listed):
-            bufs.append(f"x_{name}")
-
-        def accumulated(s: str) -> bool:
-            """Does the 1-bit scalar-rooted signal *s* need packed form?"""
-            return (
-                any(k in ("p", "w") for k in cons_kind.get(s, []))
-                or s in keep
-                or any(self.phase_of[c] != self.phase_of[s]
-                       for c in self.consumers.get(s, []))
-            )
-
-        # -- phases --------------------------------------------------------
+            self._bufs.append(f"x_{name}")
         for kind, sigs in self.phases:
             if kind == "p":
-                for name in sigs:
-                    code = self.pexpr(exprs[name])
-                    if (self.use_count.get(name, 0) == 1 and name not in keep
-                            and cons_kind.get(name) == ["p"]
-                            and len(code) <= _INLINE_LEN
-                            and paren_depth(code) <= _INLINE_DEPTH):
-                        self.pinline[name] = code
-                    else:
-                        emit(f"p_{name} = {code}")
-                        if name in nc_emit:
-                            emit(f"q_{name} = p_{name} ^ ONES")
-                            self.ncache[f"p_{name}"] = f"q_{name}"
-                continue
+                self._emit_packed_phase(sigs)
+            elif kind == "w":
+                self._emit_wide_phase(sigs)
+            else:
+                self._emit_scalar_phase(sigs)
+        self._emit_edge()
+        self._record_footprint()
+        return self._render()
 
-            if kind == "w":
-                for name in sigs:
-                    e = exprs[name]
-                    cons = cons_kind.get(name, [])
-                    if e.width == 1:
-                        # compares and mixed flag logic: slot-spaced
-                        # d-form feeds SWAR consumers; one compress per
-                        # signal feeds the packed/scalar worlds
-                        need_d = any(k == "w" for k in cons)
-                        need_p = (not need_d) or name in keep or any(
-                            k in ("p", "s") for k in cons
-                        )
-                        code = self.dform(e)
-                        flush_pending()
-                        if need_d:
-                            self.dstore.add(name)
-                            emit(f"d_{name} = {code}")
-                            code = f"d_{name}"
-                        if need_p:
-                            self._use_cp = True
-                            emit(f"p_{name} = _cp({code})")
-                            if name in nc_emit:
-                                emit(f"q_{name} = p_{name} ^ ONES")
-                                self.ncache[f"p_{name}"] = f"q_{name}"
-                    else:
-                        code = self.wval(e)
-                        flush_pending()
-                        if (self.use_count.get(name, 0) == 1 and name not in keep
-                                and cons == ["w"]
-                                and len(code) <= _INLINE_LEN
-                                and paren_depth(code) <= _INLINE_DEPTH):
-                            self.winline[name] = code
-                        else:
-                            emit(f"s_{name} = {code}")
-                continue
+    def _emit_packed_phase(self, sigs: list[str]) -> None:
+        exprs, keep = self.exprs, self.keep
+        for name in sigs:
+            code = self.pexpr(exprs[name])
+            if (self.use_count.get(name, 0) == 1 and name not in keep
+                    and self.cons_kind.get(name) == ["p"]
+                    and len(code) <= _INLINE_LEN
+                    and paren_depth(code) <= _INLINE_DEPTH):
+                self.pinline[name] = code
+            else:
+                self._emit(f"p_{name} = {code}")
+                if name in self.nc_emit:
+                    self._emit(f"q_{name} = p_{name} ^ ONES")
+                    self.ncache[f"p_{name}"] = f"q_{name}"
 
-            # scalar phase: one loop over lanes
-            phase_set = set(sigs)
-            body_exprs = [exprs[s] for s in sigs]
-            for s in sigs:
-                if exprs[s].width == 1 and accumulated(s):
-                    emit(f"p_{s} = 0")
-                elif s in self.sform_comb:
-                    emit(f"s_{s} = 0")
-            for arr in sorted(self._arrays_in(body_exprs)):
-                array_loads.add(arr)
-                emit(f"al_{arr} = arrays[{arr!r}]")
-            for wreg in sorted(self._wide_regs_in(body_exprs)):
-                wreg_loads.add(wreg)
-                emit(f"wr_{wreg} = wregs[{wreg!r}]")
-            # hoist lane-loop reads used more than once in this phase
-            ref_count: Counter = Counter()
-            for s in sigs:
-                for node in exprs[s].walk():
-                    if isinstance(node, HRef) and node.name not in phase_set:
-                        ref_count[node.name] += 1
-            self.lane_local = set()
-            self.inline = {}
-            hoists: list[str] = []
-            for nm, cnt in sorted(ref_count.items()):
-                if cnt < 2:
-                    continue
-                if self.packed_src.get(nm) and nm not in phase_set:
-                    hoists.append(f"v_{nm} = (p_{nm} >> _l) & 1")
-                elif self.kinds.get(nm) == "w" and nm not in phase_set:
-                    mask = (1 << exprs[nm].width) - 1
-                    hoists.append(f"v_{nm} = (s_{nm} >> _lp) & {mask}")
-                elif nm in self.listed and nm not in phase_set:
-                    hoists.append(f"v_{nm} = x_{nm}[_l]")
-                elif nm in self.resident:
-                    mask = (1 << m.regs[nm].width) - 1
-                    hoists.append(f"v_{nm} = (s_{nm} >> _lp) & {mask}")
-                elif nm in m.regs and m.regs[nm].width != 1:
-                    hoists.append(f"v_{nm} = wr_{nm}[_l]")
+    def _emit_wide_phase(self, sigs: list[str]) -> None:
+        exprs, keep = self.exprs, self.keep
+        for name in sigs:
+            e = exprs[name]
+            cons = self.cons_kind.get(name, [])
+            if e.width == 1:
+                # compares and mixed flag logic: slot-spaced
+                # d-form feeds SWAR consumers; one compress per
+                # signal feeds the packed/scalar worlds
+                need_d = any(k == "w" for k in cons)
+                need_p = (not need_d) or name in keep or any(
+                    k in ("p", "s") for k in cons
+                )
+                code = self.dform(e)
+                self._flush_pending()
+                if need_d:
+                    self.dstore.add(name)
+                    self._emit(f"d_{name} = {code}")
+                    code = f"d_{name}"
+                if need_p:
+                    self._emit(f"p_{name} = {self._pack_flag(code)}")
+                    if name in self.nc_emit:
+                        self._emit(f"q_{name} = p_{name} ^ ONES")
+                        self.ncache[f"p_{name}"] = f"q_{name}"
+            else:
+                code = self.wval(e)
+                self._flush_pending()
+                if (self.use_count.get(name, 0) == 1 and name not in keep
+                        and cons == ["w"]
+                        and len(code) <= _INLINE_LEN
+                        and paren_depth(code) <= _INLINE_DEPTH):
+                    self.winline[name] = code
                 else:
-                    continue
-                self.lane_local.add(nm)
-            lane_stmts: list[str] = []
-            lane = lane_stmts.append
-            for arr in sorted(self._arrays_in(body_exprs)):
-                lane(f"a_{arr} = al_{arr}[_l]")
-            for h in hoists:
-                lane(h)
-            for s in sigs:
-                e = exprs[s]
-                uses = self.use_count.get(s, 0)
-                if e.width == 1:
-                    if not accumulated(s):
-                        code = self.expr(e)
-                        if (uses == 1 and len(code) <= _INLINE_LEN
-                                and paren_depth(code) <= _INLINE_DEPTH):
-                            self.inline[s] = f"({code})"
-                        else:
-                            lane(f"v_{s} = {code}")
-                            self.lane_local.add(s)
-                    elif any(k == "s" for k in cons_kind.get(s, [])):
-                        lane(f"v_{s} = {self.expr(e)}")
-                        lane(f"p_{s} |= v_{s} << _l")
-                        self.lane_local.add(s)
-                    else:
-                        lane(f"p_{s} |= {self.expr(e)} << _l")
-                elif s in self.listed or s in self.sform_comb:
+                    self._emit(f"s_{name} = {code}")
+
+    def _sform_init(self, s: str) -> None:
+        """Start the wide-tier accumulator for a scalar signal SWAR reads."""
+        self._emit(f"s_{s} = 0")
+
+    def _sform_accum(self, s: str) -> str:
+        """Per-lane statement folding ``v_s`` into the wide-tier form."""
+        return f"s_{s} |= v_{s} << _lp"
+
+    def _scalar_phase_post(self, sigs: list[str]) -> None:
+        """Hook after a scalar phase's lane loop (vector tier converts
+        accumulated per-lane lists into ndarrays here)."""
+
+    def _emit_scalar_phase(self, sigs: list[str]) -> None:
+        # scalar phase: one loop over lanes
+        m, exprs, keep = self.module, self.exprs, self.keep
+        phase_set = set(sigs)
+        body_exprs = [exprs[s] for s in sigs]
+        for s in sigs:
+            if exprs[s].width == 1 and self._accumulated(s):
+                self._emit(f"p_{s} = 0")
+            elif s in self.sform_comb:
+                self._sform_init(s)
+        for arr in sorted(self._arrays_in(body_exprs)):
+            self._array_loads.add(arr)
+            self._emit(f"al_{arr} = arrays[{arr!r}]")
+        for wreg in sorted(self._wide_regs_in(body_exprs)):
+            self._wreg_loads.add(wreg)
+            self._emit(f"wr_{wreg} = wregs[{wreg!r}]")
+        # hoist lane-loop reads used more than once in this phase
+        ref_count: Counter = Counter()
+        for s in sigs:
+            for node in exprs[s].walk():
+                if isinstance(node, HRef) and node.name not in phase_set:
+                    ref_count[node.name] += 1
+        self.lane_local = set()
+        self.inline = {}
+        hoists: list[str] = []
+        for nm, cnt in sorted(ref_count.items()):
+            if cnt < 2:
+                continue
+            if self.packed_src.get(nm) and nm not in phase_set:
+                hoists.append(f"v_{nm} = (p_{nm} >> _l) & 1")
+            elif self.kinds.get(nm) == "w" and nm not in phase_set:
+                hoists.append(f"v_{nm} = {self._lane_read(nm, exprs[nm].width)}")
+            elif nm in self.listed and nm not in phase_set:
+                hoists.append(f"v_{nm} = x_{nm}[_l]")
+            elif nm in self.resident:
+                hoists.append(f"v_{nm} = {self._lane_read(nm, m.regs[nm].width)}")
+            elif nm in m.regs and m.regs[nm].width != 1:
+                hoists.append(f"v_{nm} = wr_{nm}[_l]")
+            else:
+                continue
+            self.lane_local.add(nm)
+        lane_stmts: list[str] = []
+        lane = lane_stmts.append
+        for arr in sorted(self._arrays_in(body_exprs)):
+            lane(f"a_{arr} = al_{arr}[_l]")
+        for h in hoists:
+            lane(h)
+        for s in sigs:
+            e = exprs[s]
+            uses = self.use_count.get(s, 0)
+            if e.width == 1:
+                if not self._accumulated(s):
                     code = self.expr(e)
-                    direct_store = (
-                        s in self.listed
-                        and s not in self.sform_comb
-                        and not any(c in phase_set for c in self.consumers.get(s, []))
-                    )
-                    if direct_store:
-                        lane(f"x_{s}[_l] = {code}")
-                    else:
-                        lane(f"v_{s} = {code}")
-                        self.lane_local.add(s)
-                        if s in self.listed:
-                            lane(f"x_{s}[_l] = v_{s}")
-                        if s in self.sform_comb:
-                            lane(f"s_{s} |= v_{s} << _lp")
-                else:
-                    code = self.expr(e)
-                    if (uses == 1 and s not in keep
-                            and len(code) <= _INLINE_LEN
+                    if (uses == 1 and len(code) <= _INLINE_LEN
                             and paren_depth(code) <= _INLINE_DEPTH):
                         self.inline[s] = f"({code})"
                     else:
                         lane(f"v_{s} = {code}")
                         self.lane_local.add(s)
-            if lane_stmts:
-                emit("for _l in range(n):")
-                for stmt in self._maybe_lp(lane_stmts, self.pitch):
-                    L.append("            " + stmt)
-            # complements of accumulators used as packed selectors
-            for s in sigs:
-                if (exprs[s].width == 1 and s in nc_emit and accumulated(s)
-                        and f"p_{s}" not in self.ncache):
-                    emit(f"q_{s} = p_{s} ^ ONES")
-                    self.ncache[f"p_{s}"] = f"q_{s}"
+                elif any(k == "s" for k in self.cons_kind.get(s, [])):
+                    lane(f"v_{s} = {self.expr(e)}")
+                    lane(f"p_{s} |= v_{s} << _l")
+                    self.lane_local.add(s)
+                else:
+                    lane(f"p_{s} |= {self.expr(e)} << _l")
+            elif s in self.listed or s in self.sform_comb:
+                code = self.expr(e)
+                direct_store = (
+                    s in self.listed
+                    and s not in self.sform_comb
+                    and not any(c in phase_set for c in self.consumers.get(s, []))
+                )
+                if direct_store:
+                    lane(f"x_{s}[_l] = {code}")
+                else:
+                    lane(f"v_{s} = {code}")
+                    self.lane_local.add(s)
+                    if s in self.listed:
+                        lane(f"x_{s}[_l] = v_{s}")
+                    if s in self.sform_comb:
+                        lane(self._sform_accum(s))
+            else:
+                code = self.expr(e)
+                if (uses == 1 and s not in keep
+                        and len(code) <= _INLINE_LEN
+                        and paren_depth(code) <= _INLINE_DEPTH):
+                    self.inline[s] = f"({code})"
+                else:
+                    lane(f"v_{s} = {code}")
+                    self.lane_local.add(s)
+        if lane_stmts:
+            self._emit("for _l in range(n):")
+            for stmt in self._maybe_lp(lane_stmts, self.pitch):
+                self._emit_lane(stmt)
+        # complements of accumulators used as packed selectors
+        for s in sigs:
+            if (exprs[s].width == 1 and s in self.nc_emit and self._accumulated(s)
+                    and f"p_{s}" not in self.ncache):
+                self._emit(f"q_{s} = p_{s} ^ ONES")
+                self.ncache[f"p_{s}"] = f"q_{s}"
+        self._scalar_phase_post(sigs)
 
+    def _emit_res_pack(self, reg: str, sig: str) -> None:
+        """Write back a resident register whose next value is wide-tier."""
+        self._emit(f"sregs[{reg!r}] = s_{sig}")
+
+    def _res_lane_init(self, reg: str) -> None:
+        self._emit(f"ns_{reg} = 0")
+
+    def _res_lane_accum(self, reg: str, sig: str) -> str:
+        return f"ns_{reg} |= {self.ref(sig)} << _lp"
+
+    def _res_lane_commit(self, reg: str) -> None:
+        self._emit(f"sregs[{reg!r}] = ns_{reg}")
+
+    def _port_store(self, arr: str, idx: str, data: str) -> list[str]:
+        """Statements storing one array-write-port element for lane ``_l``.
+
+        Hook point: the vector tier appends a mirror store into its dense
+        ndarray backing alongside the canonical per-lane dict store.
+        """
+        return [f"al_{arr}[_l][{idx}] = {data}"]
+
+    def _emit_edge(self) -> None:
         # -- clock edge ----------------------------------------------------
         # Packed register updates read packed locals, which still hold the
         # pre-edge values, so the dict stores can happen immediately; the
-        # same holds for SWAR-resident registers whose next value lives in
+        # same holds for wide-resident registers whose next value lives in
         # a packed local (one dict store per register, not per lane).
+        m = self.module
         for reg, sig in self.live_next:
             if m.regs[reg].width != 1:
                 continue
-            emit(f"pregs[{reg!r}] = p_{sig}")
+            self._emit(f"pregs[{reg!r}] = p_{sig}")
         res_pack: list[tuple[str, str]] = []   # resident, packed next value
         res_lane: list[tuple[str, str]] = []   # resident, per-lane next value
         wide_next: list[tuple[str, str]] = []  # per-lane-list registers
@@ -1243,15 +1332,16 @@ class _BatchCodeGen(_CodeGen):
                     res_lane.append((reg, sig))
             else:
                 wide_next.append((reg, sig))
+        self._res_pack, self._res_lane, self._wide_next = res_pack, res_lane, wide_next
         for reg, sig in res_pack:
-            emit(f"sregs[{reg!r}] = s_{sig}")
+            self._emit_res_pack(reg, sig)
         self.lane_local = set()
         self.inline = {}
         edge_exprs = self._edge_exprs()
         edge_arrays = sorted({wr.array for wr in m.array_writes} | self._arrays_in(edge_exprs))
         for arr in edge_arrays:
-            array_loads.add(arr)
-            emit(f"al_{arr} = arrays[{arr!r}]")
+            self._array_loads.add(arr)
+            self._emit(f"al_{arr} = arrays[{arr!r}]")
         out_names = list(m.outputs.values())
         edge_reg_reads = {
             nm for nm in ([sig for _, sig in wide_next] + out_names)
@@ -1260,10 +1350,10 @@ class _BatchCodeGen(_CodeGen):
         preload = (self._wide_regs_in(edge_exprs) | edge_reg_reads
                    | {r for r, _ in wide_next})
         for wreg in sorted(preload):
-            wreg_loads.add(wreg)
-            emit(f"wr_{wreg} = wregs[{wreg!r}]")
+            self._wreg_loads.add(wreg)
+            self._emit(f"wr_{wreg} = wregs[{wreg!r}]")
         for reg, _ in res_lane:
-            emit(f"ns_{reg} = 0")
+            self._res_lane_init(reg)
 
         # Write ports fire on a handful of lanes most cycles.  When every
         # enable is a 1-bit name (which has a lane-contiguous packed
@@ -1285,25 +1375,25 @@ class _BatchCodeGen(_CodeGen):
                 idx = addr if (1 << wr.addr.width) <= arr.size else f"{addr} % {arr.size}"
                 body = [f"a_{a} = al_{a}[_l]"
                         for a in sorted(self._arrays_in([wr.addr, wr.data]))]
-                body.append(f"al_{wr.array}[_l][{idx}] = {self.expr(wr.data)}")
+                body.extend(self._port_store(wr.array, idx, self.expr(wr.data)))
                 body = self._maybe_lp(body, self.pitch)
                 if isinstance(wr.enable, HConst):
                     if wr.enable.value == 0:
                         continue
-                    emit("for _l in range(n):")
+                    self._emit("for _l in range(n):")
                     for stmt in body:
-                        emit_lane(stmt)
+                        self._emit_lane(stmt)
                 else:
-                    emit(f"_e = {self.pref(wr.enable.name)}")
-                    emit("while _e:")
-                    emit_lane("_lb = _e & -_e")
-                    emit_lane("_l = _lb.bit_length() - 1")
-                    emit_lane("_e ^= _lb")
+                    self._emit(f"_e = {self.pref(wr.enable.name)}")
+                    self._emit("while _e:")
+                    self._emit_lane("_lb = _e & -_e")
+                    self._emit_lane("_l = _lb.bit_length() - 1")
+                    self._emit_lane("_e ^= _lb")
                     for stmt in body:
-                        emit_lane(stmt)
+                        self._emit_lane(stmt)
 
-        emit("outs = []")
-        emit("_outs_append = outs.append")
+        self._emit("outs = []")
+        self._emit("_outs_append = outs.append")
         edge_stmts: list[str] = []
         lane = edge_stmts.append
         if ports_in_lane_loop:
@@ -1313,40 +1403,44 @@ class _BatchCodeGen(_CodeGen):
         for reg, sig in wide_next:
             lane(f"_n_{reg} = {self.ref(sig)}")
         for reg, sig in res_lane:
-            lane(f"ns_{reg} |= {self.ref(sig)} << _lp")
+            lane(self._res_lane_accum(reg, sig))
         # 2. array write ports, in declaration order (old registers visible)
         for wr in ports_in_lane_loop:
             arr = m.arrays[wr.array]
             addr = self.expr(wr.addr)
             idx = addr if (1 << wr.addr.width) <= arr.size else f"{addr} % {arr.size}"
             lane(f"if {self.bool_expr(wr.enable)}:")
-            lane(f"    al_{wr.array}[_l][{idx}] = {self.expr(wr.data)}")
+            for stmt in self._port_store(wr.array, idx, self.expr(wr.data)):
+                lane(f"    {stmt}")
         # 3. output ports (pre-edge register values, current-cycle signals)
         outs = ", ".join(f"{p!r}: {self.ref(sig)}" for p, sig in m.outputs.items())
         lane("_outs_append({" + outs + "})")
         # 4. commit the new per-lane register values
         for reg, _ in wide_next:
             lane(f"wr_{reg}[_l] = _n_{reg}")
-        emit("for _l in range(n):")
+        self._emit("for _l in range(n):")
         for stmt in self._maybe_lp(edge_stmts, self.pitch):
-            emit_lane(stmt)
+            self._emit_lane(stmt)
         for reg, _ in res_lane:
-            emit(f"sregs[{reg!r}] = ns_{reg}")
-        emit("return outs")
+            self._res_lane_commit(reg)
+        self._emit("return outs")
 
+    def _record_footprint(self) -> None:
         # the step's state footprint, consumed by the cohort-split
         # dispatcher: gather exactly what the body reads, merge back
         # exactly what it writes (held registers travel neither way)
-        self.reads_pregs = tuple(used_pregs)
-        self.reads_sregs = tuple(used_sregs)
-        self.reads_wregs = tuple(sorted(wreg_loads))
+        m = self.module
+        self.reads_pregs = tuple(self.used_pregs)
+        self.reads_sregs = tuple(self.used_sregs)
+        self.reads_wregs = tuple(sorted(self._wreg_loads))
         self.writes_pregs = tuple(
             reg for reg, _ in self.live_next if m.regs[reg].width == 1
         )
-        self.writes_sregs = tuple(reg for reg, _ in res_pack + res_lane)
-        self.writes_wregs = tuple(reg for reg, _ in wide_next)
-        self.used_arrays = tuple(sorted(array_loads))
+        self.writes_sregs = tuple(reg for reg, _ in self._res_pack + self._res_lane)
+        self.writes_wregs = tuple(reg for reg, _ in self._wide_next)
+        self.used_arrays = tuple(sorted(self._array_loads))
 
+    def _render(self) -> str:
         # scratch buffers are allocated once per lane count by the factory
         # and bound as default arguments (plain fast locals in the step);
         # SWAR masks depend only on the lane count and bind the same way
@@ -1358,10 +1452,10 @@ class _BatchCodeGen(_CodeGen):
             if self._use_sp:
                 header.append("    _sp = _lay.spreader()")
             header += self._pool_lines
-        header += [f"    {b}_buf = [0] * n" for b in bufs]
-        params = "".join(f", {b}={b}_buf" for b in bufs)
+        header += [f"    {b}_buf = [0] * n" for b in self._bufs]
+        params = "".join(f", {b}={b}_buf" for b in self._bufs)
         header.append(f"    def _step(pregs, wregs, sregs, arrays, inputs{params}):")
-        body = "\n".join(L) if L else "        pass"
+        body = "\n".join(self._L) if self._L else "        pass"
         return _SIGNED_HELPER + "\n".join(header) + "\n" + body + "\n    return _step"
 
 
@@ -1453,17 +1547,22 @@ class _Marshal:
 
 
 class _BatchEntry:
-    """All compiled batched artifacts for one (module, engine) pair."""
+    """All compiled batched artifacts for one (module, engine) pair.
+
+    Subclassable per engine: :meth:`_make_gen` picks the code generator
+    and :meth:`_namespace` the exec environment, so the vector tier
+    reuses the whole body/dispatch machinery with a different lowering.
+    """
 
     def __init__(self, module: Module, swar: bool = True):
-        gen = _BatchCodeGen(module, swar=swar)
         self.swar = swar
+        gen = self._make_gen(module)
         self.kinds: dict[str, str] = dict(gen.kinds)
         self.resident = gen.resident
         self.source = gen.generate()
         self.marshal = _Marshal(gen)
         self.pitch = gen.pitch
-        namespace: dict = {"get_layout": get_layout}
+        namespace = self._namespace()
         exec(compile(self.source, f"<hdl-batch:{module.name}>", "exec"), namespace)  # noqa: S102
         self.factory: Callable[[int], Callable] = namespace["_make_batch_step"]
         self.steps: dict[int, Callable] = {}
@@ -1471,12 +1570,23 @@ class _BatchEntry:
         #: combo -> per-lane-count factory, or None when folding was refused
         self.bodies: dict[tuple, Optional["_BatchEntry._Body"]] = {}
 
+    def _make_gen(
+        self,
+        module: Module,
+        pitch: Optional[int] = None,
+        resident: Optional[frozenset] = None,
+    ) -> _BatchCodeGen:
+        return _BatchCodeGen(module, swar=self.swar, pitch=pitch, resident=resident)
+
+    def _namespace(self) -> dict:
+        return {"get_layout": get_layout}
+
     class _Body:
-        def __init__(self, module: Module, source: str, marshal: _Marshal):
+        def __init__(self, module: Module, source: str, marshal: _Marshal,
+                     namespace: dict):
             self.module = module
             self.source = source
             self.marshal = marshal
-            namespace: dict = {"get_layout": get_layout}
             exec(compile(source, f"<hdl-batch:{module.name}:fold>", "exec"), namespace)  # noqa: S102
             self.factory = namespace["_make_batch_step"]
             self.steps: dict[int, Callable] = {}
@@ -1508,24 +1618,30 @@ class _BatchEntry:
         if binding and compiled < _MAX_BODIES:
             folded = _fold_module(module, binding)
             if len(folded.comb) <= _FOLD_THRESHOLD * max(len(module.comb), 1):
-                gen = _BatchCodeGen(
-                    folded, swar=self.swar, pitch=self.pitch, resident=self.resident
-                )
+                gen = self._make_gen(folded, pitch=self.pitch, resident=self.resident)
                 source = gen.generate()
-                body = self._Body(folded, source, _Marshal(gen))
+                body = self._Body(folded, source, _Marshal(gen), self._namespace())
         self.bodies[combo] = body
         return body
 
 
-def _batch_entry(module: Module, swar: bool = True) -> _BatchEntry:
+def _cached_entry(module: Module, key: str, factory: Callable[[], _BatchEntry]) -> _BatchEntry:
+    """The per-(module, engine) compiled-artifact cache behind every
+    batched engine, keyed by engine name so the vector tier shares it."""
     entries = _BATCH_CACHE.get(module)
     if entries is None:
         entries = {}
         _BATCH_CACHE.set(module, entries)
-    entry = entries.get(swar)
+    entry = entries.get(key)
     if entry is None:
-        entry = entries[swar] = _BatchEntry(module, swar)
+        entry = entries[key] = factory()
     return entry
+
+
+def _batch_entry(module: Module, swar: bool = True) -> _BatchEntry:
+    return _cached_entry(
+        module, "swar" if swar else "batch", lambda: _BatchEntry(module, swar)
+    )
 
 
 # ----------------------------------------------------------------- simulator
@@ -1675,21 +1791,19 @@ class BatchSimulator:
         self._split_stats: dict[tuple, list] = {}  # combo -> [trials, ema]
         self._majority_skip = 0             # failed-probe backoff countdown
         self._majority_backoff = 1
-        self._entry = _batch_entry(module, swar)
+        self._entry = self._make_entry(module)
         self._step = self._entry.step(lanes)
         self.source = self._entry.source
         self.pitch = self._entry.pitch
-        self._layout = (
-            get_layout(self.pitch, lanes) if self._entry.resident else None
-        )
+        self._refresh_layout()
         self.pregs: dict[str, int] = {}
-        self.sregs: dict[str, int] = {}
+        self.sregs: dict = {}
         self.wregs: dict[str, list[int]] = {}
         for r in module.regs.values():
             if r.width == 1:
                 self.pregs[r.name] = ((1 << lanes) - 1) if (r.init & 1) else 0
             elif r.name in self._entry.resident:
-                self.sregs[r.name] = self._layout.replicate(r.init, r.width)
+                self.sregs[r.name] = self._sreg_new(r)
             else:
                 self.wregs[r.name] = [r.init] * lanes
         self.arrays: dict[str, list[dict[int, int]]] = {
@@ -1706,6 +1820,68 @@ class BatchSimulator:
                 self._dispatch.append((name, "w", mask))
             else:
                 self._dispatch.append((name, "s", 0))
+
+    # -- engine hooks -------------------------------------------------------
+    #
+    # Everything an engine generation does differently about the wide
+    # (multi-bit resident) state representation funnels through these
+    # methods: the SWAR defaults keep 2..33-bit registers slot-packed in
+    # big integers, the vector tier overrides them to keep uint64
+    # ndarrays.  ``step`` call sites and the dispatch machinery are
+    # shared verbatim.
+
+    def _make_entry(self, module: Module) -> _BatchEntry:
+        return _batch_entry(module, self.swar)
+
+    def _refresh_layout(self) -> None:
+        self._layout = (
+            get_layout(self.pitch, self.lanes) if self._entry.resident else None
+        )
+
+    def _sreg_new(self, reg):
+        """Initial wide-resident state for one register, all lanes."""
+        return self._layout.replicate(reg.init, reg.width)
+
+    def _sreg_get(self, name: str, lane: int, width: int) -> int:
+        return (self.sregs[name] >> (lane * self.pitch)) & ((1 << width) - 1)
+
+    def _sreg_set(self, name: str, lane: int, width: int, value: int) -> None:
+        self.sregs[name] = self._layout.set(self.sregs[name], lane, width, value)
+
+    def _compact_sregs(self, keep: Sequence[int]) -> None:
+        pitch = self.pitch
+        for name, word in self.sregs.items():
+            mask = (1 << self.module.regs[name].width) - 1
+            self.sregs[name] = sum(
+                (((word >> (lane * pitch)) & mask) << (i * pitch))
+                for i, lane in enumerate(keep)
+            )
+
+    def _sreg_uniform(self, name: str, mask: int) -> Optional[int]:
+        """The shared value of *name* across lanes, or None if they differ."""
+        word = self.sregs[name]
+        v0 = word & mask
+        if word == v0 * self._layout.unit:
+            return v0
+        return None
+
+    def _sreg_column(self, name: str, mask: int) -> list[int]:
+        word = self.sregs[name]
+        pitch = self.pitch
+        return [(word >> (lane * pitch)) & mask for lane in range(self.lanes)]
+
+    def _make_plans(self, mask: int) -> tuple[_CohortPlan, _CohortPlan]:
+        pitch = self.pitch if self.sregs else 0
+        return (
+            _CohortPlan(mask, self.lanes, pitch),
+            _CohortPlan(mask ^ self._ones, self.lanes, pitch),
+        )
+
+    def _sreg_gather(self, plan: _CohortPlan, name: str):
+        return plan.sgather(self.sregs[name])
+
+    def _sreg_scatter(self, plan: _CohortPlan, name: str, sub) -> None:
+        self.sregs[name] = (self.sregs[name] & plan.sinv) | plan.sscatter(sub)
 
     # -- state access -------------------------------------------------------
 
@@ -1735,7 +1911,7 @@ class BatchSimulator:
         if reg.width == 1:
             return (self.pregs[name] >> lane) & 1
         if name in self.sregs:
-            return (self.sregs[name] >> (lane * self.pitch)) & ((1 << reg.width) - 1)
+            return self._sreg_get(name, lane, reg.width)
         return self.wregs[name][lane]
 
     def set_reg(self, lane: int, name: str, value: int) -> None:
@@ -1746,7 +1922,7 @@ class BatchSimulator:
             bit = 1 << lane
             self.pregs[name] = (self.pregs[name] & ~bit) | (bit if value else 0)
         elif name in self.sregs:
-            self.sregs[name] = self._layout.set(self.sregs[name], lane, reg.width, value)
+            self._sreg_set(name, lane, reg.width, value)
         else:
             self.wregs[name][lane] = value
 
@@ -1809,17 +1985,11 @@ class BatchSimulator:
             raise ValueError("cannot retire every lane; at least one must survive")
         keep = [lane for lane in range(self.lanes) if lane not in seen]
         k = len(keep)
-        pitch = self.pitch
         for name, word in self.pregs.items():
             self.pregs[name] = sum(
                 ((word >> lane) & 1) << i for i, lane in enumerate(keep)
             )
-        for name, word in self.sregs.items():
-            mask = (1 << self.module.regs[name].width) - 1
-            self.sregs[name] = sum(
-                (((word >> (lane * pitch)) & mask) << (i * pitch))
-                for i, lane in enumerate(keep)
-            )
+        self._compact_sregs(keep)
         for name, lst in self.wregs.items():
             self.wregs[name] = [lst[lane] for lane in keep]
         for name, lst in self.arrays.items():
@@ -1829,8 +1999,7 @@ class BatchSimulator:
         self.lanes = k
         self._ones = (1 << k) - 1
         self._empty_inputs = [{}] * k
-        if self._entry.resident:
-            self._layout = get_layout(pitch, k)
+        self._refresh_layout()
         self._step = self._entry.step(k)
         # lane-count-specific caches and cost estimates start over
         self._plans.clear()
@@ -1867,13 +2036,10 @@ class BatchSimulator:
                 else:
                     vals.append(None)
             elif mode == "w":
-                word = self.sregs[name]
-                v0 = word & mask
-                if word == v0 * self._layout.unit:
-                    vals.append(v0)
+                v0 = self._sreg_uniform(name, mask)
+                vals.append(v0)
+                if v0 is not None:
                     some = True
-                else:
-                    vals.append(None)
             else:
                 lst = self.wregs[name]
                 v0 = lst[0]
@@ -1895,9 +2061,7 @@ class BatchSimulator:
                 word = self.pregs[name]
                 cols.append([(word >> lane) & 1 for lane in range(n)])
             elif mode == "w":
-                word = self.sregs[name]
-                pitch = self.pitch
-                cols.append([(word >> (lane * pitch)) & mask for lane in range(n)])
+                cols.append(self._sreg_column(name, mask))
             else:
                 cols.append(self.wregs[name])
         return list(zip(*cols))
@@ -1930,11 +2094,7 @@ class BatchSimulator:
         if plans is None:
             if len(self._plans) >= self._MAX_PLANS:
                 self._plans.clear()
-            pitch = self.pitch if self.sregs else 0
-            plans = self._plans[mask] = (
-                _CohortPlan(mask, n, pitch),
-                _CohortPlan(mask ^ self._ones, n, pitch),
-            )
+            plans = self._plans[mask] = self._make_plans(mask)
         t0 = perf_counter()
         outs = self._split_step(plans[0], plans[1], body, lane_inputs)
         dt = perf_counter() - t0
@@ -1960,7 +2120,7 @@ class BatchSimulator:
         so processing them sequentially is safe: a cohort's write-back
         only touches its own lanes' bits, slots, and list positions.
         """
-        pregs, sregs, wregs = self.pregs, self.sregs, self.wregs
+        pregs, wregs = self.pregs, self.wregs
         arrays = self.arrays
         outs: list = [None] * self.lanes
         for plan, meta, step in (
@@ -1969,7 +2129,7 @@ class BatchSimulator:
         ):
             pos = plan.positions
             c_pregs = {r: plan.gather(pregs[r]) for r in meta.reads_p}
-            c_sregs = {r: plan.sgather(sregs[r]) for r in meta.reads_s}
+            c_sregs = {r: self._sreg_gather(plan, r) for r in meta.reads_s}
             c_wregs = {r: [wregs[r][lane] for lane in pos] for r in meta.reads_w}
             c_arrays = {a: [arrays[a][lane] for lane in pos] for a in meta.arrays}
             c_inputs = [lane_inputs[lane] for lane in pos]
@@ -1977,7 +2137,7 @@ class BatchSimulator:
             for r in meta.writes_p:
                 pregs[r] = (pregs[r] & plan.inv) | plan.scatter(c_pregs[r])
             for r in meta.writes_s:
-                sregs[r] = (sregs[r] & plan.sinv) | plan.sscatter(c_sregs[r])
+                self._sreg_scatter(plan, r, c_sregs[r])
             for r in meta.writes_w:
                 full, sub = wregs[r], c_wregs[r]
                 for i, lane in enumerate(pos):

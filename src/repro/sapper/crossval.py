@@ -221,12 +221,15 @@ class BatchCrossValidation:
         lanes: int,
         name: str = "design",
         majority_fraction: Optional[float] = None,
+        engine: str = "swar",
     ):
         """*majority_fraction* (0..1) overrides the batched engine's
         majority-cohort dispatch threshold, so conformance suites can
         force the split-step fast path (specialized majority cohort +
         generic minority, mask-merged write-back) under the same
-        cycle-by-cycle architectural oracle as the generic engine."""
+        cycle-by-cycle architectural oracle as the generic engine.
+        *engine* picks the batched generation under test (``"batch"``,
+        ``"swar"``, or ``"vector"``)."""
         from repro.hdl import BatchSimulator
 
         info = (
@@ -235,7 +238,14 @@ class BatchCrossValidation:
         )
         self.design = compile_program(info, lattice, secure=True, name=name)
         self.lanes = lanes
-        self.batch = BatchSimulator(self.design.module, lanes)
+        if engine == "vector":
+            from repro.hdl import VectorSimulator
+
+            self.batch = VectorSimulator(self.design.module, lanes)
+        else:
+            self.batch = BatchSimulator(
+                self.design.module, lanes, swar=engine == "swar"
+            )
         if majority_fraction is not None:
             self.batch.majority_fraction = majority_fraction
         self.interps = [Interpreter(info, lattice) for _ in range(lanes)]
@@ -305,11 +315,13 @@ def assert_equivalent_suite(
     stimuli: Sequence[Callable[[int], InputSpec]],
     name: str = "design",
     majority_fraction: Optional[float] = None,
+    engine: str = "swar",
 ) -> BatchCrossValidation:
     """Run a suite of stimulus traces as lanes of one batched machine,
     each held to its own interpreter, and raise on any divergence."""
     bcv = BatchCrossValidation(source, lattice, len(stimuli), name,
-                               majority_fraction=majority_fraction)
+                               majority_fraction=majority_fraction,
+                               engine=engine)
     mismatches = bcv.run(cycles, lambda lane, cycle: stimuli[lane](cycle))
     if mismatches:
         detail = "\n".join(str(m) for m in mismatches[:12])

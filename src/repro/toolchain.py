@@ -174,15 +174,17 @@ class Toolchain:
         swar: bool = True,
         retire_when: Optional[Callable[[BatchSimulator, int], bool]] = None,
         majority: bool = True,
+        engine: Optional[str] = None,
     ) -> BatchSimulator:
         """A fresh-state *lane-batched* simulator over the (shared)
         optimized module: one vectorized step advances *lanes* independent
         machine states, each bit-identical to :meth:`simulator`.
 
-        *swar* selects the engine generation: ``True`` (default) packs
-        multi-bit signals into guard-banded SWAR slots on top of the
-        packed 1-bit tag world; ``False`` compiles the two-tier
-        packed/per-lane engine.  *retire_when* installs a lane-retirement
+        *engine* names the generation directly: ``"batch"`` (two-tier
+        packed/per-lane), ``"swar"`` (guard-banded wide-word lane
+        packing), or ``"vector"`` (NumPy uint64 lane arrays; needs
+        NumPy).  When *engine* is None the legacy *swar* flag selects
+        between the first two.  *retire_when* installs a lane-retirement
         predicate (``(sim, lane) -> bool``) driving automatic lane
         compaction in :meth:`BatchSimulator.run`; *majority* toggles
         majority-cohort dispatch (split the batch by dominant
@@ -194,6 +196,17 @@ class Toolchain:
         the eval driver) compile once per engine, and compacted widths
         re-enter the same per-lane-count cache.
         """
+        if engine is not None and engine not in ("batch", "swar", "vector"):
+            raise ValueError(f"unknown batch engine {engine!r}")
+        if engine == "vector":
+            from repro.hdl.vector import VectorSimulator
+
+            return VectorSimulator(
+                self.optimize(design), lanes, optimize=False,
+                retire_when=retire_when, majority=majority,
+            )
+        if engine is not None:
+            swar = engine == "swar"
         return BatchSimulator(
             self.optimize(design), lanes, optimize=False, swar=swar,
             retire_when=retire_when, majority=majority,
