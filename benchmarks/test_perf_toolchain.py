@@ -542,6 +542,76 @@ def test_compaction_skewed_throughput(benchmark):
     )
 
 
+def test_warm_start_speedup(benchmark, tmp_path):
+    """A fresh toolchain over a populated artifact store must rebuild
+    the secure processor >= 5x faster than a cold compile.
+
+    Cold is the full front end plus the pass pipeline (parse ->
+    analyze -> compile -> optimize); warm is a fresh ``Toolchain`` and a
+    fresh ``ArtifactStore`` over the same directory (the in-process
+    stand-in for a new process), which must come entirely from the
+    persistent tier -- asserted via the ``store_hit`` counters, so a
+    silent fallback to recompute cannot masquerade as a pass.
+    Interleaved min-of-rounds sampling with retry attempts keeps the
+    ratio stable on noisy machines; the measured ratio lands in the
+    benchmark JSON as ``extra_info['warm_start_speedup']`` for the
+    regression gate.
+    """
+    from repro.store import ArtifactStore
+    from repro.toolchain import Toolchain
+
+    src = generate_design()
+    lat = two_level()
+    store_dir = tmp_path / "store"
+    seed_tc = Toolchain(store=ArtifactStore(store_dir))
+    seed_module = seed_tc.optimize(seed_tc.compile(src, lat, name="proc"))
+
+    def cold():
+        tc = Toolchain()
+        return tc.optimize(tc.compile(src, lat, name="proc"))
+
+    def warm():
+        tc = Toolchain(store=ArtifactStore(store_dir))
+        module = tc.optimize(tc.compile(src, lat, name="proc"))
+        counters = tc.counter_snapshot()
+        assert counters.get("store_hit:compile") == 1, counters
+        assert counters.get("store_hit:optimize") == 1, counters
+        return module
+
+    # the reloaded module must be the same hardware, not just fast:
+    # 20 lockstep cycles from reset against the seed's module
+    reloaded = warm()
+    ref_sim = Simulator(seed_module, optimize=False)
+    warm_sim = Simulator(reloaded, optimize=False)
+    for cycle in range(20):
+        assert ref_sim.step({}) == warm_sim.step({}), f"cycle {cycle} diverged"
+
+    speedup = 0.0
+    best_warm_time = float("inf")
+    # up to three measurement attempts: min-of-interleaved-rounds is
+    # robust, but a noisy shared runner can still poison one attempt
+    for _attempt in range(3):
+        cold_times, warm_times = [], []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            cold()
+            cold_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            warm()
+            warm_times.append(time.perf_counter() - t0)
+        best_warm_time = min(best_warm_time, min(warm_times))
+        speedup = max(speedup, min(cold_times) / min(warm_times))
+        if speedup >= 5.0:
+            break
+    benchmark.extra_info["warm_start_speedup"] = round(speedup, 3)
+    benchmark.extra_info["warm_start_ms"] = round(best_warm_time * 1000, 1)
+    benchmark.pedantic(lambda: speedup, rounds=1, iterations=1)
+
+    assert speedup >= 5.0, (
+        f"warm start only {speedup:.2f}x over a cold processor compile"
+    )
+
+
 def test_interpreter_speed_tdma(benchmark):
     lat = two_level()
     info = analyze(parse_program(samples.TDMA, "tdma"), lat)

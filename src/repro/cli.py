@@ -28,6 +28,17 @@ summary reports active lane-cycles and the final occupancy::
     python -m repro simulate design.sapper -n 100 --lanes 8 --quiet
     python -m repro simulate design.sapper -n 100 --lanes 8 --engine batch
     python -m repro simulate design.sapper -n 100 --lanes 8 --no-compact
+
+``--store DIR`` (any command) adds a persistent artifact-store tier
+under the in-memory cache: compiled and optimized modules, synthesis
+reports, and Verilog text are reloaded from ``DIR`` on later runs
+instead of recompiled.  ``python -m repro serve`` runs the async
+toolchain server (newline-delimited JSON over TCP, or ``--stdio``),
+coalescing concurrent identical requests onto single builds and
+pre-warming the two-level/diamond/powerset processor family::
+
+    python -m repro serve --store ~/.cache/repro --port 9178
+    python -m repro serve --stdio --store /tmp/artifacts --no-warm
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.lattice import Lattice, diamond, two_level
+from repro.store import ArtifactStore, StoreError
 from repro.toolchain import Toolchain
 
 _LATTICES = {"two": two_level, "diamond": diamond}
@@ -80,6 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-opt", action="store_true",
                        help="skip the optimization pipeline")
         p.add_argument("--name", default=None, help="module name (default: file stem)")
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="persistent artifact-store directory (reload compiled "
+                            "and optimized artifacts across runs)")
 
     common(sub.add_parser("compile", help="compile to synthesizable Verilog"))
 
@@ -113,6 +128,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     common(sub.add_parser("synth", help="synthesize to a gate census / cost report"))
     common(sub.add_parser("stats", help="report what each optimization pass did"))
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async artifact server (newline-delimited JSON requests)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=9178, help="TCP port (default 9178)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve one client over stdin/stdout instead of TCP")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="persistent artifact-store directory shared by requests")
+    serve.add_argument("--workers", type=_positive_int, default=4,
+                       help="bounded build worker pool size (default 4)")
+    serve.add_argument("--warm", action=argparse.BooleanOptionalAction, default=True,
+                       help="pre-compile the two-level/diamond/powerset processor "
+                            "family on startup (default on; --no-warm to skip)")
     return parser
 
 
@@ -293,11 +324,34 @@ def _cmd_stats(args: argparse.Namespace, tc: Toolchain) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, tc: Toolchain) -> int:
+    import asyncio
+
+    from repro.server import ReproServer
+
+    server = ReproServer(toolchain=tc, max_workers=args.workers)
+    try:
+        if args.stdio:
+            asyncio.run(server.run_stdio(warm=args.warm))
+        else:
+            asyncio.run(server.run_tcp(args.host, args.port, warm=args.warm))
+    except OSError as exc:
+        raise SystemExit(
+            f"error: cannot listen on {args.host}:{args.port}: {exc}\n"
+            "hint: is another 'repro serve' already running there? "
+            "pass --port to pick a free port, or --stdio to skip TCP entirely"
+        )
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "simulate": _cmd_simulate,
     "synth": _cmd_synth,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
 }
 
 
@@ -305,14 +359,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.sapper.errors import SapperError
 
     args = _build_parser().parse_args(argv)
-    tc = Toolchain()
+    store = None
+    if getattr(args, "store", None):
+        try:
+            store = ArtifactStore(args.store)
+        except StoreError as exc:
+            raise SystemExit(
+                f"error: {exc}\n"
+                "hint: --store needs a creatable, writable directory; "
+                "check the path and its permissions"
+            )
+    tc = Toolchain(store=store)
     try:
         return _COMMANDS[args.command](args, tc)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except SapperError as exc:
-        print(f"{args.source}: error: {exc}", file=sys.stderr)
+        print(f"{getattr(args, 'source', 'input')}: error: {exc}", file=sys.stderr)
         return 1
 
 

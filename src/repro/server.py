@@ -1,0 +1,471 @@
+"""``python -m repro serve`` -- the async toolchain-as-a-service layer.
+
+A long-lived process owning one :class:`~repro.toolchain.Toolchain`
+(usually backed by a persistent :class:`~repro.store.ArtifactStore`)
+and answering newline-delimited JSON requests over TCP or stdio::
+
+    {"id": 1, "op": "compile", "source_path": "tdma.sapper", "name": "tdma"}
+    {"id": 2, "op": "simulate", "source_path": "tdma.sapper", "name": "tdma",
+     "cycles": 100, "inputs": {"hi_in": 3}}
+
+    -> {"id": 1, "ok": true, "result": {"name": "tdma", ...}}
+    -> {"id": 2, "ok": true, "result": {"cycles": 100, ...}}
+
+Request ops: ``ping``, ``compile``, ``verilog``, ``synth``,
+``simulate``, ``verify`` (three-way interpreter/raw/optimized
+cross-validation), ``stats`` (server + toolchain + store counters),
+``shutdown``.  Errors come back as ``{"ok": false, "error": ...}`` --
+a malformed line, an unknown op, or a Sapper compile error never tears
+down the connection, let alone the server.
+
+Concurrency model: the asyncio loop parses and routes; CPU-bound work
+(compile, optimize, synthesis, simulation) runs on a bounded
+``ThreadPoolExecutor``.  Design builds are **single-flight**: requests
+that name the same structural key (source digest, lattice, flags)
+while a build is in flight await the same future, so N identical
+clients cost one compile -- the ``coalesced`` counters (server-side
+and on the toolchain) prove it.  Distinct keys queue on the pool and
+make independent progress.
+
+On startup (unless disabled) the server pre-warms the secure-processor
+family -- the two-level, diamond, and powerset lattices -- through the
+same single-flight path, so the first real client of a warm store hits
+precompiled artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional, TextIO, Union
+
+from repro.lattice import Lattice, LatticeError, diamond, from_order, powerset, two_level
+from repro.sapper.errors import SapperError
+from repro.toolchain import Toolchain
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 9178
+
+#: Per-line size cap (the processor source is ~40 KB; leave headroom).
+MAX_LINE = 8 * 1024 * 1024
+#: Request-bound guards: a serving process must survive greedy clients.
+MAX_CYCLES = 100_000
+MAX_LANES = 4096
+MAX_VERIFY_CYCLES = 2_000
+
+
+class ServerError(Exception):
+    """A malformed or unserviceable request (reported, never fatal)."""
+
+
+def proc_powerset(tags: tuple[str, ...] = ("u", "k")) -> Lattice:
+    """The powerset lattice over *tags* with its bottom renamed ``L``,
+    so the generated processor (whose boot/reset annotations are pinned
+    to the low label ``L``) compiles against it unchanged."""
+    base = powerset(tags)
+    rename = {"{}": "L"}
+    elements = [rename.get(e, e) for e in base.elements]
+    pairs = [
+        (rename.get(a, a), rename.get(b, b))
+        for a in base.elements
+        for b in base.elements
+        if a != b and base.leq(a, b)
+    ]
+    return from_order(elements, pairs)
+
+
+#: Lattices a request may name, and the startup pre-warm family.
+LATTICES = {"two": two_level, "diamond": diamond, "powerset": proc_powerset}
+WARM_FAMILY = ("two", "diamond", "powerset")
+
+
+class ReproServer:
+    """One toolchain, many concurrent NDJSON clients."""
+
+    def __init__(self, toolchain: Optional[Toolchain] = None, max_workers: int = 4):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.tc = toolchain if toolchain is not None else Toolchain()
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-build"
+        )
+        #: structural key -> in-flight build future (single-flight layer)
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._stopping = asyncio.Event()
+        self.counters: dict[str, int] = {
+            "requests": 0,
+            "errors": 0,
+            "coalesced": 0,
+            "builds": 0,
+            "connections": 0,
+            "warmed": 0,
+        }
+
+    # -- request plumbing -----------------------------------------------------
+
+    async def handle_line(self, line: str) -> dict:
+        """Parse one NDJSON request line and produce the response dict."""
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.counters["requests"] += 1
+            self.counters["errors"] += 1
+            return {"id": None, "ok": False, "error": f"malformed request JSON: {exc}"}
+        return await self.handle_request(req)
+
+    async def handle_request(self, req: Any) -> dict:
+        self.counters["requests"] += 1
+        rid = req.get("id") if isinstance(req, dict) else None
+        try:
+            if not isinstance(req, dict):
+                raise ServerError("request must be a JSON object with an 'op' field")
+            op = req.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                known = ", ".join(sorted(self._OPS))
+                raise ServerError(f"unknown op {op!r}; known ops: {known}")
+            result = await handler(self, req)
+            return {"id": rid, "ok": True, "result": result}
+        except (ServerError, SapperError, LatticeError, FileNotFoundError) as exc:
+            self.counters["errors"] += 1
+            return {"id": rid, "ok": False, "error": str(exc)}
+        except Exception as exc:  # a bug must not take the server down
+            self.counters["errors"] += 1
+            return {"id": rid, "ok": False, "error": f"internal error: {exc!r}"}
+
+    # -- field extraction -----------------------------------------------------
+
+    @staticmethod
+    def _field(req: dict, name: str, kind: type, default: Any = ...) -> Any:
+        value = req.get(name, default)
+        if value is ...:
+            raise ServerError(f"missing required field {name!r}")
+        if not isinstance(value, kind) or isinstance(value, bool) and kind is int:
+            raise ServerError(f"field {name!r} must be {kind.__name__}, got {value!r}")
+        return value
+
+    def _design_fields(self, req: dict) -> tuple[str, str, bool, str]:
+        if "source" in req:
+            source = self._field(req, "source", str)
+        elif "source_path" in req:
+            path = self._field(req, "source_path", str)
+            try:
+                with open(path, "r") as fh:
+                    source = fh.read()
+            except OSError as exc:
+                raise ServerError(f"cannot read source_path {path!r}: {exc}")
+        else:
+            raise ServerError("request needs 'source' (text) or 'source_path'")
+        lattice = req.get("lattice", "two")
+        if lattice not in LATTICES:
+            raise ServerError(
+                f"unknown lattice {lattice!r}; known: {', '.join(sorted(LATTICES))}"
+            )
+        secure = req.get("secure", True)
+        if not isinstance(secure, bool):
+            raise ServerError(f"field 'secure' must be a boolean, got {secure!r}")
+        name = self._field(req, "name", str, "design")
+        return source, lattice, secure, name
+
+    def _bounded(self, req: dict, name: str, default: int, lo: int, hi: int) -> int:
+        value = self._field(req, name, int, default)
+        if not lo <= value <= hi:
+            raise ServerError(f"field {name!r} must be in [{lo}, {hi}], got {value}")
+        return value
+
+    # -- single-flight design builds ------------------------------------------
+
+    def _build_design(self, source: str, lattice_name: str, secure: bool, name: str):
+        """Compile + optimize (worker thread; overridable in tests)."""
+        self.counters["builds"] += 1
+        lattice = LATTICES[lattice_name]()
+        design = self.tc.compile(source, lattice, secure=secure, name=name)
+        module = self.tc.optimize(design)
+        return design, module
+
+    async def _built(self, req: dict):
+        """The (design, optimized module, key digest) for a request,
+        coalescing concurrent identical structural keys onto one build."""
+        source, lattice_name, secure, name = self._design_fields(req)
+        key = (
+            "design",
+            hashlib.sha256(source.encode()).hexdigest(),
+            lattice_name,
+            secure,
+            name,
+            self.tc.opt_level,
+        )
+        fut = self._inflight.get(key)
+        if fut is None:
+            loop = asyncio.get_running_loop()
+            fut = loop.run_in_executor(
+                self._pool, self._build_design, source, lattice_name, secure, name
+            )
+            self._inflight[key] = fut
+            fut.add_done_callback(lambda _f: self._inflight.pop(key, None))
+        else:
+            self.counters["coalesced"] += 1
+            self.tc.bump("coalesced")
+        design, module = await fut
+        return design, module, hashlib.sha256(repr(key).encode()).hexdigest()
+
+    async def _in_pool(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(self._pool, fn, *args)
+
+    # -- ops ------------------------------------------------------------------
+
+    async def _op_ping(self, req: dict) -> dict:
+        return {"pong": True}
+
+    async def _op_compile(self, req: dict) -> dict:
+        design, module, digest = await self._built(req)
+        return {
+            "name": design.name,
+            "key": digest,
+            "signals": len(module.comb),
+            "regs": len(module.regs),
+            "inputs": dict(module.inputs),
+            "outputs": sorted(module.outputs),
+        }
+
+    async def _op_verilog(self, req: dict) -> dict:
+        design, _module, digest = await self._built(req)
+        text = await self._in_pool(self.tc.verilog, design)
+        return {"key": digest, "verilog": text}
+
+    async def _op_synth(self, req: dict) -> dict:
+        design, _module, digest = await self._built(req)
+        rpt = await self._in_pool(self.tc.synthesize, design)
+        counts = rpt.counts
+        return {
+            "key": digest,
+            "summary": rpt.summary(),
+            "cells": {
+                "and2": counts.and2,
+                "or2": counts.or2,
+                "xor2": counts.xor2,
+                "inv": counts.inv,
+                "dff": counts.dff,
+            },
+        }
+
+    async def _op_simulate(self, req: dict) -> dict:
+        design, _module, digest = await self._built(req)
+        cycles = self._bounded(req, "cycles", 32, 1, MAX_CYCLES)
+        lanes = self._bounded(req, "lanes", 1, 1, MAX_LANES)
+        inputs = req.get("inputs", {})
+        if not isinstance(inputs, dict):
+            raise ServerError("field 'inputs' must be an object of port drives")
+        drives: dict[str, Union[int, list[int]]] = {}
+        for port, value in inputs.items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                drives[port] = value
+            elif (
+                isinstance(value, list)
+                and value
+                and all(isinstance(v, int) and not isinstance(v, bool) for v in value)
+            ):
+                if len(value) != lanes:
+                    raise ServerError(
+                        f"input {port!r} drives {len(value)} lanes but 'lanes' is {lanes}"
+                    )
+                drives[port] = value
+            else:
+                raise ServerError(
+                    f"input {port!r} must be an integer or a per-lane integer list"
+                )
+        return await self._in_pool(self._run_sim, design, cycles, lanes, drives, digest)
+
+    def _run_sim(self, design, cycles: int, lanes: int, drives: dict, digest: str) -> dict:
+        if lanes == 1:
+            sim = self.tc.simulator(design)
+            flat = {
+                p: (v[0] if isinstance(v, list) else v) for p, v in drives.items()
+            }
+            violations = 0
+            out: dict[str, int] = {}
+            for _ in range(cycles):
+                out = sim.step(flat)
+                violations += int(bool(out.get("violation", 0)))
+            return {
+                "key": digest,
+                "cycles": sim.cycles,
+                "violations": violations,
+                "outputs": out,
+            }
+        batch = self.tc.batch_simulator(design, lanes)
+        lane_stim = None
+        if any(isinstance(v, list) for v in drives.values()):
+            lane_stim = [
+                {p: (v[lane] if isinstance(v, list) else v) for p, v in drives.items()}
+                for lane in range(lanes)
+            ]
+        violations = [0] * lanes
+        final: list[dict[str, int]] = [{} for _ in range(lanes)]
+        for _ in range(cycles):
+            outs = batch.step(lane_stim if lane_stim is not None else drives)
+            for pos, out in enumerate(outs):
+                lane = batch.active_lanes[pos]
+                violations[lane] += int(bool(out.get("violation", 0)))
+                final[lane] = out
+        return {
+            "key": digest,
+            "cycles": batch.cycles,
+            "lanes": lanes,
+            "violations": violations,
+            "outputs": final,
+        }
+
+    async def _op_verify(self, req: dict) -> dict:
+        """Three-way cross-validation (reference interpreter vs raw vs
+        optimized hardware) -- a mismatch is a verdict, not an error."""
+        source, lattice_name, _secure, _name = self._design_fields(req)
+        cycles = self._bounded(req, "cycles", 64, 1, MAX_VERIFY_CYCLES)
+
+        def check() -> dict:
+            from repro.sapper.crossval import assert_equivalent
+
+            try:
+                assert_equivalent(source, LATTICES[lattice_name](), cycles)
+            except AssertionError as exc:
+                return {"equivalent": False, "cycles": cycles, "detail": str(exc)}
+            return {"equivalent": True, "cycles": cycles}
+
+        return await self._in_pool(check)
+
+    async def _op_stats(self, req: dict) -> dict:
+        result = {
+            "server": dict(self.counters),
+            "toolchain": self.tc.counter_snapshot(),
+            "cache": self.tc.cache_info(),
+        }
+        if self.tc.store is not None:
+            result["store"] = self.tc.store.stats()
+        return result
+
+    async def _op_shutdown(self, req: dict) -> dict:
+        self._stopping.set()
+        return {"stopping": True}
+
+    _OPS = {
+        "ping": _op_ping,
+        "compile": _op_compile,
+        "verilog": _op_verilog,
+        "synth": _op_synth,
+        "simulate": _op_simulate,
+        "verify": _op_verify,
+        "stats": _op_stats,
+        "shutdown": _op_shutdown,
+    }
+
+    # -- warm set -------------------------------------------------------------
+
+    async def warm(self, family: tuple[str, ...] = WARM_FAMILY) -> int:
+        """Pre-build the secure-processor family through the
+        single-flight path (so early clients coalesce onto the warm
+        builds instead of duplicating them).  Returns the number of
+        designs warmed; failures are counted, logged, and non-fatal."""
+        from repro.proc.design import generate_design
+
+        warmed = 0
+        for lattice_name in family:
+            if self._stopping.is_set():
+                break
+            try:
+                lattice = LATTICES[lattice_name]()
+                source = await self._in_pool(generate_design, lattice)
+                await self._built(
+                    {"source": source, "lattice": lattice_name, "name": "sapper_mips"}
+                )
+                warmed += 1
+                self.counters["warmed"] += 1
+            except Exception as exc:
+                print(
+                    f"repro serve: warm({lattice_name}) failed: {exc}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+        return warmed
+
+    # -- transports -----------------------------------------------------------
+
+    async def _client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.counters["connections"] += 1
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except ValueError:  # line exceeded the stream limit
+                    writer.write(
+                        (json.dumps({
+                            "id": None,
+                            "ok": False,
+                            "error": f"request line exceeds {MAX_LINE} bytes",
+                        }) + "\n").encode()
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                resp = await self.handle_line(line.decode(errors="replace"))
+                writer.write((json.dumps(resp) + "\n").encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def start_tcp(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT):
+        """Bind and return the listening ``asyncio.Server`` (raises
+        ``OSError`` -- e.g. address in use -- for the caller to report)."""
+        return await asyncio.start_server(self._client, host, port, limit=MAX_LINE)
+
+    async def run_tcp(
+        self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, warm: bool = True
+    ) -> None:
+        server = await self.start_tcp(host, port)
+        sock = server.sockets[0].getsockname()
+        print(f"repro serve: listening on {sock[0]}:{sock[1]}", file=sys.stderr, flush=True)
+        warm_task = asyncio.create_task(self.warm()) if warm else None
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            if warm_task is not None:
+                warm_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await warm_task
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+    async def run_stdio(
+        self,
+        warm: bool = False,
+        stdin: Optional[TextIO] = None,
+        stdout: Optional[TextIO] = None,
+    ) -> None:
+        """Serve one client over stdin/stdout (testing, CI, inetd-style)."""
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        if warm:
+            await self.warm()
+        loop = asyncio.get_running_loop()
+        try:
+            while not self._stopping.is_set():
+                line = await loop.run_in_executor(None, stdin.readline)
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                resp = await self.handle_line(line)
+                print(json.dumps(resp), file=stdout, flush=True)
+        finally:
+            self._pool.shutdown(wait=False, cancel_futures=True)

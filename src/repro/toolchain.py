@@ -28,6 +28,9 @@ agree exactly on what hardware they describe.
 from __future__ import annotations
 
 import hashlib
+import os
+import sys
+import threading
 from collections import OrderedDict
 from typing import Callable, Optional, TypeVar, Union
 
@@ -45,6 +48,7 @@ from repro.sapper import ast
 from repro.sapper.analysis import ProgramInfo, analyze
 from repro.sapper.compiler import CompiledDesign, compile_program
 from repro.sapper.parser import parse_program
+from repro.store import MISS, ArtifactStore, StoreError, UnstableKey, persistable_key
 
 T = TypeVar("T")
 
@@ -66,12 +70,21 @@ def lattice_key(lattice: Lattice) -> tuple:
 
 
 def source_key(source: Source) -> tuple:
-    """A hashable identity for program source in any of its forms."""
+    """A hashable identity for program source in any of its forms.
+
+    Text and AST sources key structurally (a digest of the text, or of
+    the AST's canonical dataclass repr), so they are stable across
+    processes and eligible for the persistent store tier.  Analyzed
+    ``ProgramInfo`` objects carry open-ended derived state and are
+    identity-keyed via :class:`~repro.store.UnstableKey`; the object is
+    pinned by the cache entry so the id cannot be reused while the
+    entry lives, and the store tier refuses the key.
+    """
     if isinstance(source, str):
         return ("text", hashlib.sha256(source.encode()).hexdigest())
-    # AST / analyzed info: identity-keyed; the object is pinned by the
-    # cache entry so the id cannot be reused while the entry lives.
-    return ("object", id(source))
+    if isinstance(source, ast.Program):
+        return ("ast", hashlib.sha256(repr(source).encode()).hexdigest())
+    return ("object", UnstableKey(source))
 
 
 class Toolchain:
@@ -82,34 +95,98 @@ class Toolchain:
     process sweeping many configurations cannot grow without bound;
     evicting an entry also drops its pin, letting the artifact be
     collected.
+
+    With *store* (an :class:`~repro.store.ArtifactStore`), stages whose
+    keys are stable across processes (text/AST sources) gain a
+    write-through / read-through persistent tier under the in-memory
+    LRU: a fresh process warm-starts from disk instead of recompiling,
+    and corrupt or stale entries fall back to recompute.  ``counters``
+    tracks per-stage memory hits/misses, store hits/misses, and
+    request coalescing (bumped by the server's single-flight layer).
     """
 
-    def __init__(self, opt_level: int = MAX_OPT_LEVEL, max_entries: int = 128):
+    def __init__(
+        self,
+        opt_level: int = MAX_OPT_LEVEL,
+        max_entries: int = 128,
+        store: Optional[ArtifactStore] = None,
+    ):
         self.opt_level = opt_level
         self.max_entries = max_entries
+        self.store = store
         self._cache: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+        self.counters: dict[str, int] = {}
 
     # -- generic keyed cache ------------------------------------------------
 
-    def cached(self, key: tuple, producer: Callable[[], T], pin: object = None) -> T:
+    @staticmethod
+    def _stage(key: tuple) -> str:
+        return key[0] if isinstance(key, tuple) and key else str(key)
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        """Increment a named counter (thread-safe)."""
+        with self._lock:
+            self.counters[counter] = self.counters.get(counter, 0) + by
+
+    def counter_snapshot(self) -> dict[str, int]:
+        """A consistent copy of the hit/miss/coalesce counters."""
+        with self._lock:
+            return dict(self.counters)
+
+    def cached(
+        self,
+        key: tuple,
+        producer: Callable[[], T],
+        pin: object = None,
+        persist: bool = False,
+    ) -> T:
         """Return the artifact for *key*, producing it on first use.
 
         *pin* keeps an auxiliary object alive alongside the artifact
-        (used when the key embeds an ``id()``).
+        (used when the key embeds an identity).  *persist* additionally
+        routes misses through the on-disk store tier (when a store is
+        configured and the key is stable): read-through on miss,
+        write-through after produce.
+
+        Thread-safe: the memory cache is consulted and updated under a
+        lock, but producers run outside it so distinct keys compile
+        concurrently under the server's worker pool.  If two threads
+        race on one key, the first published value wins -- identity of
+        cached artifacts stays stable.
         """
-        try:
-            value = self._cache[key][1]
-            self._cache.move_to_end(key)
-            return value
-        except KeyError:
+        stage = self._stage(key)
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self.counters[f"hit:{stage}"] = self.counters.get(f"hit:{stage}", 0) + 1
+                return entry[1]
+            self.counters[f"miss:{stage}"] = self.counters.get(f"miss:{stage}", 0) + 1
+
+        value = MISS
+        use_store = persist and self.store is not None and persistable_key(key)
+        if use_store:
+            value = self.store.get(key, default=MISS)
+            self.bump(f"store_hit:{stage}" if value is not MISS else f"store_miss:{stage}")
+        if value is MISS:
             value = producer()
+            if use_store:
+                self.store.put(key, value)
+
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:  # another thread won the race: keep first
+                self._cache.move_to_end(key)
+                return entry[1]
             self._cache[key] = (pin, value)
             while len(self._cache) > self.max_entries:
                 self._cache.popitem(last=False)
-            return value
+        return value
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def cache_info(self) -> dict[str, int]:
         """Entry counts per stage (the first key component)."""
@@ -142,14 +219,20 @@ class Toolchain:
         secure: bool = True,
         name: str = "design",
     ) -> CompiledDesign:
-        key = ("compile", source_key(source), lattice_key(lattice), secure, name)
-        return self.cached(
-            key,
+        tail = (source_key(source), lattice_key(lattice), secure, name)
+        design = self.cached(
+            ("compile", *tail),
             lambda: compile_program(
                 self.analyze(source, lattice, name), lattice, secure=secure, name=name
             ),
             pin=source if not isinstance(source, str) else None,
+            persist=True,
         )
+        # remember the structural identity so downstream artifacts
+        # (optimized module, synthesis report, Verilog) can join the
+        # persistent tier under the same key family
+        design._structural_key = tail  # type: ignore[attr-defined]
+        return design
 
     # -- mid-end -------------------------------------------------------------
 
@@ -157,9 +240,28 @@ class Toolchain:
     def _module(design: Design) -> Module:
         return design.module if isinstance(design, CompiledDesign) else design
 
+    @staticmethod
+    def _structural_tail(design: Design) -> Optional[tuple]:
+        """The persistable key tail of a toolchain-compiled design."""
+        tail = getattr(design, "_structural_key", None)
+        if tail is not None and persistable_key(tail):
+            return tail
+        return None
+
     def optimize(self, design: Design) -> Module:
-        """The optimized module for *design* (memoized per module object)."""
-        return _optimize(self._module(design), self.opt_level)
+        """The optimized module for *design* (memoized per module object,
+        persisted under the design's structural key when a store is
+        configured -- a warm start skips the whole pass pipeline)."""
+        module = self._module(design)
+        tail = self._structural_tail(design)
+        if tail is None or self.store is None:
+            return _optimize(module, self.opt_level)
+        return self.cached(
+            ("optimize", *tail, self.opt_level),
+            lambda: _optimize(module, self.opt_level),
+            pin=module,
+            persist=True,
+        )
 
     # -- backends ------------------------------------------------------------
 
@@ -212,22 +314,32 @@ class Toolchain:
             retire_when=retire_when, majority=majority,
         )
 
+    def _backend_key(self, stage: str, design: Design) -> tuple:
+        """Structural backend key when the design carries one, else the
+        legacy identity key (raw modules handed in directly)."""
+        tail = self._structural_tail(design)
+        if tail is not None:
+            return (stage, *tail, self.opt_level)
+        # identity-keyed fallback for raw modules: UnstableKey keeps the
+        # store tier out (an id() must never cross a process boundary)
+        return (stage, UnstableKey(self._module(design)), self.opt_level)
+
     def synthesize(self, design: Design) -> CostReport:
         """Gate census / area / delay / power of the optimized module (cached)."""
-        module = self._module(design)
         return self.cached(
-            ("synth", id(module), self.opt_level),
+            self._backend_key("synth", design),
             lambda: _synthesize(self.optimize(design), optimize=False),
-            pin=module,
+            pin=self._module(design),
+            persist=True,
         )
 
     def verilog(self, design: Design) -> str:
         """Synthesizable Verilog text of the optimized module (cached)."""
-        module = self._module(design)
         return self.cached(
-            ("verilog", id(module), self.opt_level),
+            self._backend_key("verilog", design),
             lambda: _emit_verilog(self.optimize(design), optimize=False),
-            pin=module,
+            pin=self._module(design),
+            persist=True,
         )
 
 
@@ -236,10 +348,23 @@ _DEFAULT: Optional[Toolchain] = None
 
 
 def get_toolchain() -> Toolchain:
-    """The shared default :class:`Toolchain` (created on first use)."""
+    """The shared default :class:`Toolchain` (created on first use).
+
+    If ``REPRO_STORE`` names a directory, the default instance gains a
+    persistent artifact-store tier rooted there -- the zero-code way to
+    warm-start scripts and notebooks.  An unusable directory degrades
+    to the in-memory tier with a warning rather than failing the run.
+    """
     global _DEFAULT
     if _DEFAULT is None:
-        _DEFAULT = Toolchain()
+        store = None
+        store_dir = os.environ.get("REPRO_STORE")
+        if store_dir:
+            try:
+                store = ArtifactStore(store_dir)
+            except StoreError as exc:
+                print(f"warning: REPRO_STORE disabled: {exc}", file=sys.stderr)
+        _DEFAULT = Toolchain(store=store)
     return _DEFAULT
 
 

@@ -86,6 +86,30 @@ class TestCollect:
         assert got["ratios"] == {"compaction_speedup": 1.7}
         assert "occupancy" not in got["gates"]
 
+    def test_warm_start_speedup_is_a_gated_ratio(self):
+        """The artifact-store warm-start ratio gates like the other
+        machine-relative speedups; its companion diagnostic
+        (warm_start_ms) is informational only."""
+        assert "warm_start_speedup" in check_regression.RATIO_KEYS
+        doc = bench_json(
+            {"test_warm": 1e-6},
+            extra={"test_warm": {"warm_start_speedup": 6.1,
+                                 "warm_start_ms": 150.0}},
+        )
+        got = check_regression.collect(doc)
+        assert got["ratios"] == {"warm_start_speedup": 6.1}
+        assert "warm_start_ms" not in got["gates"]
+
+    def test_warm_start_ratio_below_floor_fails(self, tmp_path, capsys):
+        base = {k: dict(v) for k, v in BASE.items()}
+        base["ratios"]["warm_start_speedup"] = 5.0
+        doc = current_doc()
+        doc["benchmarks"][2]["extra_info"]["warm_start_speedup"] = 3.9
+        assert run_main(tmp_path, doc, baseline=base) == 1  # floor 4.0
+        assert "warm_start_speedup" in capsys.readouterr().out
+        doc["benchmarks"][2]["extra_info"]["warm_start_speedup"] = 4.0
+        assert run_main(tmp_path, doc, baseline=base) == 0
+
     def test_compaction_ratio_below_floor_fails(self, tmp_path, capsys):
         base = {k: dict(v) for k, v in BASE.items()}
         base["ratios"]["compaction_speedup"] = 1.6

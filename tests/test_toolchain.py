@@ -1,6 +1,12 @@
 """Tests for the Toolchain facade and the ``python -m repro`` CLI."""
 
+import gc
+import weakref
+from collections import OrderedDict
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cli import main
 from repro.hdl.synth import CostReport
@@ -84,6 +90,121 @@ class TestToolchain:
         assert compile_processor(two_level(), secure=True) is design
         machine = SapperMachine()
         assert machine.design is design
+
+
+class TestCacheLRU:
+    """The generic keyed cache behind every stage, pinned against an
+    executable model: an OrderedDict with move-to-end on hit, append on
+    miss, and front eviction past ``max_entries``."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        max_entries=st.integers(min_value=1, max_value=6),
+        accesses=st.lists(st.integers(min_value=0, max_value=9), max_size=60),
+    )
+    def test_cached_matches_lru_model(self, max_entries, accesses):
+        tc = Toolchain(max_entries=max_entries)
+        model: OrderedDict = OrderedDict()
+        produced = 0
+        model_produced = 0
+
+        for n in accesses:
+            key = ("stage", n)
+
+            def produce(n=n):
+                nonlocal produced
+                produced += 1
+                return ("artifact", n)
+
+            value = tc.cached(key, produce)
+            assert value == ("artifact", n)
+            if key in model:
+                model.move_to_end(key)
+            else:
+                model_produced += 1
+                model[key] = ("artifact", n)
+                while len(model) > max_entries:
+                    model.popitem(last=False)
+
+            # the real cache tracks the model exactly: same keys, same
+            # recency order (eviction order), same bound
+            assert list(tc._cache) == list(model)
+            assert len(tc._cache) <= max_entries
+
+        assert produced == model_produced
+        counters = tc.counter_snapshot()
+        assert counters.get("miss:stage", 0) == model_produced
+        assert counters.get("hit:stage", 0) == len(accesses) - model_produced
+
+    def test_hits_return_the_identical_object(self):
+        tc = Toolchain(max_entries=4)
+        first = tc.cached(("s", 1), lambda: object())
+        again = tc.cached(("s", 1), lambda: object())
+        assert again is first
+
+    def test_reinsertion_after_eviction_reproduces(self):
+        tc = Toolchain(max_entries=2)
+        calls = []
+        for n in (1, 2, 3, 1):  # 1 evicted by 3, then re-produced
+            tc.cached(("s", n), lambda n=n: calls.append(n))
+        assert calls == [1, 2, 3, 1]
+
+    def test_pin_lives_with_the_entry_and_dies_on_eviction(self):
+        class Pinned:
+            pass
+
+        tc = Toolchain(max_entries=2)
+        pin = Pinned()
+        ref = weakref.ref(pin)
+        tc.cached(("s", 0), lambda: "v", pin=pin)
+        del pin
+        gc.collect()
+        assert ref() is not None, "pin must stay alive while its entry is cached"
+
+        tc.cached(("s", 1), lambda: "v")
+        tc.cached(("s", 2), lambda: "v")  # evicts ("s", 0)
+        gc.collect()
+        assert ref() is None, "eviction must drop the pin"
+
+    def test_clear_cache_drops_pins(self):
+        class Pinned:
+            pass
+
+        tc = Toolchain(max_entries=4)
+        pin = Pinned()
+        ref = weakref.ref(pin)
+        tc.cached(("s", 0), lambda: "v", pin=pin)
+        del pin
+        tc.clear_cache()
+        gc.collect()
+        assert ref() is None
+
+    def test_max_entries_bounds_real_compiles(self):
+        tc = Toolchain(max_entries=3)
+        lat = two_level()
+        designs = [
+            tc.compile(f"// v{i}\n" + samples.TDMA, lat, name="tdma")
+            for i in range(5)
+        ]
+        assert len(tc._cache) <= 3
+        # the newest design is still cached (identical object on re-compile)
+        assert tc.compile("// v4\n" + samples.TDMA, lat, name="tdma") is designs[4]
+
+    def test_env_store_configures_default_toolchain(self, tmp_path, monkeypatch, capsys):
+        previous = get_toolchain()
+        try:
+            monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+            set_toolchain(None)
+            assert get_toolchain().store is not None
+            # an unusable directory degrades with a warning, not a crash
+            blocker = tmp_path / "file"
+            blocker.write_text("in the way")
+            monkeypatch.setenv("REPRO_STORE", str(blocker / "store"))
+            set_toolchain(None)
+            assert get_toolchain().store is None
+            assert "REPRO_STORE disabled" in capsys.readouterr().err
+        finally:
+            set_toolchain(previous)
 
 
 class TestCli:
