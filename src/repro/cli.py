@@ -107,6 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--lanes", type=_positive_int, default=1, metavar="N",
                      help="advance N independent machine states with the "
                           "lane-batched simulator (default: 1, scalar)")
+    sim.add_argument("--shards", type=_positive_int, default=1, metavar="S",
+                     help="split the lane batch across S worker processes "
+                          "(the multiprocess fleet scheduler; workers share "
+                          "compiled artifacts through one store and results "
+                          "are bit-identical to --shards 1; default: 1, "
+                          "in-process)")
     sim.add_argument("--engine",
                      choices=["auto", "scalar", "batch", "swar", "vector"],
                      default="auto",
@@ -234,6 +240,12 @@ def _cmd_simulate(args: argparse.Namespace, tc: Toolchain) -> int:
         from repro.hdl.vector import _NUMPY_HINT
 
         raise SystemExit(_NUMPY_HINT)
+    if args.shards > 1:
+        if engine == "scalar":
+            raise SystemExit("--shards needs the batched engine; pass --lanes N (N > 1)")
+        if args.no_opt:
+            raise SystemExit("--shards shares optimized artifacts; drop --no-opt")
+        return _simulate_sharded(args, tc, engine, inputs)
     if engine in ("batch", "swar", "vector"):
         if args.no_opt:
             if engine == "vector":
@@ -288,6 +300,43 @@ def _cmd_simulate(args: argparse.Namespace, tc: Toolchain) -> int:
             print(f"cycle {cycle:4d}  {ports}")
     print(f"# {args.cycles} cycles, {violations} violation cycle(s), "
           f"final outputs: {out}")
+    return 0
+
+
+def _simulate_sharded(args: argparse.Namespace, tc: Toolchain, engine: str, inputs) -> int:
+    """``simulate --shards S``: lane slices across fleet workers.
+
+    Per-cycle traces live in the workers, so this path always prints
+    summary-only (as --quiet does); per-lane violation counts and
+    final outputs are bit-identical to the in-process run.
+    """
+    from repro.fleet import simulate_sharded
+
+    lattice: Lattice = _LATTICES[args.lattice]()
+    name = args.name or (Path(args.source).stem if args.source != "-" else "design")
+    source = _read_source(args.source)
+    lane_stim = _lane_stimulus(inputs, args.lanes)
+    scalar_inputs = {p: v for p, v in inputs.items() if not isinstance(v, list)}
+    if not args.quiet:
+        print(f"# --shards {args.shards}: per-cycle trace runs in the workers; "
+              "printing the summary only")
+    out = simulate_sharded(
+        source, lattice,
+        cycles=args.cycles, lanes=args.lanes, shards=args.shards,
+        name=name, secure=not args.insecure, inputs=scalar_inputs,
+        lane_stim=lane_stim, engine=None if args.engine == "auto" else engine,
+        compact=args.compact, store=tc.store,
+    )
+    merged = out["stats"].merged()
+    print(f"# {out['steps']} cycles x {args.lanes} lanes "
+          f"({out['lane_cycles']} active lane-cycles, {args.shards} shard(s), "
+          f"mean occupancy {merged['occupancy']:.2f})")
+    print(f"# fleet: start_method={merged['start_method']} "
+          f"degraded={merged['degraded']} requeues={merged['requeues']} "
+          f"store_hits={merged['toolchain'].get('store_hit:compile', 0)}")
+    for lane, final in enumerate(out["final"]):
+        print(f"# lane {lane}: {out['violations'][lane]} violation cycle(s), "
+              f"final outputs: {final}")
     return 0
 
 

@@ -28,17 +28,50 @@ def compile_processor(
     secure: bool = True,
     mem_words: int = 1 << 24,
     kernel_vector: int = 0x400,
+    toolchain=None,
 ) -> CompiledDesign:
-    """Compile (and cache) the processor for *lattice*."""
+    """Compile (and cache) the processor for *lattice*.
+
+    *toolchain* overrides the process-wide default -- fleet workers pass
+    their own store-backed :class:`~repro.toolchain.Toolchain` here so
+    the compiled design is read through the shared artifact store
+    instead of recompiled per process.
+    """
     lattice = lattice or two_level()
     params = ProcParams(mem_words=mem_words, kernel_vector=kernel_vector)
-    tc = get_toolchain()
+    tc = toolchain or get_toolchain()
     key = ("proc-design", lattice_key(lattice), secure, mem_words, kernel_vector)
     return tc.cached(
         key,
         lambda: tc.compile(
             generate_design(lattice, params), lattice, secure=secure, name="sapper_mips"
         ),
+    )
+
+
+def check_budgets(max_cycles: Union[int, Sequence[int]], count: int) -> list[int]:
+    """Expand *max_cycles* into one cycle budget per workload lane.
+
+    A single int replicates to every lane.  A sequence must name
+    exactly one budget per executable: a short or long sequence used to
+    be silently zipped (dropping workloads or budgets); now it raises
+    ``ValueError`` naming the lane indices that would have been
+    mispaired.
+    """
+    if isinstance(max_cycles, int):
+        return [max_cycles] * count
+    budgets = list(max_cycles)
+    if len(budgets) == count:
+        return budgets
+    if len(budgets) < count:
+        orphans = range(len(budgets), count)
+        detail = f"lanes {orphans.start}..{orphans.stop - 1} have no budget"
+    else:
+        extra = range(count, len(budgets))
+        detail = f"budget indices {extra.start}..{extra.stop - 1} name no lane"
+    raise ValueError(
+        f"max_cycles sequence has {len(budgets)} entries for {count} "
+        f"executable(s): {detail}"
     )
 
 
@@ -153,10 +186,13 @@ class BatchedMachines:
         lattice: Optional[Lattice] = None,
         secure: bool = True,
         compact: bool = True,
+        engine: Optional[str] = None,
     ):
         self.lattice = lattice or two_level()
         self.design = compile_processor(self.lattice, secure)
-        self.sim = get_toolchain().batch_simulator(self.design, len(executables))
+        self.sim = get_toolchain().batch_simulator(
+            self.design, len(executables), engine=engine or "auto"
+        )
         self.lanes = len(executables)
         self.compact = compact
         for lane, exe in enumerate(executables):
@@ -174,12 +210,7 @@ class BatchedMachines:
         """
         sim = self.sim
         halted_reg = "halted_r"
-        if isinstance(max_cycles, int):
-            budgets = [max_cycles] * self.lanes
-        else:
-            budgets = list(max_cycles)
-            if len(budgets) != self.lanes:
-                raise ValueError(f"expected {self.lanes} budgets, got {len(budgets)}")
+        budgets = check_budgets(max_cycles, self.lanes)
         spent = [0] * self.lanes
         for cycle in range(1, max(budgets, default=0) + 1):
             outs = sim.step()
@@ -222,26 +253,45 @@ def run_workloads(
     max_cycles: Union[int, Sequence[int]] = 2_000_000,
     batched: Optional[bool] = None,
     compact: bool = True,
+    engine: Optional[str] = None,
+    shards: Optional[int] = None,
+    store=None,
 ) -> list[RunResult]:
     """Run many programs on the secure processor, one result per program.
 
-    *max_cycles* is one budget or a per-program sequence.  ``batched=None``
-    picks the engine automatically: the lane-batched simulator once
+    *max_cycles* is one budget or a per-program sequence (a mismatched
+    sequence length raises ``ValueError``).  ``batched=None`` picks the
+    engine automatically: the lane-batched simulator once
     ``len(executables) >= BatchedMachines.MIN_LANES``, scalar machines
     below that (a batched step costs roughly the same as
     ~ :attr:`~BatchedMachines.MIN_LANES` scalar steps on this design, so
     small suites with skewed run lengths are faster scalar).  *compact*
     lets the batched engine retire finished lanes mid-run (lane
-    compaction); results are identical either way.
+    compaction); results are identical either way.  *engine* pins the
+    batched generation (``batch``/``swar``/``vector``; default
+    automatic per lane count).
+
+    ``shards=N`` (N >= 2) runs the suite on the multiprocess fleet
+    scheduler instead: N worker processes, each batching a shard of the
+    suite over the shared artifact store *store* (see
+    :class:`repro.fleet.FleetRunner`).  Results are bit-identical and
+    in the same order; workers are spawned and torn down per call, so
+    repeated suites are cheaper through a persistent ``FleetRunner``.
     """
+    budgets = check_budgets(max_cycles, len(executables))
+    if shards is not None and shards > 1:
+        from repro.fleet import FleetRunner
+
+        with FleetRunner(
+            shards=shards, lattice=lattice, store=store, engine=engine
+        ) as fleet:
+            return fleet.run(executables, max_cycles=budgets)
     if batched is None:
         batched = len(executables) >= BatchedMachines.MIN_LANES
     if batched:
-        return BatchedMachines(executables, lattice, compact=compact).run(max_cycles)
-    if isinstance(max_cycles, int):
-        budgets = [max_cycles] * len(executables)
-    else:
-        budgets = list(max_cycles)
+        return BatchedMachines(
+            executables, lattice, compact=compact, engine=engine
+        ).run(budgets)
     results = []
     for exe, budget in zip(executables, budgets):
         machine = SapperMachine(lattice)

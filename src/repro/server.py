@@ -12,9 +12,10 @@ and answering newline-delimited JSON requests over TCP or stdio::
     -> {"id": 2, "ok": true, "result": {"cycles": 100, ...}}
 
 Request ops: ``ping``, ``compile``, ``verilog``, ``synth``,
-``simulate``, ``verify`` (three-way interpreter/raw/optimized
-cross-validation), ``stats`` (server + toolchain + store counters),
-``shutdown``.  Errors come back as ``{"ok": false, "error": ...}`` --
+``simulate``, ``fleet`` (a workload suite on the multiprocess fleet
+scheduler, sharded over the server's artifact store), ``verify``
+(three-way interpreter/raw/optimized cross-validation), ``stats``
+(server + toolchain + store counters), ``shutdown``.  Errors come back as ``{"ok": false, "error": ...}`` --
 a malformed line, an unknown op, or a Sapper compile error never tears
 down the connection, let alone the server.
 
@@ -56,6 +57,9 @@ MAX_LINE = 8 * 1024 * 1024
 MAX_CYCLES = 100_000
 MAX_LANES = 4096
 MAX_VERIFY_CYCLES = 2_000
+MAX_SHARDS = 8
+MAX_FLEET_WORKLOADS = 64
+MAX_FLEET_LANES = 256
 
 
 class ServerError(Exception):
@@ -338,6 +342,82 @@ class ReproServer:
 
         return await self._in_pool(check)
 
+    async def _op_fleet(self, req: dict) -> dict:
+        """Run a workload suite on the multiprocess fleet scheduler.
+
+        ``workloads`` entries are either names from the built-in
+        sec-4.3 suite (``repro.workloads``) or ``{"asm": ...,
+        "max_cycles": ...}`` objects; results come back one per entry,
+        in request order, plus the merged fleet counters (per-shard
+        lane-cycles, occupancy, store hits, requeues).
+        """
+        shards = self._bounded(req, "shards", 2, 1, MAX_SHARDS)
+        default_budget = self._bounded(req, "max_cycles", 10_000, 1, MAX_CYCLES)
+        lanes = self._bounded(req, "lanes_per_worker", 32, 1, MAX_FLEET_LANES)
+        entries = req.get("workloads")
+        if not isinstance(entries, list) or not entries:
+            raise ServerError("field 'workloads' must be a non-empty list")
+        if len(entries) > MAX_FLEET_WORKLOADS:
+            raise ServerError(
+                f"at most {MAX_FLEET_WORKLOADS} workloads per request, got {len(entries)}"
+            )
+        from repro.workloads import ALL_WORKLOADS
+
+        jobs: list[tuple[str, str, int]] = []
+        for i, entry in enumerate(entries):
+            if isinstance(entry, str):
+                workload = ALL_WORKLOADS.get(entry)
+                if workload is None:
+                    known = ", ".join(sorted(ALL_WORKLOADS))
+                    raise ServerError(f"unknown workload {entry!r}; known: {known}")
+                jobs.append((entry, workload.source, min(workload.max_cycles, default_budget)))
+            elif isinstance(entry, dict) and isinstance(entry.get("asm"), str):
+                budget = self._bounded(entry, "max_cycles", default_budget, 1, MAX_CYCLES)
+                name = entry.get("name")
+                jobs.append((name if isinstance(name, str) else f"asm[{i}]",
+                             entry["asm"], budget))
+            else:
+                raise ServerError(
+                    f"workloads[{i}] must be a workload name or an object with 'asm'"
+                )
+        return await self._in_pool(self._run_fleet, jobs, shards, lanes)
+
+    def _run_fleet(self, jobs: list, shards: int, lanes: int) -> dict:
+        from repro.fleet import FleetRunner
+        from repro.mips.assembler import AsmError, assemble
+
+        try:
+            exes = [assemble(source) for _name, source, _budget in jobs]
+        except AsmError as exc:
+            raise ServerError(f"workload assembly failed: {exc}")
+        except Exception as exc:  # the assembler chokes on arbitrary text
+            raise ServerError(
+                f"workload assembly failed: {type(exc).__name__}: {exc}"
+            )
+        budgets = [budget for _name, _source, budget in jobs]
+        with FleetRunner(
+            shards=shards,
+            lanes_per_worker=lanes,
+            store=self.tc.store,  # share the server's artifact tier when present
+            start_method="spawn",  # fork is unsafe under the server's thread pool
+        ) as fleet:
+            results = fleet.run(exes, max_cycles=budgets)
+            merged = fleet.stats.merged()
+        return {
+            "shards": shards,
+            "results": [
+                {
+                    "name": name,
+                    "outputs": res.outputs,
+                    "cycles": res.cycles,
+                    "violations": res.violations,
+                    "halted": res.halted,
+                }
+                for (name, _source, _budget), res in zip(jobs, results)
+            ],
+            "fleet": merged,
+        }
+
     async def _op_stats(self, req: dict) -> dict:
         result = {
             "server": dict(self.counters),
@@ -358,6 +438,7 @@ class ReproServer:
         "verilog": _op_verilog,
         "synth": _op_synth,
         "simulate": _op_simulate,
+        "fleet": _op_fleet,
         "verify": _op_verify,
         "stats": _op_stats,
         "shutdown": _op_shutdown,

@@ -298,3 +298,14 @@ class ArtifactStore:
             snap = dict(self.counters)
         snap["entries"] = self.entry_count()
         return snap
+
+
+def coerce_store(store: Union["ArtifactStore", str, Path, None]) -> Optional["ArtifactStore"]:
+    """Normalize the *store* argument every multi-process entry point
+    accepts: an :class:`ArtifactStore` passes through, a path opens (or
+    creates) one rooted there, ``None`` stays ``None``.  Fleet workers
+    and CLI commands share this so "a directory" is always a valid way
+    to name the artifact tier."""
+    if store is None or isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)

@@ -55,6 +55,24 @@ T = TypeVar("T")
 Source = Union[str, ast.Program, ProgramInfo]
 Design = Union[CompiledDesign, Module]
 
+#: Lane count from which automatic engine selection prefers the NumPy
+#: vector tier: measured on the secure processor, the ufunc-amortized
+#: engine overtakes SWAR lane packing between 32 and 128 lanes.
+VECTOR_AUTO_LANES = 64
+
+
+def auto_engine(lanes: int) -> str:
+    """The batched engine automatic selection picks for *lanes* lanes:
+    ``"vector"`` from :data:`VECTOR_AUTO_LANES` up when NumPy is
+    importable, ``"swar"`` otherwise.  Every engine is bit-identical
+    per lane, so this is purely a throughput choice."""
+    if lanes >= VECTOR_AUTO_LANES:
+        from repro.hdl.vector import HAVE_NUMPY
+
+        if HAVE_NUMPY:
+            return "vector"
+    return "swar"
+
 
 def lattice_key(lattice: Lattice) -> tuple:
     """A hashable, order-independent identity for a lattice."""
@@ -284,8 +302,10 @@ class Toolchain:
 
         *engine* names the generation directly: ``"batch"`` (two-tier
         packed/per-lane), ``"swar"`` (guard-banded wide-word lane
-        packing), or ``"vector"`` (NumPy uint64 lane arrays; needs
-        NumPy).  When *engine* is None the legacy *swar* flag selects
+        packing), ``"vector"`` (NumPy uint64 lane arrays; needs
+        NumPy), or ``"auto"`` (:func:`auto_engine`: vector from
+        :data:`VECTOR_AUTO_LANES` lanes when NumPy is importable, swar
+        below).  When *engine* is None the legacy *swar* flag selects
         between the first two.  *retire_when* installs a lane-retirement
         predicate (``(sim, lane) -> bool``) driving automatic lane
         compaction in :meth:`BatchSimulator.run`; *majority* toggles
@@ -298,8 +318,10 @@ class Toolchain:
         the eval driver) compile once per engine, and compacted widths
         re-enter the same per-lane-count cache.
         """
-        if engine is not None and engine not in ("batch", "swar", "vector"):
+        if engine is not None and engine not in ("auto", "batch", "swar", "vector"):
             raise ValueError(f"unknown batch engine {engine!r}")
+        if engine == "auto":
+            engine = auto_engine(lanes)
         if engine == "vector":
             from repro.hdl.vector import VectorSimulator
 

@@ -100,6 +100,32 @@ class TestCollect:
         assert got["ratios"] == {"warm_start_speedup": 6.1}
         assert "warm_start_ms" not in got["gates"]
 
+    def test_fleet_speedup_is_a_gated_ratio(self):
+        """The multiprocess fleet ratio gates like the other
+        machine-relative speedups; its companion diagnostics
+        (fleet_lane_cycles_per_sec, fleet_occupancy) are informational
+        only."""
+        assert "fleet_speedup" in check_regression.RATIO_KEYS
+        doc = bench_json(
+            {"test_fleet": 1e-6},
+            extra={"test_fleet": {"fleet_speedup": 2.4,
+                                  "fleet_lane_cycles_per_sec": 500000,
+                                  "fleet_occupancy": 0.99}},
+        )
+        got = check_regression.collect(doc)
+        assert got["ratios"] == {"fleet_speedup": 2.4}
+        assert "fleet_occupancy" not in got["gates"]
+
+    def test_fleet_ratio_below_floor_fails(self, tmp_path, capsys):
+        base = {k: dict(v) for k, v in BASE.items()}
+        base["ratios"]["fleet_speedup"] = 2.0
+        doc = current_doc()
+        doc["benchmarks"][2]["extra_info"]["fleet_speedup"] = 1.59
+        assert run_main(tmp_path, doc, baseline=base) == 1  # floor 1.6
+        assert "fleet_speedup" in capsys.readouterr().out
+        doc["benchmarks"][2]["extra_info"]["fleet_speedup"] = 1.6
+        assert run_main(tmp_path, doc, baseline=base) == 0
+
     def test_warm_start_ratio_below_floor_fails(self, tmp_path, capsys):
         base = {k: dict(v) for k, v in BASE.items()}
         base["ratios"]["warm_start_speedup"] = 5.0

@@ -467,3 +467,75 @@ class TestCliErrorPaths:
         lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert lines[0] == {"id": 1, "ok": True, "result": {"pong": True}}
         assert lines[1]["result"] == {"stopping": True}
+
+
+WORKLOAD_ASM = """
+.org 0x400
+    li   $t9, 0x40000000
+    li   $t1, {k}
+    sw   $t1, 0($t9)
+    li   $t9, 0x40000004
+    sw   $zero, 0($t9)
+"""
+
+
+class TestFleetOp:
+    """The ``fleet`` op: a workload suite sharded across real worker
+    processes over the server's artifact store."""
+
+    def test_fleet_runs_asm_suite(self, tmp_path):
+        srv = ReproServer(
+            toolchain=Toolchain(store=ArtifactStore(tmp_path / "store")),
+            max_workers=2,
+        )
+        workloads = [
+            {"asm": WORKLOAD_ASM.format(k=k), "max_cycles": 600, "name": f"w{k}"}
+            for k in range(3)
+        ]
+        resp = ask(srv, {"id": 1, "op": "fleet", "workloads": workloads,
+                         "shards": 2, "lanes_per_worker": 2})
+        assert resp["ok"], resp
+        result = resp["result"]
+        assert result["shards"] == 2
+        assert [r["name"] for r in result["results"]] == ["w0", "w1", "w2"]
+        assert [r["outputs"] for r in result["results"]] == [[0], [1], [2]]
+        assert all(r["halted"] for r in result["results"])
+        assert all(r["violations"] == 0 for r in result["results"])
+        merged = result["fleet"]
+        assert merged["shards"] == 2 and not merged["degraded"]
+
+    def test_fleet_named_workload_budget_capped(self, tmp_path):
+        srv = ReproServer(
+            toolchain=Toolchain(store=ArtifactStore(tmp_path / "store")),
+            max_workers=2,
+        )
+        resp = ask(srv, {"id": 2, "op": "fleet", "workloads": ["specrand"],
+                         "max_cycles": 40, "shards": 1})
+        assert resp["ok"], resp
+        (res,) = resp["result"]["results"]
+        assert res["name"] == "specrand"
+        assert res["cycles"] == 40 and not res["halted"]
+
+    def test_fleet_validation_errors(self, server):
+        for req in (
+            {"op": "fleet"},
+            {"op": "fleet", "workloads": []},
+            {"op": "fleet", "workloads": [42]},
+            {"op": "fleet", "workloads": ["not-a-workload"]},
+            {"op": "fleet", "workloads": [{"no_asm": True}]},
+            {"op": "fleet", "workloads": [{"asm": "x"}], "shards": "many"},
+        ):
+            resp = ask(server, req)
+            assert resp["ok"] is False, req
+            assert "internal error" not in resp["error"], resp
+
+    def test_fleet_unknown_workload_lists_known(self, server):
+        resp = ask(server, {"op": "fleet", "workloads": ["frob"]})
+        assert resp["ok"] is False
+        assert "specrand" in resp["error"] and "sha" in resp["error"]
+
+    def test_fleet_assembly_error_is_actionable(self, server):
+        resp = ask(server, {"op": "fleet",
+                            "workloads": [{"asm": "not an instruction"}]})
+        assert resp["ok"] is False
+        assert "assembly failed" in resp["error"]

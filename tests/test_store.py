@@ -353,3 +353,91 @@ class TestStoreHygiene:
         stats = store.stats()
         assert stats["writes"] == 1 and stats["hits"] == 1
         assert stats["misses"] == 1 and stats["entries"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Concurrent multi-process access (the fleet's operating regime: one
+# store directory shared by a parent and N worker processes).
+
+
+def _race_put(root, payload, barrier, rounds):
+    store = ArtifactStore(root)
+    barrier.wait()
+    for _ in range(rounds):
+        store.put(("race", "entry"), payload)
+
+
+def _race_compile(root, q):
+    try:
+        tc = Toolchain(store=ArtifactStore(root))
+        design = tc.compile(samples.TDMA, two_level(), name="tdma")
+        tc.optimize(design)
+        q.put(("ok", tc.counter_snapshot()))
+    except Exception as exc:  # pragma: no cover - failure reporting
+        q.put(("err", repr(exc)))
+
+
+class TestConcurrentAccess:
+    """Two processes racing on the same digest must never produce a
+    torn read: the atomic temp-file + rename publish means a reader
+    sees a complete entry from one writer or the other (or a miss),
+    and the corrupt counter stays at zero."""
+
+    def test_racing_writers_never_tear(self, tmp_path):
+        import multiprocessing as mp
+
+        root = str(tmp_path / "store")
+        payload_a = {"who": "a", "blob": "A" * 65536}
+        payload_b = {"who": "b", "blob": "B" * 65536}
+        ctx = mp.get_context("fork")
+        barrier = ctx.Barrier(3)
+        writers = [
+            ctx.Process(target=_race_put, args=(root, payload_a, barrier, 25)),
+            ctx.Process(target=_race_put, args=(root, payload_b, barrier, 25)),
+        ]
+        for p in writers:
+            p.start()
+        reader = ArtifactStore(root)
+        barrier.wait()
+        seen = 0
+        while any(p.is_alive() for p in writers) or seen == 0:
+            value = reader.get(("race", "entry"), MISS)
+            if value is not MISS:
+                seen += 1
+                # a torn read would mix writers or truncate the blob
+                assert value in (payload_a, payload_b), value.get("who")
+        for p in writers:
+            p.join(timeout=30)
+            assert p.exitcode == 0
+        final = reader.get(("race", "entry"))
+        assert final in (payload_a, payload_b)
+        assert reader.counters["corrupt"] == 0
+        assert seen >= 1
+
+    def test_concurrent_toolchains_publish_same_design(self, tmp_path):
+        """Two fresh processes compile + optimize the same design over
+        one cold store at the same time.  Both must succeed (the race
+        is benign: last atomic publish wins) and a third process then
+        warm-starts purely from the store."""
+        import multiprocessing as mp
+
+        root = str(tmp_path / "store")
+        ctx = mp.get_context("fork")
+        q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_race_compile, args=(root, q)) for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outcomes = [q.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+        assert [kind for kind, _ in outcomes] == ["ok", "ok"], outcomes
+
+        tc3 = Toolchain(store=ArtifactStore(root))
+        design = tc3.compile(samples.TDMA, two_level(), name="tdma")
+        tc3.optimize(design)
+        counters = tc3.counter_snapshot()
+        assert counters.get("store_hit:compile") == 1, counters
+        assert counters.get("store_hit:optimize") == 1, counters
+        assert tc3.store.counters["corrupt"] == 0
