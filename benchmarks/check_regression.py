@@ -39,7 +39,8 @@ EPS = 1e-9
 GATE_KEYS = ("gates_raw", "gates_optimized", "dff_optimized", "levels_optimized")
 #: extra_info keys treated as machine-relative ratios (bigger is better)
 RATIO_KEYS = ("batch_speedup", "swar_speedup", "compaction_speedup",
-              "vector_speedup", "warm_start_speedup", "fleet_speedup")
+              "vector_speedup", "warm_start_speedup", "fleet_speedup",
+              "tag_prune_ratio")
 
 
 def collect(bench_json: dict) -> dict:

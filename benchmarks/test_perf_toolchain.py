@@ -543,6 +543,59 @@ def test_compaction_skewed_throughput(benchmark):
     )
 
 
+def test_tag_prune_counters(benchmark):
+    """Static tag-cone pruning: the taint certificate must drop shadow
+    words on every batched tier without perturbing a single bit.
+
+    The secure processor (a closed design whose secrets arrive through
+    the preloaded ``__tags`` stores) must report nonzero
+    statically-clean prune counts on the batch, SWAR, and vector tiers,
+    with lane state bit-identical to a tracker-less run.  The TDMA
+    controller's prune ratio -- the fraction of shadow state the
+    certificate removes for the paper's Figure 4 design -- lands in the
+    benchmark JSON as ``extra_info['tag_prune_ratio']`` for the
+    regression gate (machine-independent: it is a property of the
+    analysis, not of the host).
+    """
+    from repro.analyze import compute_taint, default_taint_sources
+    from repro.toolchain import get_toolchain
+
+    module, programs = _batch_setup()
+    sources = tuple(a for a in module.arrays if a.endswith("__tags"))
+    lanes, cycles = 8, 100
+    ref = _fresh_batch(module, programs, swar=True, lanes=lanes)
+    ref.run(cycles)
+    sims = [
+        ("batch", _fresh_batch(module, programs, swar=False, lanes=lanes)),
+        ("swar", _fresh_batch(module, programs, swar=True, lanes=lanes)),
+    ]
+    if HAVE_NUMPY:
+        sims.append(("vector", _fresh_vector(module, programs, lanes)))
+    for tier, sim in sims:
+        tracker = sim.attach_taint(sources=sources)
+        sim.run(cycles)
+        stats = tracker.stats
+        assert stats["pruned_signals"] > 0, f"{tier}: nothing statically clean"
+        assert stats["tainted_signals"] > 0, f"{tier}: empty taint cone"
+        assert stats["tracked_words"] < stats["signals"] + len(module.regs) + len(
+            module.arrays
+        ), f"{tier}: tracker holds a word for every node; pruning is off"
+        for lane in range(lanes):
+            assert sim.lane_regs(lane) == ref.lane_regs(lane), (
+                f"{tier}: taint tracking perturbed lane {lane}"
+            )
+
+    tdma = get_toolchain().compile(samples.TDMA, two_level(), name="tdma")
+    cert = compute_taint(tdma.module, default_taint_sources(tdma))
+    ratio = cert.stats["prune_ratio"]
+    assert ratio > 0.5, f"TDMA shadow state mostly tainted ({ratio:.2f} pruned)"
+    benchmark.extra_info["tag_prune_ratio"] = round(ratio, 4)
+    benchmark.extra_info["proc_pruned_signals"] = sims[0][1].taint.stats[
+        "pruned_signals"
+    ]
+    benchmark.pedantic(lambda: ratio, rounds=1, iterations=1)
+
+
 def test_warm_start_speedup(benchmark, tmp_path):
     """A fresh toolchain over a populated artifact store must rebuild
     the secure processor >= 5x faster than a cold compile.

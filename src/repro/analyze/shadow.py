@@ -1,0 +1,222 @@
+"""Shadow-tag reference interpreter: the dynamic half of the soundness
+contract.
+
+:class:`ShadowSimulator` runs a module cycle-accurately while carrying a
+one-bit dynamic taint alongside every value.  Taint enters through the
+designated source inputs and propagates value-aware where that is
+precise (a mux taints from its select and the *taken* arm only; an array
+read taints from the address and the *addressed cell* only) and as the
+operand union everywhere else.
+
+It is deliberately implemented as a recursive tree interpreter with no
+code generation and no dependency on :mod:`repro.analyze.graph` -- an
+independent second opinion.  The Hypothesis differential suite pins two
+containments against it on random programs:
+
+* every signal in :attr:`ever_tainted` is marked tainted by the static
+  :class:`~repro.analyze.taint.TaintCertificate` (static-clean is a
+  proof);
+* values are bit-identical with :class:`repro.hdl.sim.Simulator`
+  (carrying taint cannot perturb the simulation).
+"""
+
+from __future__ import annotations
+
+
+from repro.analyze.graph import array_node
+from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
+
+
+def _signed(v: int, w: int) -> int:
+    return v - (1 << w) if v >> (w - 1) & 1 else v
+
+
+class ShadowSimulator:
+    """Cycle-accurate value + dynamic-taint interpreter of *module*.
+
+    Mirrors :class:`repro.hdl.sim.Simulator` semantics exactly
+    (division by zero yields all-ones, remainder the dividend, shifts
+    saturate, arrays are sparse with a per-array default) so values can
+    be cross-checked bit-for-bit.  *sources* lists the input ports that
+    carry taint (every cycle, whatever their value).
+    """
+
+    def __init__(self, module: Module, sources: tuple[str, ...] = ()):
+        module.validate()
+        self.module = module
+        self.sources = frozenset(sources)
+        unknown = self.sources - set(module.inputs)
+        if unknown:
+            raise ValueError(f"{module.name}: unknown taint sources {sorted(unknown)}")
+        self.regs: dict[str, int] = {r.name: r.init for r in module.regs.values()}
+        self.reg_taint: dict[str, bool] = dict.fromkeys(module.regs, False)
+        self.arrays: dict[str, dict[int, int]] = {a: {} for a in module.arrays}
+        self.array_taint: dict[str, dict[int, bool]] = {a: {} for a in module.arrays}
+        self.cycles = 0
+        #: every node name that ever carried dynamic taint (signals by
+        #: name, arrays as ``array:NAME`` -- the certificate convention)
+        self.ever_tainted: set[str] = set()
+        #: signal -> taint as of the last completed step
+        self.taints: dict[str, bool] = {}
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval(
+        self,
+        e: HExpr,
+        values: dict[str, int],
+        taints: dict[str, bool],
+    ) -> tuple[int, bool]:
+        if isinstance(e, HConst):
+            return e.value, False
+        if isinstance(e, HRef):
+            return values[e.name], taints[e.name]
+        assert isinstance(e, HOp)
+        op = e.op
+        m = (1 << e.width) - 1
+
+        if op == "mux":
+            sv, st = self._eval(e.args[0], values, taints)
+            v, t = self._eval(e.args[1] if sv else e.args[2], values, taints)
+            return v, st or t
+        if op == "read":
+            av, at = self._eval(e.args[0], values, taints)
+            arr = self.module.arrays[e.array]
+            idx = av % arr.size
+            value = self.arrays[e.array].get(idx, arr.default)
+            taint = at or self.array_taint[e.array].get(idx, False)
+            return value, taint
+
+        pairs = [self._eval(c, values, taints) for c in e.args]
+        a = [v for v, _ in pairs]
+        t = any(taint for _, taint in pairs)
+        aw = [c.width for c in e.args]
+
+        if op == "add":
+            return (a[0] + a[1]) & m, t
+        if op == "sub":
+            return (a[0] - a[1]) & m, t
+        if op == "mul":
+            return (a[0] * a[1]) & m, t
+        if op == "div":
+            return ((a[0] // a[1]) & m if a[1] else m), t
+        if op == "mod":
+            return ((a[0] % a[1]) if a[1] else a[0]), t
+        if op == "and":
+            return a[0] & a[1], t
+        if op == "or":
+            return a[0] | a[1], t
+        if op == "xor":
+            return a[0] ^ a[1], t
+        if op == "shl":
+            return ((a[0] << a[1]) & m if a[1] < e.width else 0), t
+        if op == "shr":
+            return (a[0] >> a[1] if a[1] < aw[0] else 0), t
+        if op == "asr":
+            shift = a[1] if a[1] < aw[0] else aw[0] - 1
+            return (_signed(a[0], aw[0]) >> shift) & m, t
+        if op == "eq":
+            return int(a[0] == a[1]), t
+        if op == "ne":
+            return int(a[0] != a[1]), t
+        if op == "lt":
+            return int(a[0] < a[1]), t
+        if op == "le":
+            return int(a[0] <= a[1]), t
+        if op == "gt":
+            return int(a[0] > a[1]), t
+        if op == "ge":
+            return int(a[0] >= a[1]), t
+        if op == "lts":
+            return int(_signed(a[0], aw[0]) < _signed(a[1], aw[1])), t
+        if op == "les":
+            return int(_signed(a[0], aw[0]) <= _signed(a[1], aw[1])), t
+        if op == "gts":
+            return int(_signed(a[0], aw[0]) > _signed(a[1], aw[1])), t
+        if op == "ges":
+            return int(_signed(a[0], aw[0]) >= _signed(a[1], aw[1])), t
+        if op == "land":
+            return int(bool(a[0] and a[1])), t
+        if op == "lor":
+            return int(bool(a[0] or a[1])), t
+        if op == "lnot":
+            return int(not a[0]), t
+        if op == "not":
+            return (~a[0]) & m, t
+        if op == "neg":
+            return (-a[0]) & m, t
+        if op == "cat":
+            r = 0
+            shift = 0
+            for child, v in zip(reversed(e.args), reversed(a)):
+                r |= v << shift
+                shift += child.width
+            return r, t
+        if op == "slice":
+            return (a[0] >> e.lo) & m, t
+        if op == "zext":
+            return a[0], t
+        if op == "sext":
+            return _signed(a[0], aw[0]) & m, t
+        raise ValueError(f"cannot interpret op {op!r}")
+
+    # -- cycle execution ------------------------------------------------------
+
+    def step(self, inputs: dict[str, int] | None = None) -> dict[str, int]:
+        """Advance one clock cycle; returns the output-port values."""
+        m = self.module
+        inputs = inputs or {}
+        values: dict[str, int] = {}
+        taints: dict[str, bool] = {}
+        for name, width in m.inputs.items():
+            values[name] = inputs.get(name, 0) & ((1 << width) - 1)
+            taints[name] = name in self.sources
+        for name in m.regs:
+            values[name] = self.regs[name]
+            taints[name] = self.reg_taint[name]
+        for name, expr in m.comb:
+            values[name], taints[name] = self._eval(expr, values, taints)
+
+        for name, tainted in taints.items():
+            if tainted:
+                self.ever_tainted.add(name)
+
+        # clock edge: evaluate every port's operands against the
+        # pre-edge state, then commit registers and writes in order
+        next_regs = {reg: values[sig] for reg, sig in m.reg_next.items()}
+        next_taints = {reg: taints[sig] for reg, sig in m.reg_next.items()}
+        writes = []
+        for wr in m.array_writes:
+            ev, et = self._eval(wr.enable, values, taints)
+            av, at = self._eval(wr.addr, values, taints)
+            dv, dt = self._eval(wr.data, values, taints)
+            if ev:
+                writes.append((wr.array, av % m.arrays[wr.array].size, dv, dt or at or et))
+        self.regs.update(next_regs)
+        self.reg_taint.update(next_taints)
+        for reg, tainted in next_taints.items():
+            if tainted:
+                self.ever_tainted.add(reg)
+        for arr, idx, value, tainted in writes:
+            self.arrays[arr][idx] = value
+            self.array_taint[arr][idx] = tainted
+            if tainted:
+                self.ever_tainted.add(array_node(arr))
+
+        self.cycles += 1
+        self.taints = taints
+        return {port: values[sig] for port, sig in m.outputs.items()}
+
+    def run(self, cycles: int, inputs: dict[str, int] | None = None) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for _ in range(cycles):
+            out = self.step(inputs)
+        return out
+
+    def load_array(self, name: str, data: dict[int, int] | list[int]) -> None:
+        """Initialize (untainted) array contents, like the simulators."""
+        arr = self.module.arrays[name]
+        mask = (1 << arr.width) - 1
+        items = enumerate(data) if isinstance(data, list) else data.items()
+        self.arrays[name] = {i: v & mask for i, v in items if v & mask != arr.default}
+        self.array_taint[name] = {}

@@ -72,7 +72,9 @@ def caisson_transform(base: Module, lattice: Lattice, name: str | None = None) -
             out.set_reg_next(copy, nxt)
         for wr in base.array_writes:
             enable = out.fresh(HOp("land", (renamer.expr(wr.enable), active), 1), f"we{k}")
-            out.write_array(_suffix(wr.array, k), renamer.expr(wr.addr), renamer.expr(wr.data), enable)
+            out.write_array(
+                _suffix(wr.array, k), renamer.expr(wr.addr), renamer.expr(wr.data), enable
+            )
 
     # context-muxed outputs: "multiplexers ... choose the corresponding
     # register based on the current security context"

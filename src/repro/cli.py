@@ -6,6 +6,7 @@ Built entirely on the :class:`~repro.toolchain.Toolchain` facade::
     python -m repro simulate design.sapper -n 100     # run the simulator
     python -m repro synth    design.sapper            # gate census report
     python -m repro stats    design.sapper            # pass-pipeline effect
+    python -m repro check    design.sapper            # design lint + taint audit
 
 Common options: ``--lattice two|diamond``, ``--insecure`` (compile the
 Base variant with tracking stripped), ``--no-opt`` (raw compiler
@@ -29,6 +30,18 @@ summary reports active lane-cycles and the final occupancy::
     python -m repro simulate design.sapper -n 100 --lanes 8 --engine batch
     python -m repro simulate design.sapper -n 100 --lanes 8 --no-compact
 
+``check`` runs the static analyzer (:mod:`repro.analyze`): design-lint
+rules (combinational loops, undriven/multiply-driven signals, dead
+input ports, width discipline, unreachable FSM states, unused lattice
+levels) plus the information-flow taint certificate, printed as text
+or ``--format json``; the exit status is nonzero iff an
+error-severity finding is present, so it slots straight into CI.
+``--seed-defect comb-loop`` injects a known defect first -- a smoke
+test that the checker fails loudly::
+
+    python -m repro check design.sapper --format json
+    python -m repro check design.sapper --seed-defect comb-loop; echo $?
+
 ``--store DIR`` (any command) adds a persistent artifact-store tier
 under the in-memory cache: compiled and optimized modules, synthesis
 reports, and Verilog text are reloaded from ``DIR`` on later runs
@@ -46,7 +59,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 from repro.lattice import Lattice, diamond, two_level
 from repro.store import ArtifactStore, StoreError
@@ -135,6 +148,17 @@ def _build_parser() -> argparse.ArgumentParser:
     common(sub.add_parser("synth", help="synthesize to a gate census / cost report"))
     common(sub.add_parser("stats", help="report what each optimization pass did"))
 
+    check = sub.add_parser(
+        "check",
+        help="run the static design-lint + information-flow analyzer",
+    )
+    common(check)
+    check.add_argument("--format", choices=["text", "json"], default="text",
+                       help="report format (default: text)")
+    check.add_argument("--seed-defect", choices=["comb-loop"], default=None,
+                       help="inject a known defect before analysis -- a smoke "
+                            "test that the checker fails loudly (exit 1)")
+
     serve = sub.add_parser(
         "serve",
         help="run the async artifact server (newline-delimited JSON requests)",
@@ -166,10 +190,10 @@ def _design(args: argparse.Namespace, tc: Toolchain):
     return tc.compile(source, lattice, secure=not args.insecure, name=name), lattice
 
 
-def _parse_inputs(pairs: Sequence[str]) -> dict[str, Union[int, list[int]]]:
+def _parse_inputs(pairs: Sequence[str]) -> dict[str, int | list[int]]:
     """``PORT=VALUE`` drives every lane; ``PORT=V0,V1,...`` drives one
     value per lane (length must match ``--lanes``)."""
-    out: dict[str, Union[int, list[int]]] = {}
+    out: dict[str, int | list[int]] = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"bad --input {pair!r}: expected PORT=VALUE")
@@ -185,8 +209,8 @@ def _parse_inputs(pairs: Sequence[str]) -> dict[str, Union[int, list[int]]]:
 
 
 def _lane_stimulus(
-    inputs: dict[str, Union[int, list[int]]], lanes: int
-) -> Optional[list[dict[str, int]]]:
+    inputs: dict[str, int | list[int]], lanes: int
+) -> list[dict[str, int]] | None:
     """Per-lane input dicts when any port carries a per-lane list."""
     if not any(isinstance(v, list) for v in inputs.values()):
         return None
@@ -373,6 +397,34 @@ def _cmd_stats(args: argparse.Namespace, tc: Toolchain) -> int:
     return 0
 
 
+def _seed_comb_loop(module) -> None:
+    """Append a two-signal combinational cycle to *module* (in place)."""
+    from repro.hdl.ir import HRef
+
+    module.comb.append(("seeded_loop_a", HRef("seeded_loop_b", 1)))
+    module.comb.append(("seeded_loop_b", HRef("seeded_loop_a", 1)))
+
+
+def _cmd_check(args: argparse.Namespace, tc: Toolchain) -> int:
+    import json
+
+    design, _ = _design(args, tc)
+    if args.seed_defect == "comb-loop":
+        # Mutated module: analyze directly so the broken report never
+        # lands in the cache or store under the clean design's key.
+        from repro.analyze import analyze_design
+
+        _seed_comb_loop(design.module)
+        report = analyze_design(design)
+    else:
+        report = tc.analyze(design)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace, tc: Toolchain) -> int:
     import asyncio
 
@@ -400,11 +452,12 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "synth": _cmd_synth,
     "stats": _cmd_stats,
+    "check": _cmd_check,
     "serve": _cmd_serve,
 }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     from repro.sapper.errors import SapperError
 
     args = _build_parser().parse_args(argv)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.caisson import caisson_transform
 from repro.glift import glift_augment
@@ -60,7 +59,7 @@ def _loc(text: str) -> int:
     return count
 
 
-def fig8_loc_table(lattice: Optional[Lattice] = None) -> list[tuple[str, int]]:
+def fig8_loc_table(lattice: Lattice | None = None) -> list[tuple[str, int]]:
     """Lines of Sapper code per processor component (paper's Figure 8).
 
     Counted on the generated source, non-blank non-comment lines.  The
@@ -85,7 +84,7 @@ class OverheadRow:
     power_uw: float
     memory_bits: float
 
-    def normalized(self, base: "OverheadRow") -> dict[str, float]:
+    def normalized(self, base: OverheadRow) -> dict[str, float]:
         return {
             "area": self.area_um2 / base.area_um2,
             "delay": self.delay_ns / base.delay_ns,
@@ -114,7 +113,7 @@ def _memory_bits(lattice: Lattice, kind: str, mem_words: int = 1 << 24) -> float
 
 
 def fig9_overhead(
-    lattice: Optional[Lattice] = None, mem_words: int = 1 << 24
+    lattice: Lattice | None = None, mem_words: int = 1 << 24
 ) -> dict[str, OverheadRow]:
     """Synthesize the four processors and report area/delay/power/memory.
 
@@ -178,9 +177,9 @@ def format_fig9(rows: dict[str, OverheadRow]) -> str:
 
 
 def sec43_functional_validation(
-    names: Optional[list[str]] = None,
+    names: list[str] | None = None,
     run_hw: bool = True,
-    batched: Optional[bool] = None,
+    batched: bool | None = None,
 ) -> list[dict]:
     """Cross-compare every workload's outputs: golden vs ISS vs hardware.
 

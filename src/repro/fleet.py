@@ -51,7 +51,8 @@ import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from collections.abc import Sequence
+from typing import Any
 
 from repro.lattice import Lattice, two_level
 from repro.mips.assembler import Executable
@@ -93,8 +94,8 @@ class FleetWorkloadResult(RunResult):
     ``get(i, default)`` over the key union.
     """
 
-    regs: Optional[dict[str, int]] = None
-    arrays: Optional[dict[str, dict[int, int]]] = None
+    regs: dict[str, int] | None = None
+    arrays: dict[str, dict[int, int]] | None = None
 
 
 @dataclass
@@ -102,7 +103,7 @@ class FleetStats:
     """Fleet-level scheduling counters merged from per-shard reports."""
 
     shards: int
-    start_method: Optional[str] = None
+    start_method: str | None = None
     degraded: bool = False
     requeues: int = 0
     deaths: int = 0
@@ -149,7 +150,7 @@ class _ProcJob:
 
     mode = "proc"
 
-    def __init__(self, lattice: Optional[Lattice], secure: bool, capture_state: bool):
+    def __init__(self, lattice: Lattice | None, secure: bool, capture_state: bool):
         self.lattice = lattice or two_level()
         self.secure = secure
         self.capture_state = capture_state
@@ -247,7 +248,7 @@ class _DesignJob:
         self.inputs = dict(inputs or {})
         self.compact = compact
         self.engine = engine
-        self._tc: Optional[Toolchain] = None
+        self._tc: Toolchain | None = None
         self._design = None
 
     def prepare(self, tc: Toolchain) -> None:
@@ -318,9 +319,9 @@ class _WorkerBase:
         self.result_q = result_q
         self.stop_evt = stop_evt
         self.capacity: int = spec["capacity"]
-        self.engine: Optional[str] = spec["engine"]
+        self.engine: str | None = spec["engine"]
         self.heartbeat_every: int = spec["heartbeat_every"]
-        self.self_destruct: Optional[int] = spec.get("self_destruct")
+        self.self_destruct: int | None = spec.get("self_destruct")
         self._sent = 0
         self._advertised = 0
         self._beat = 0
@@ -362,7 +363,7 @@ class _WorkerBase:
                 return
             self._receive(batch, buffer)
 
-    def _gather(self, buffer: list) -> Optional[list]:
+    def _gather(self, buffer: list) -> list | None:
         """Block until at least one task is buffered (or stop fires),
         then take up to one wave's worth."""
         while not buffer:
@@ -439,7 +440,7 @@ class _ProcWorker(_WorkerBase):
         self.module = self.tc.optimize(self.design)
 
     def run_wave(self, wave: list, buffer: list) -> None:
-        slots: list[Optional[_Slot]] = []
+        slots: list[_Slot | None] = []
         loads: list[tuple] = []
         for task in wave:
             if self._finish_trivial(task):
@@ -502,7 +503,7 @@ class _ProcWorker(_WorkerBase):
                 sim.compact(sorted(gone))
                 slots = [s for p, s in enumerate(slots) if p not in gone]
 
-    def _next_task(self, buffer: list) -> Optional[tuple]:
+    def _next_task(self, buffer: list) -> tuple | None:
         while buffer:
             task = buffer.pop(0)
             if not self._finish_trivial(task):
@@ -630,18 +631,18 @@ class FleetRunner:
     def __init__(
         self,
         shards: int = 2,
-        lattice: Optional[Lattice] = None,
+        lattice: Lattice | None = None,
         secure: bool = True,
         lanes_per_worker: int = 128,
-        store: Union[ArtifactStore, str, None] = None,
-        engine: Optional[str] = None,
-        start_method: Optional[str] = None,
+        store: ArtifactStore | str | None = None,
+        engine: str | None = None,
+        start_method: str | None = None,
         requeue_limit: int = 2,
-        worker_timeout: Optional[float] = 120.0,
+        worker_timeout: float | None = 120.0,
         capture_state: bool = False,
         heartbeat_every: int = 200,
         _job=None,
-        _self_destruct: Optional[dict[int, int]] = None,
+        _self_destruct: dict[int, int] | None = None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -656,7 +657,7 @@ class FleetRunner:
         self.requeue_limit = requeue_limit
         self.worker_timeout = worker_timeout
         self.heartbeat_every = heartbeat_every
-        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        self._tmp: tempfile.TemporaryDirectory | None = None
         self.store = coerce_store(store)
         if self.store is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-")
@@ -678,7 +679,7 @@ class FleetRunner:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def __enter__(self) -> "FleetRunner":
+    def __enter__(self) -> FleetRunner:
         self.start()
         return self
 
@@ -738,7 +739,7 @@ class FleetRunner:
         self.stats.degraded = True
         self._teardown_workers()
 
-    def worker_pids(self) -> dict[int, Optional[int]]:
+    def worker_pids(self) -> dict[int, int | None]:
         """Live worker pids (fault-injection tests kill these)."""
         return {
             wid: proc.pid
@@ -785,7 +786,7 @@ class FleetRunner:
     def run(
         self,
         executables: Sequence[Executable],
-        max_cycles: Union[int, Sequence[int]] = 2_000_000,
+        max_cycles: int | Sequence[int] = 2_000_000,
     ) -> list[RunResult]:
         """Run the suite; one result per executable, submission order."""
         budgets = check_budgets(max_cycles, len(executables))
@@ -951,20 +952,20 @@ class FleetRunner:
 
 def simulate_sharded(
     source: str,
-    lattice: Optional[Lattice] = None,
+    lattice: Lattice | None = None,
     *,
     cycles: int,
     lanes: int,
     shards: int = 2,
     name: str = "design",
     secure: bool = True,
-    inputs: Optional[dict[str, int]] = None,
-    lane_stim: Optional[list[dict[str, int]]] = None,
-    engine: Optional[str] = None,
+    inputs: dict[str, int] | None = None,
+    lane_stim: list[dict[str, int]] | None = None,
+    engine: str | None = None,
     compact: bool = True,
-    store: Union[ArtifactStore, str, None] = None,
-    start_method: Optional[str] = None,
-    slice_lanes: Optional[int] = None,
+    store: ArtifactStore | str | None = None,
+    start_method: str | None = None,
+    slice_lanes: int | None = None,
 ) -> dict[str, Any]:
     """Shard a generic design's lane batch across fleet workers.
 

@@ -18,7 +18,19 @@ and a ``<port>__taint`` output per original output.
 
 from __future__ import annotations
 
-from repro.hdl.netlist import AND, CONST0, CONST1, DFF, INPUT, INV, OR, XOR, Gate, Netlist, NetlistSimulator
+from repro.hdl.netlist import (
+    AND,
+    CONST0,
+    CONST1,
+    DFF,
+    INPUT,
+    INV,
+    OR,
+    XOR,
+    Gate,
+    Netlist,
+    NetlistSimulator,
+)
 
 
 def glift_transform(base: Netlist) -> Netlist:

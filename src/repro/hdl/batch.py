@@ -71,7 +71,7 @@ from __future__ import annotations
 
 from collections import Counter
 from time import perf_counter
-from typing import Callable, Optional, Sequence, Union
+from collections.abc import Callable, Sequence
 
 from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module, significant_bits
 from repro.hdl.passes.base import WeakIdMemo
@@ -304,8 +304,8 @@ class _BatchCodeGen(_CodeGen):
         self,
         module: Module,
         swar: bool = True,
-        pitch: Optional[int] = None,
-        resident: Optional[frozenset] = None,
+        pitch: int | None = None,
+        resident: frozenset | None = None,
     ):
         super().__init__(module)
         m = module
@@ -1536,7 +1536,7 @@ class _Marshal:
     __slots__ = ("reads_p", "reads_s", "reads_w",
                  "writes_p", "writes_s", "writes_w", "arrays")
 
-    def __init__(self, gen: "_BatchCodeGen"):
+    def __init__(self, gen: _BatchCodeGen):
         self.reads_p = gen.reads_pregs
         self.reads_s = gen.reads_sregs
         self.reads_w = gen.reads_wregs
@@ -1568,13 +1568,13 @@ class _BatchEntry:
         self.steps: dict[int, Callable] = {}
         self.dispatch = _dispatch_regs(module)
         #: combo -> per-lane-count factory, or None when folding was refused
-        self.bodies: dict[tuple, Optional["_BatchEntry._Body"]] = {}
+        self.bodies: dict[tuple, _BatchEntry._Body | None] = {}
 
     def _make_gen(
         self,
         module: Module,
-        pitch: Optional[int] = None,
-        resident: Optional[frozenset] = None,
+        pitch: int | None = None,
+        resident: frozenset | None = None,
     ) -> _BatchCodeGen:
         return _BatchCodeGen(module, swar=self.swar, pitch=pitch, resident=resident)
 
@@ -1603,7 +1603,7 @@ class _BatchEntry:
             fn = self.steps[n] = self.factory(n)
         return fn
 
-    def body_for(self, module: Module, combo: tuple) -> Optional["_BatchEntry._Body"]:
+    def body_for(self, module: Module, combo: tuple) -> _BatchEntry._Body | None:
         """The specialized body for a uniform *combo*, compiled lazily.
 
         The folded body is generated with the *entry's* slot pitch and
@@ -1613,7 +1613,7 @@ class _BatchEntry:
         if combo in self.bodies:
             return self.bodies[combo]
         binding = {reg: v for reg, v in zip(self.dispatch, combo) if v is not None}
-        body: Optional[_BatchEntry._Body] = None
+        body: _BatchEntry._Body | None = None
         compiled = sum(1 for b in self.bodies.values() if b is not None)
         if binding and compiled < _MAX_BODIES:
             folded = _fold_module(module, binding)
@@ -1647,14 +1647,14 @@ def _batch_entry(module: Module, swar: bool = True) -> _BatchEntry:
 # ----------------------------------------------------------------- simulator
 
 
-InputLike = Union[None, dict, Sequence[Optional[dict]]]
+InputLike = None | dict | Sequence[dict | None]
 
 
 class _LaneRegs:
     """Dict-like per-lane view of a :class:`BatchSimulator`'s registers,
     compatible with :attr:`repro.hdl.sim.Simulator.regs` consumers."""
 
-    def __init__(self, sim: "BatchSimulator", lane: int):
+    def __init__(self, sim: BatchSimulator, lane: int):
         self._sim = sim
         self._lane = lane
 
@@ -1664,7 +1664,7 @@ class _LaneRegs:
     def __setitem__(self, name: str, value: int) -> None:
         self._sim.set_reg(self._lane, name, value)
 
-    def get(self, name: str, default: Optional[int] = None) -> Optional[int]:
+    def get(self, name: str, default: int | None = None) -> int | None:
         try:
             return self[name]
         except KeyError:
@@ -1687,7 +1687,7 @@ class _LaneView:
     """One lane presented with the scalar :class:`Simulator` interface
     (``regs`` mapping, ``arrays`` dict of live per-lane stores)."""
 
-    def __init__(self, sim: "BatchSimulator", lane: int):
+    def __init__(self, sim: BatchSimulator, lane: int):
         self.regs = _LaneRegs(sim, lane)
         self.arrays = {name: store[lane] for name, store in sim.arrays.items()}
 
@@ -1760,7 +1760,7 @@ class BatchSimulator:
         optimize: bool = True,
         specialize: bool = True,
         swar: bool = True,
-        retire_when: Optional[Callable[["BatchSimulator", int], bool]] = None,
+        retire_when: Callable[["BatchSimulator", int], bool] | None = None,
         majority: bool = True,
     ):
         if lanes < 1:
@@ -1809,6 +1809,8 @@ class BatchSimulator:
         self.arrays: dict[str, list[dict[int, int]]] = {
             name: [{} for _ in range(lanes)] for name in module.arrays
         }
+        #: optional lane-packed shadow-taint layer (see :meth:`attach_taint`)
+        self.taint = None
         self._ones = (1 << lanes) - 1
         self._empty_inputs = [{}] * lanes
         self._dispatch = []
@@ -1857,7 +1859,7 @@ class BatchSimulator:
                 for i, lane in enumerate(keep)
             )
 
-    def _sreg_uniform(self, name: str, mask: int) -> Optional[int]:
+    def _sreg_uniform(self, name: str, mask: int) -> int | None:
         """The shared value of *name* across lanes, or None if they differ."""
         word = self.sregs[name]
         v0 = word & mask
@@ -1926,6 +1928,31 @@ class BatchSimulator:
         else:
             self.wregs[name][lane] = value
 
+    def attach_taint(self, sources=None, certificate=None, lane_masks=None):
+        """Attach lane-packed shadow-taint tracking over the tainted cone.
+
+        *sources* names the input ports that inject taint (or pass a
+        precomputed :class:`~repro.analyze.taint.TaintCertificate` as
+        *certificate*); *lane_masks* optionally restricts each source
+        to a packed subset of lanes.  The static certificate prunes the
+        shadow state up front: only statically tainted signals get a
+        packed taint word, statically clean ones are dropped from the
+        tag cone entirely (see ``self.taint.stats``).  Tracking is
+        passive -- values, outputs, and every counter stay bit-identical
+        with and without it.  The tracker advances with every
+        :meth:`step` and repacks with every :meth:`compact`.
+        """
+        from repro.analyze.taint import PackedTaintTracker, compute_taint
+
+        if certificate is None:
+            if sources is None:
+                raise ValueError("attach_taint() needs sources or a certificate")
+            certificate = compute_taint(self.module, tuple(sources))
+        self.taint = PackedTaintTracker(
+            self.module, certificate, self.lanes, lane_masks
+        )
+        return self.taint
+
     def lane_view(self, lane: int) -> _LaneView:
         return _LaneView(self, self._check_lane(lane))
 
@@ -1934,7 +1961,7 @@ class BatchSimulator:
         self._check_lane(lane)
         return {name: self.get_reg(lane, name) for name in self.module.regs}
 
-    def load_array(self, lane: int, name: str, data: Union[dict, list]) -> None:
+    def load_array(self, lane: int, name: str, data: dict | list) -> None:
         """Initialize one lane's array contents (e.g. program memory).
 
         Mutates the lane's store in place so live views of it (e.g. a
@@ -1950,7 +1977,7 @@ class BatchSimulator:
 
     # -- occupancy management ----------------------------------------------
 
-    def compact(self, retired: Optional[Sequence[int]] = None) -> list[int]:
+    def compact(self, retired: Sequence[int] | None = None) -> list[int]:
         """Drop *retired* lanes and repack all state to the survivors.
 
         *retired* lists current lane positions (defaults to the lanes
@@ -1994,6 +2021,8 @@ class BatchSimulator:
             self.wregs[name] = [lst[lane] for lane in keep]
         for name, lst in self.arrays.items():
             self.arrays[name] = [lst[lane] for lane in keep]
+        if self.taint is not None:
+            self.taint.compact(keep)
         gone = [self.active_lanes[lane] for lane in sorted(seen)]
         self.active_lanes = [self.active_lanes[lane] for lane in keep]
         self.lanes = k
@@ -2021,7 +2050,7 @@ class BatchSimulator:
             raise ValueError(f"expected {self.lanes} per-lane inputs, got {len(inputs)}")
         return [d if d is not None else {} for d in inputs]
 
-    def _uniform_combo(self) -> Optional[tuple]:
+    def _uniform_combo(self) -> tuple | None:
         vals = []
         some = False
         for name, mode, mask in self._dispatch:
@@ -2066,7 +2095,7 @@ class BatchSimulator:
                 cols.append(self.wregs[name])
         return list(zip(*cols))
 
-    def _majority_step(self, lane_inputs: Sequence[dict]) -> Optional[list]:
+    def _majority_step(self, lane_inputs: Sequence[dict]) -> list | None:
         """Split the batch by dominant dispatch binding, if worthwhile.
 
         Returns the merged per-lane outputs, or ``None`` when no cohort
@@ -2108,7 +2137,7 @@ class BatchSimulator:
         self,
         maj: _CohortPlan,
         mino: _CohortPlan,
-        body: "_BatchEntry._Body",
+        body: _BatchEntry._Body,
         lane_inputs: Sequence[dict],
     ) -> list[dict[str, int]]:
         """One cycle as two cohorts with mask-merged write-back.
@@ -2150,6 +2179,8 @@ class BatchSimulator:
         """Advance every lane one clock cycle; returns per-lane outputs."""
         self.cycles += 1
         self.lane_cycles += self.lanes
+        if self.taint is not None:
+            self.taint.step()
         lane_inputs = self._lane_inputs(inputs)
         if self.specialize and self._dispatch:
             combo = self._uniform_combo()

@@ -24,10 +24,10 @@ are bit-exact with the interpreter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 #: Operator -> arity (None = variadic).
-OPS: dict[str, Optional[int]] = {
+OPS: dict[str, int | None] = {
     "add": 2, "sub": 2, "mul": 2, "div": 2, "mod": 2,
     "and": 2, "or": 2, "xor": 2,
     "shl": 2, "shr": 2, "asr": 2,
@@ -42,13 +42,79 @@ OPS: dict[str, Optional[int]] = {
     "read": 1,          # attrs array;  child = address
 }
 
-BOOL_OUT = frozenset(["eq", "ne", "lt", "le", "gt", "ge", "lts", "les", "gts", "ges", "land", "lor", "lnot"])
+BOOL_OUT = frozenset(
+    ["eq", "ne", "lt", "le", "gt", "ge", "lts", "les", "gts", "ges", "land", "lor", "lnot"]
+)
+
+
+def op_width_issue(node: HOp, arrays: dict[str, ArrayDef] | None = None) -> str | None:
+    """Width-discipline violation of a single operator node, or ``None``.
+
+    The backends trust declared widths wherever they skip masking, so
+    every shape whose scalar semantics could produce a value outside
+    ``node.width`` bits -- or whose attributes are inconsistent with the
+    declared width -- is rejected:
+
+    * ``and``/``or``/``xor`` results and ``mux`` arms are unmasked:
+      operands must not be wider than the node;
+    * ``shr`` and ``mod`` results are unmasked (a remainder by zero
+      yields the dividend): the dividend/shifted operand must fit;
+    * ``zext`` passes its operand through unmasked and ``sext`` reads
+      the operand's declared sign position: neither may narrow;
+    * ``cat`` ORs parts at their declared offsets unmasked: the parts
+      must fit the node;
+    * ``slice`` bounds must describe exactly the declared width;
+    * comparison/logical operators produce a single bit;
+    * ``read`` returns stored words verbatim: its width must match the
+      array's declared word width (pass *arrays* to enable this check).
+    """
+    op = node.op
+    if op in ("and", "or", "xor"):
+        wide = [a.width for a in node.args if a.width > node.width]
+        if wide:
+            return f"{op!r} of width {node.width} with wider operand(s) {wide}"
+    elif op == "mux":
+        wide = [a.width for a in node.args[1:] if a.width > node.width]
+        if wide:
+            return f"'mux' of width {node.width} with wider operand(s) {wide} in its arms"
+    elif op in ("shr", "mod"):
+        if node.args[0].width > node.width:
+            return (
+                f"{op!r} of width {node.width} with a wider (unmasked) "
+                f"operand of width {node.args[0].width}"
+            )
+    elif op in ("zext", "sext"):
+        if node.args[0].width > node.width:
+            return (
+                f"{op!r} narrowing from {node.args[0].width} to "
+                f"{node.width} bits (extensions must widen)"
+            )
+    elif op == "cat":
+        total = sum(a.width for a in node.args)
+        if total > node.width:
+            return f"'cat' of width {node.width} with {total} bits of parts"
+    elif op == "slice":
+        if not 0 <= node.lo <= node.hi or node.hi - node.lo + 1 != node.width:
+            return (
+                f"'slice' [{node.hi}:{node.lo}] inconsistent with "
+                f"declared width {node.width}"
+            )
+    elif op == "read" and arrays is not None:
+        arr = arrays.get(node.array)
+        if arr is not None and node.width != arr.width:
+            return (
+                f"'read' of width {node.width} from array {node.array!r} "
+                f"of word width {arr.width}"
+            )
+    if op in BOOL_OUT and node.width != 1:
+        return f"boolean operator {op!r} declared at width {node.width}"
+    return None
 
 
 def significant_bits(
-    e: "HExpr",
-    env: Optional[dict[str, int]] = None,
-    memo: Optional[dict[int, int]] = None,
+    e: HExpr,
+    env: dict[str, int] | None = None,
+    memo: dict[int, int] | None = None,
 ) -> int:
     """A sound upper bound on the number of significant (possibly
     non-zero) low bits of *e*'s value, at most ``e.width``.
@@ -268,32 +334,45 @@ class Module:
     def validate(self) -> None:
         """Check SSA discipline, reference order and widths.
 
-        Width discipline: ``and``/``or``/``xor`` results and ``mux``
-        arms are not masked by any backend (the value is trusted to fit
-        the declared width), so operands wider than the node are
-        rejected here rather than silently producing out-of-range
-        "w-bit" values downstream.
+        Width discipline (:func:`op_width_issue`): every operator whose
+        scalar semantics skip masking -- ``and``/``or``/``xor``/``mux``
+        operands, ``shr``/``mod`` dividends, extensions, ``cat`` parts,
+        ``slice`` bounds, boolean outputs, array reads -- is checked so
+        out-of-range "w-bit" values cannot appear downstream.
         """
         defined = set(self.inputs) | set(self.regs)
         for name, expr in self.comb:
             for node in expr.walk():
                 if isinstance(node, HRef) and node.name not in defined:
                     raise ValueError(f"{self.name}: signal {name!r} reads undefined {node.name!r}")
-                if isinstance(node, HOp) and node.op == "read" and node.array not in self.arrays:
-                    raise ValueError(f"{self.name}: read of unknown array {node.array!r}")
                 if isinstance(node, HOp):
-                    if node.op in ("and", "or", "xor"):
-                        wide = [a.width for a in node.args if a.width > node.width]
-                    elif node.op == "mux":
-                        wide = [a.width for a in node.args[1:] if a.width > node.width]
-                    else:
-                        wide = []
-                    if wide:
-                        raise ValueError(
-                            f"{self.name}: signal {name!r} has a {node.op!r} of "
-                            f"width {node.width} with wider operand(s) {wide}"
-                        )
+                    if node.op == "read" and node.array not in self.arrays:
+                        raise ValueError(f"{self.name}: read of unknown array {node.array!r}")
+                    issue = op_width_issue(node, self.arrays)
+                    if issue:
+                        raise ValueError(f"{self.name}: signal {name!r} has a {issue}")
             defined.add(name)
+        for wr in self.array_writes:
+            if wr.array not in self.arrays:
+                raise ValueError(f"{self.name}: write to unknown array {wr.array!r}")
+            for expr in (wr.addr, wr.data, wr.enable):
+                for node in expr.walk():
+                    if isinstance(node, HRef) and node.name not in defined:
+                        raise ValueError(
+                            f"{self.name}: write port of {wr.array!r} reads "
+                            f"undefined {node.name!r}"
+                        )
+                    if isinstance(node, HOp):
+                        issue = op_width_issue(node, self.arrays)
+                        if issue:
+                            raise ValueError(
+                                f"{self.name}: write port of {wr.array!r} has a {issue}"
+                            )
+            if wr.data.width > self.arrays[wr.array].width:
+                raise ValueError(
+                    f"{self.name}: write port of {wr.array!r} stores "
+                    f"{wr.data.width}-bit data into {self.arrays[wr.array].width}-bit words"
+                )
         for reg, sig in self.reg_next.items():
             if sig not in defined:
                 raise ValueError(f"{self.name}: reg {reg!r} loads undefined signal {sig!r}")

@@ -16,7 +16,6 @@ analytical path in :mod:`repro.glift.analytical`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
 
@@ -47,8 +46,8 @@ class Netlist:
         self.inputs: dict[str, list[int]] = {}     # port -> net ids (LSB first)
         self.outputs: dict[str, list[int]] = {}
         self.dff_d: dict[int, int] = {}            # dff net -> data net
-        self._const0: Optional[int] = None
-        self._const1: Optional[int] = None
+        self._const0: int | None = None
+        self._const1: int | None = None
 
     # -- construction -------------------------------------------------------
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 import weakref
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.hdl.ir import ArrayWrite, HExpr, Module
 
@@ -65,9 +65,9 @@ class Pass:
 def rebuild(
     module: Module,
     comb: list[tuple[str, HExpr]],
-    outputs: Optional[dict[str, str]] = None,
-    reg_next: Optional[dict[str, str]] = None,
-    array_writes: Optional[list[ArrayWrite]] = None,
+    outputs: dict[str, str] | None = None,
+    reg_next: dict[str, str] | None = None,
+    array_writes: list[ArrayWrite] | None = None,
 ) -> Module:
     """Construct a new module sharing *module*'s architectural shell.
 

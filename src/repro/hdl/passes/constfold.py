@@ -12,7 +12,6 @@ anything else is left alone.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.hdl.ir import ArrayWrite, HConst, HExpr, HOp, HRef, Module
 from repro.hdl.passes.base import Pass, rebuild
@@ -23,7 +22,7 @@ def _s(v: int, w: int) -> int:
     return v - (1 << w) if (v >> (w - 1)) & 1 else v
 
 
-def eval_op(e: HOp, vals: list[int]) -> Optional[int]:
+def eval_op(e: HOp, vals: list[int]) -> int | None:
     """Evaluate one operator on constant inputs, or None if not foldable.
 
     Mirrors the expressions emitted by :class:`repro.hdl.sim._CodeGen`

@@ -60,9 +60,19 @@ class SimplifyLogic(Pass):
                         return HOp("lnot", (c,), 1)
                 # same-condition nesting: collapse the redundant arm
                 pt, pf = peek(t), peek(f)
-                if isinstance(pf, HOp) and pf.op == "mux" and pf.args[0] == c and pf.args[2].width == w:
+                if (
+                    isinstance(pf, HOp)
+                    and pf.op == "mux"
+                    and pf.args[0] == c
+                    and pf.args[2].width == w
+                ):
                     return HOp("mux", (c, t, pf.args[2]), w)
-                if isinstance(pt, HOp) and pt.op == "mux" and pt.args[0] == c and pt.args[1].width == w:
+                if (
+                    isinstance(pt, HOp)
+                    and pt.op == "mux"
+                    and pt.args[0] == c
+                    and pt.args[1].width == w
+                ):
                     return HOp("mux", (c, pt.args[1], f), w)
                 if isinstance(pc, HOp) and pc.op == "lnot" and pc.args[0].width == 1:
                     return HOp("mux", (pc.args[0], f, t), w)

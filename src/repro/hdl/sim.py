@@ -14,7 +14,7 @@ the dividend (matching the Sapper interpreter).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module
 from repro.hdl.passes.base import WeakIdMemo
@@ -226,10 +226,12 @@ class Simulator:
         # Clock edge: register updates then array write ports, in order.
         for reg, sig in m.reg_next.items():
             lines.append(f"    regs[{reg!r}] = {_mangle(sig)}")
-        for i, wr in enumerate(m.array_writes):
+        for _i, wr in enumerate(m.array_writes):
             size = m.arrays[wr.array].size
             lines.append(f"    if {gen.expr(wr.enable)}:")
-            lines.append(f"        a_{wr.array}[{gen.expr(wr.addr)} % {size}] = {gen.expr(wr.data)}")
+            lines.append(
+                f"        a_{wr.array}[{gen.expr(wr.addr)} % {size}] = {gen.expr(wr.data)}"
+            )
         outs = ", ".join(f"{p!r}: {_mangle(sig)}" for p, sig in m.outputs.items())
         lines.append("    return {" + outs + "}")
         source = _SIGNED_HELPER + "\n".join(lines)
@@ -240,12 +242,12 @@ class Simulator:
         _STEP_CACHE.set(m, (source, step))
         return step
 
-    def step(self, inputs: Optional[dict[str, int]] = None) -> dict[str, int]:
+    def step(self, inputs: dict[str, int] | None = None) -> dict[str, int]:
         """Advance one clock cycle; returns the output-port values."""
         self.cycles += 1
         return self._step(self.regs, self.arrays, inputs or {})
 
-    def run(self, cycles: int, inputs: Optional[dict[str, int]] = None) -> dict[str, int]:
+    def run(self, cycles: int, inputs: dict[str, int] | None = None) -> dict[str, int]:
         out: dict[str, int] = {}
         for _ in range(cycles):
             out = self.step(inputs)

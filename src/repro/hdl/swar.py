@@ -41,7 +41,7 @@ every primitive differentially against the scalar semantics of
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Sequence
+from collections.abc import Sequence
 
 #: Widest signal the SWAR tier packs (the 33-bit tagged-word boundary).
 SWAR_MAX_WIDTH = 33

@@ -225,9 +225,9 @@ def synthesize(module: Module, optimize: bool = True) -> CostReport:
         g, _ = array_cost(arr, max(1, array_read_ports[name]), max(1, write_ports[name]))
         counts.add(g)
 
-    for reg, sig in module.reg_next.items():
+    for _reg, sig in module.reg_next.items():
         critical = max(critical, levels[sig])
-    for port, sig in module.outputs.items():
+    for _port, sig in module.outputs.items():
         critical = max(critical, levels[sig])
 
     return CostReport(module.name, counts, critical, levels)

@@ -54,7 +54,7 @@ class GateCounts:
     dff: int = 0
     sram_bits: int = 0
 
-    def add(self, other: "GateCounts", times: int = 1) -> None:
+    def add(self, other: GateCounts, times: int = 1) -> None:
         self.and2 += other.and2 * times
         self.or2 += other.or2 * times
         self.xor2 += other.xor2 * times

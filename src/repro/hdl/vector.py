@@ -40,7 +40,6 @@ clear, actionable error instead of an ImportError traceback.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.hdl.batch import (
     _CMP_OPS,
@@ -243,8 +242,8 @@ class _VectorCodeGen(_BatchCodeGen):
     def __init__(
         self,
         module: Module,
-        pitch: Optional[int] = None,
-        resident: Optional[frozenset] = None,
+        pitch: int | None = None,
+        resident: frozenset | None = None,
     ):
         self._xl_needed: set[str] = set()
         self.dense = _dense_arrays(module)
@@ -453,7 +452,7 @@ class _VectorCodeGen(_BatchCodeGen):
             return self._kna(e.value)
         return self.vv(e)
 
-    def _bsel(self, sel: HExpr) -> Optional[str]:
+    def _bsel(self, sel: HExpr) -> str | None:
         """Mux selector as a boolean array, or None for a constant."""
         if isinstance(sel, HConst):
             return None
@@ -668,7 +667,7 @@ class _VectorCodeGen(_BatchCodeGen):
         # load-aligner or FPU path with no lane on it -- is skipped
         return f"_whl({u}, {scode}, lambda: {t}, lambda: {f})"
 
-    def _uniform_tag(self, sel: HExpr, scode: str) -> Optional[str]:
+    def _uniform_tag(self, sel: HExpr, scode: str) -> str | None:
         if not scode.isidentifier():  # pragma: no cover - sites _as_local
             return None
         got = self._ucache.get(scode)
@@ -738,7 +737,7 @@ class _VectorCodeGen(_BatchCodeGen):
             self._chain_members_set = got
         return got
 
-    def _chain_link(self, t: HRef) -> Optional[HOp]:
+    def _chain_link(self, t: HRef) -> HOp | None:
         """*t*'s defining mux if it is a followable chain link."""
         if (self.kinds.get(t.name) == "w"
                 and self.use_count.get(t.name, 0) == 1
@@ -756,7 +755,7 @@ class _VectorCodeGen(_BatchCodeGen):
                 return g
         return self.wval(e)
 
-    def _mux_chain_code(self, e: HOp) -> Optional[str]:
+    def _mux_chain_code(self, e: HOp) -> str | None:
         """Shrink a priority mux chain, or None if nothing improves.
 
         The chain (one mux per link signal, followed through single-use
@@ -1106,8 +1105,8 @@ class _VectorEntry(_BatchEntry):
     def _make_gen(
         self,
         module: Module,
-        pitch: Optional[int] = None,
-        resident: Optional[frozenset] = None,
+        pitch: int | None = None,
+        resident: frozenset | None = None,
     ) -> _VectorCodeGen:
         return _VectorCodeGen(module, pitch=pitch, resident=resident)
 
@@ -1206,7 +1205,7 @@ class VectorSimulator(BatchSimulator):
         for name, arr in self.sregs.items():
             self.sregs[name] = arr[idx]
 
-    def _sreg_uniform(self, name: str, mask: int) -> Optional[int]:
+    def _sreg_uniform(self, name: str, mask: int) -> int | None:
         arr = self.sregs[name]
         v0 = arr[0]
         if (arr == v0).all():

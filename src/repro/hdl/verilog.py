@@ -103,7 +103,9 @@ def emit_verilog(module: Module, optimize: bool = True) -> str:
     for reg, sig in module.reg_next.items():
         lines.append(f"    {reg} <= {sig};")
     for wr in module.array_writes:
-        lines.append(f"    if ({_emit(wr.enable)}) {wr.array}[{_emit(wr.addr)}] <= {_emit(wr.data)};")
+        lines.append(
+            f"    if ({_emit(wr.enable)}) {wr.array}[{_emit(wr.addr)}] <= {_emit(wr.data)};"
+        )
     lines.append("  end")
     lines.append("")
     for port, sig in module.outputs.items():

@@ -10,7 +10,7 @@ of the paper); the partial order drives enforcement checks.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 class LatticeError(ValueError):
@@ -103,7 +103,9 @@ class Lattice:
         for i in range(n):
             if all(self._leq[i][j] if is_bottom else self._leq[j][i] for j in range(n)):
                 return self._elements[i]
-        raise LatticeError("lattice has no bottom element" if is_bottom else "lattice has no top element")
+        raise LatticeError(
+            "lattice has no bottom element" if is_bottom else "lattice has no top element"
+        )
 
     # -- queries ---------------------------------------------------------------
 
@@ -186,7 +188,9 @@ class Lattice:
             covers = [
                 j
                 for j in strictly_below
-                if not any(self._leq[j][k] and self._leq[k][i] and k not in (i, j) for k in strictly_below)
+                if not any(
+                    self._leq[j][k] and self._leq[k][i] and k not in (i, j) for k in strictly_below
+                )
             ]
             if len(covers) == 1:
                 out.append(e)

@@ -153,7 +153,7 @@ class _Assembler:
         lines = self._clean_lines()
         # pass 1: addresses
         addr = self.origin
-        for stmt, raw in lines:
+        for stmt, _raw in lines:
             if stmt.startswith("LABEL "):
                 self.symbols[stmt[6:]] = addr
                 continue
@@ -305,11 +305,13 @@ class _Assembler:
                 offset, base = self._mem_operand(args[1], raw)
                 return [enc(ins(op, rs=base, rt=ft, imm=offset & 0xFFFF))]
             if op == "lui":
-                return [enc(ins(op, rt=parse_reg(args[0], raw), imm=self.value(args[1], raw) & 0xFFFF))]
+                rt = parse_reg(args[0], raw)
+                return [enc(ins(op, rt=rt, imm=self.value(args[1], raw) & 0xFFFF))]
             return [enc(ins(op, rt=parse_reg(args[0], raw), rs=parse_reg(args[1], raw),
                             imm=self.value(args[2], raw) & 0xFFFF))]
         if fmt == "RI":
-            return [enc(ins(op, rs=parse_reg(args[0], raw), imm=self._branch_off(args[1], raw, addr)))]
+            rs = parse_reg(args[0], raw)
+            return [enc(ins(op, rs=rs, imm=self._branch_off(args[1], raw, addr)))]
         if fmt == "J":
             return [enc(ins(op, target=(self.value(args[0], raw) >> 2) & 0x3FFFFFF))]
         if fmt in ("F", "FW"):

@@ -19,7 +19,6 @@ Formats::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 OP_SPECIAL = 0x00
 OP_REGIMM = 0x01
@@ -130,7 +129,14 @@ class Instruction:
 def encode(inst: Instruction) -> int:
     fmt, op, sub = ENCODINGS[inst.name]
     if fmt == "R":
-        return (op << 26) | (inst.rs << 21) | (inst.rt << 16) | (inst.rd << 11) | (inst.shamt << 6) | sub
+        return (
+            (op << 26)
+            | (inst.rs << 21)
+            | (inst.rt << 16)
+            | (inst.rd << 11)
+            | (inst.shamt << 6)
+            | sub
+        )
     if fmt == "I":
         return (op << 26) | (inst.rs << 21) | (inst.rt << 16) | (inst.imm & 0xFFFF)
     if fmt == "J":
@@ -166,7 +172,7 @@ for _name, (_fmt, _op, _sub) in ENCODINGS.items():
         _BY_KEY[("O", _op)] = _name
 
 
-def decode(word: int) -> Optional[Instruction]:
+def decode(word: int) -> Instruction | None:
     """Decode a 32-bit word; returns None for unknown encodings."""
     op = word >> 26 & 0x3F
     rs = word >> 21 & 0x1F

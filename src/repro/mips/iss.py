@@ -11,7 +11,6 @@ only affect tags, which the reference machine does not model).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.mips import softfloat as sf
 from repro.mips.assembler import Executable
@@ -46,7 +45,7 @@ class Iss:
     timer_requests: list[int] = field(default_factory=list)
 
     @classmethod
-    def load(cls, exe: Executable, entry: Optional[int] = None) -> "Iss":
+    def load(cls, exe: Executable, entry: int | None = None) -> Iss:
         return cls(memory=exe.as_memory(), pc=entry if entry is not None else exe.entry)
 
     # -- memory helpers -----------------------------------------------------------

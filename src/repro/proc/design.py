@@ -661,7 +661,11 @@ def _refill_section(params: ProcParams, setbits: int) -> str:
 
 
 def _pipeline_body(params: ProcParams, setbits: int) -> str:
-    decode = _decode_wires("ed_", "e_ir") + _decode_wires("md_", "m_ir") + _decode_wires("wd_", "w_ir")
+    decode = (
+        _decode_wires("ed_", "e_ir")
+        + _decode_wires("md_", "m_ir")
+        + _decode_wires("wd_", "w_ir")
+    )
     stages = (
         _indent(_writeback_section(), 4)
         + _indent(_regread_section(), 4)
@@ -722,7 +726,9 @@ def _slave_section(params: ProcParams, setbits: int) -> str:
 # -- public API -------------------------------------------------------------------------------
 
 
-def design_sections(lattice: Lattice | None = None, params: ProcParams | None = None) -> dict[str, str]:
+def design_sections(
+    lattice: Lattice | None = None, params: ProcParams | None = None
+) -> dict[str, str]:
     """The processor source split by component (the Figure 8 accounting).
 
     The concatenation of the full design equals ``generate_design``; the

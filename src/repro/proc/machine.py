@@ -13,7 +13,7 @@ violations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 from repro.lattice import Lattice, encode, two_level
 from repro.mips.assembler import Executable, assemble
@@ -24,7 +24,7 @@ from repro.toolchain import get_toolchain, lattice_key
 
 
 def compile_processor(
-    lattice: Optional[Lattice] = None,
+    lattice: Lattice | None = None,
     secure: bool = True,
     mem_words: int = 1 << 24,
     kernel_vector: int = 0x400,
@@ -49,7 +49,7 @@ def compile_processor(
     )
 
 
-def check_budgets(max_cycles: Union[int, Sequence[int]], count: int) -> list[int]:
+def check_budgets(max_cycles: int | Sequence[int], count: int) -> list[int]:
     """Expand *max_cycles* into one cycle budget per workload lane.
 
     A single int replicates to every lane.  A sequence must name
@@ -88,7 +88,7 @@ class SapperMachine:
 
     def __init__(
         self,
-        lattice: Optional[Lattice] = None,
+        lattice: Lattice | None = None,
         secure: bool = True,
         mem_words: int = 1 << 24,
         kernel_vector: int = 0x400,
@@ -183,10 +183,10 @@ class BatchedMachines:
     def __init__(
         self,
         executables: list[Executable],
-        lattice: Optional[Lattice] = None,
+        lattice: Lattice | None = None,
         secure: bool = True,
         compact: bool = True,
-        engine: Optional[str] = None,
+        engine: str | None = None,
     ):
         self.lattice = lattice or two_level()
         self.design = compile_processor(self.lattice, secure)
@@ -199,9 +199,9 @@ class BatchedMachines:
             self.sim.load_array(lane, "memory", exe.as_memory())
         self.outputs: list[list[int]] = [[] for _ in range(self.lanes)]
         self.violations = [0] * self.lanes
-        self.halted_at: list[Optional[int]] = [None] * self.lanes
+        self.halted_at: list[int | None] = [None] * self.lanes
 
-    def run(self, max_cycles: Union[int, Sequence[int]] = 2_000_000) -> list[RunResult]:
+    def run(self, max_cycles: int | Sequence[int] = 2_000_000) -> list[RunResult]:
         """Advance all lanes until every lane halts or exhausts its budget.
 
         *max_cycles* may be one budget for all lanes or a per-lane
@@ -249,12 +249,12 @@ class BatchedMachines:
 
 def run_workloads(
     executables: list[Executable],
-    lattice: Optional[Lattice] = None,
-    max_cycles: Union[int, Sequence[int]] = 2_000_000,
-    batched: Optional[bool] = None,
+    lattice: Lattice | None = None,
+    max_cycles: int | Sequence[int] = 2_000_000,
+    batched: bool | None = None,
     compact: bool = True,
-    engine: Optional[str] = None,
-    shards: Optional[int] = None,
+    engine: str | None = None,
+    shards: int | None = None,
     store=None,
 ) -> list[RunResult]:
     """Run many programs on the secure processor, one result per program.
@@ -307,7 +307,9 @@ def run_on_iss(exe: Executable, max_steps: int = 10_000_000) -> Iss:
     return iss
 
 
-def run_program(source: str, lattice: Optional[Lattice] = None, max_cycles: int = 2_000_000) -> RunResult:
+def run_program(
+    source: str, lattice: Lattice | None = None, max_cycles: int = 2_000_000
+) -> RunResult:
     """Assemble and run *source* on the secure processor."""
     machine = SapperMachine(lattice)
     machine.load(assemble(source))

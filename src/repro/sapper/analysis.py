@@ -20,7 +20,6 @@ need to know statically:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.lattice import Lattice
 from repro.sapper import ast
@@ -35,9 +34,9 @@ class ProgramInfo:
     regs: dict[str, ast.RegDecl]
     arrays: dict[str, ast.ArrDecl]
     states: dict[str, ast.StateDef]
-    parent: dict[str, Optional[str]]          # Fpnt
+    parent: dict[str, str | None]          # Fpnt
     children: dict[str, tuple[str, ...]]      # sibling groups, in source order
-    default_child: dict[str, Optional[str]]   # initial FallMap
+    default_child: dict[str, str | None]   # initial FallMap
     depth: dict[str, int]
     #: Fcd: if-label -> (dynamic reg names, dynamic array names, dynamic state names)
     fcd_regs: dict[str, frozenset[str]]
@@ -159,7 +158,9 @@ def _width_of(exp: ast.Exp, info: ProgramInfo, tw: int) -> int:
 
 
 class _Resolver:
-    def __init__(self, regs: dict[str, ast.RegDecl], arrays: dict[str, ast.ArrDecl], states: set[str]):
+    def __init__(
+        self, regs: dict[str, ast.RegDecl], arrays: dict[str, ast.ArrDecl], states: set[str]
+    ):
         self.regs = regs
         self.arrays = arrays
         self.states = states
@@ -266,7 +267,9 @@ class _Resolver:
             return ast.SetTag(entity, self.tagexp(c.tag))
         if isinstance(c, ast.Otherwise):
             primary = self.cmd(c.primary)
-            if not isinstance(primary, (ast.AssignReg, ast.AssignArr, ast.Goto, ast.Fall, ast.SetTag)):
+            if not isinstance(
+                primary, (ast.AssignReg, ast.AssignArr, ast.Goto, ast.Fall, ast.SetTag)
+            ):
                 raise SapperTypeError("otherwise must guard a single enforceable command")
             return ast.Otherwise(primary, self.cmd(c.handler))
         raise SapperTypeError(f"unknown command node {c!r}")
@@ -392,7 +395,7 @@ def _collect_fcd(
 # -- top level ------------------------------------------------------------------------
 
 
-def analyze(program: ast.Program, lattice: Optional[Lattice] = None) -> ProgramInfo:
+def analyze(program: ast.Program, lattice: Lattice | None = None) -> ProgramInfo:
     """Resolve and validate *program*; return the derived :class:`ProgramInfo`.
 
     When *lattice* is given, every label mentioned in the program is
@@ -405,9 +408,9 @@ def analyze(program: ast.Program, lattice: Optional[Lattice] = None) -> ProgramI
 
     # Build the state tree with the implicit root.
     states: dict[str, ast.StateDef] = {}
-    parent: dict[str, Optional[str]] = {ast.ROOT: None}
+    parent: dict[str, str | None] = {ast.ROOT: None}
     children: dict[str, tuple[str, ...]] = {}
-    default_child: dict[str, Optional[str]] = {}
+    default_child: dict[str, str | None] = {}
     depth: dict[str, int] = {ast.ROOT: 0}
 
     def add_state(s: ast.StateDef, par: str, d: int) -> None:

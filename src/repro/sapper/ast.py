@@ -22,7 +22,7 @@ their inputs -- a prerequisite for the noninterference theorem.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from collections.abc import Iterator
 
 # -- expressions ------------------------------------------------------------
 
@@ -64,7 +64,7 @@ class Const(Exp):
     """Integer literal; ``width`` pins the bit width when given."""
 
     value: int
-    width: Optional[int] = None
+    width: int | None = None
 
 
 @dataclass(frozen=True)
@@ -167,7 +167,7 @@ class TagOf(Exp):
     """The tag of an entity read *as a value* (tags are public, so the
     value carries the bottom label -- section 3.2 of the paper)."""
 
-    entity: "TaggedEntity"
+    entity: TaggedEntity
 
     def children(self) -> tuple[Exp, ...]:
         if isinstance(self.entity, EntArr):
@@ -386,7 +386,7 @@ class RegDecl:
     name: str
     width: int
     kind: str = "reg"
-    label: Optional[str] = None
+    label: str | None = None
     init: int = 0
 
     def __post_init__(self) -> None:
@@ -407,7 +407,7 @@ class ArrDecl:
     name: str
     width: int
     size: int
-    label: Optional[str] = None
+    label: str | None = None
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.size <= 0:
@@ -430,7 +430,7 @@ class StateDef:
 
     name: str
     body: Cmd
-    label: Optional[str] = None
+    label: str | None = None
     children: tuple["StateDef", ...] = ()
 
     @property
@@ -456,7 +456,7 @@ class Program:
     top-level state is the initial one.
     """
 
-    decls: tuple[Union[RegDecl, ArrDecl], ...]
+    decls: tuple[RegDecl | ArrDecl, ...]
     states: tuple[StateDef, ...]
     name: str = "design"
 

@@ -33,7 +33,6 @@ earlier in-cycle writes with forwarding muxes (real hardware cost).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
 
 from repro.lattice import BitEncoding, Lattice, LutEncoding, encode
 from repro.sapper import ast
@@ -43,9 +42,9 @@ from repro.sapper.errors import SapperTypeError
 
 @dataclass
 class _ArrayWriteRec:
-    addr: "HRef"
-    data: "HRef"
-    enable: "HRef"
+    addr: HRef
+    data: HRef
+    enable: HRef
 
 
 from repro.hdl.ir import HConst, HExpr, HOp, HRef, Module  # noqa: E402
@@ -58,7 +57,7 @@ class CompiledDesign:
     module: Module
     info: ProgramInfo
     lattice: Lattice
-    encoding: Union[BitEncoding, LutEncoding]
+    encoding: BitEncoding | LutEncoding
     secure: bool
     reg_tag: dict[str, str] = field(default_factory=dict)     # reg -> tag signal/reg name
     state_tag: dict[str, str] = field(default_factory=dict)   # dynamic state -> tag reg
@@ -293,7 +292,9 @@ class _Compiler:
         addr = self.wire(self._addr(iv, decl.size), "addr")
         value: HExpr = HOp("read", (addr,), decl.width, array=name)
         for rec in self.writes.get(name, ()):  # forwarding network
-            hit = HOp("land", (rec.enable, HOp("eq", (rec.addr, self.fit(addr, rec.addr.width)), 1)), 1)
+            hit = HOp(
+                "land", (rec.enable, HOp("eq", (rec.addr, self.fit(addr, rec.addr.width)), 1)), 1
+            )
             value = self.mux(hit, rec.data, value)
         if not self.secure:
             return self.wire(value, "rd"), self.bot, self.bot
@@ -301,7 +302,9 @@ class _Compiler:
             tag: HExpr = HOp("read", (addr,), self.tw, array=self.design.arr_tag[name])
             for rec in self.tag_writes.get(name, ()):
                 hit = HOp(
-                    "land", (rec.enable, HOp("eq", (rec.addr, self.fit(addr, rec.addr.width)), 1)), 1
+                    "land",
+                    (rec.enable, HOp("eq", (rec.addr, self.fit(addr, rec.addr.width)), 1)),
+                    1,
                 )
                 tag = self.mux(hit, rec.data, tag)
         else:
@@ -509,7 +512,9 @@ class _Compiler:
                 HOp("land", (self.leq(write_ctx, cur), self.leq(write_ctx, new_tag)), 1), "sok"
             )
             upgrade = self.leq(cur, new_tag)
-            zeroed = self.mux(upgrade, self.val(ent.name), HConst(0, self.info.regs[ent.name].width))
+            zeroed = self.mux(
+                upgrade, self.val(ent.name), HConst(0, self.info.regs[ent.name].width)
+            )
             self.set_val(ent.name, self.mux(ok, zeroed, self.val(ent.name)), f"v_{ent.name}")
             self.set_tag(ent.name, self.mux(ok, new_tag, cur))
             self.note_violation(ok, path)
@@ -708,10 +713,10 @@ class _Compiler:
 
 
 def compile_program(
-    source: Union[str, ast.Program, ProgramInfo],
+    source: str | ast.Program | ProgramInfo,
     lattice: Lattice,
     secure: bool = True,
-    name: Optional[str] = None,
+    name: str | None = None,
 ) -> CompiledDesign:
     """Compile Sapper source (text, AST, or analyzed info) to hardware.
 

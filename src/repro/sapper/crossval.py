@@ -19,7 +19,7 @@ correctness oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from collections.abc import Callable, Sequence
 
 from repro.hdl import Simulator
 from repro.lattice import Lattice
@@ -28,7 +28,7 @@ from repro.sapper.compiler import CompiledDesign, compile_program
 from repro.sapper.parser import parse_program
 from repro.sapper.semantics import Interpreter
 
-InputSpec = dict[str, Union[int, tuple[int, str]]]
+InputSpec = dict[str, int | tuple[int, str]]
 
 
 def encode_inputs(design: CompiledDesign, inputs: InputSpec) -> dict[str, int]:
@@ -72,21 +72,27 @@ class CrossValidation:
     interp: Interpreter
     design: CompiledDesign
     sim: Simulator
-    opt_sim: Optional[Simulator] = None
+    opt_sim: Simulator | None = None
     mismatches: list[Mismatch] = field(default_factory=list)
 
     @classmethod
     def build(
         cls,
-        source: Union[str, ProgramInfo],
+        source: str | ProgramInfo,
         lattice: Lattice,
         name: str = "design",
         optimized: bool = True,
-    ) -> "CrossValidation":
-        info = source if isinstance(source, ProgramInfo) else analyze(parse_program(source, name), lattice)
+    ) -> CrossValidation:
+        info = (
+            source
+            if isinstance(source, ProgramInfo)
+            else analyze(parse_program(source, name), lattice)
+        )
         design = compile_program(info, lattice, secure=True, name=name)
         opt_sim = Simulator(design.module) if optimized else None
-        return cls(Interpreter(info, lattice), design, Simulator(design.module, optimize=False), opt_sim)
+        return cls(
+            Interpreter(info, lattice), design, Simulator(design.module, optimize=False), opt_sim
+        )
 
     @property
     def engines(self) -> list[tuple[str, Simulator]]:
@@ -102,7 +108,7 @@ class CrossValidation:
 
     # -- state comparison ----------------------------------------------------------
 
-    def compare_state(self, cycle: int, sim: Optional[Simulator] = None, tag: str = "") -> None:
+    def compare_state(self, cycle: int, sim: Simulator | None = None, tag: str = "") -> None:
         it, design = self.interp, self.design
         sim = sim if sim is not None else self.sim
         enc = design.encoding
@@ -110,24 +116,38 @@ class CrossValidation:
             if decl.kind != "reg":
                 continue
             if sim.regs[name] != it.sigma[name]:
-                self.mismatches.append(Mismatch(cycle, f"{tag}reg {name}", it.sigma[name], sim.regs[name]))
+                self.mismatches.append(
+                    Mismatch(cycle, f"{tag}reg {name}", it.sigma[name], sim.regs[name])
+                )
         for name, tag_reg in design.reg_tag.items():
             want = enc.encode(it.theta_reg[name])
             if sim.regs[tag_reg] != want:
                 self.mismatches.append(
-                    Mismatch(cycle, f"{tag}tag({name})", it.theta_reg[name], enc.decode(sim.regs[tag_reg]))
+                    Mismatch(
+                        cycle,
+                        f"{tag}tag({name})",
+                        it.theta_reg[name],
+                        enc.decode(sim.regs[tag_reg]),
+                    )
                 )
         for sname, tag_reg in design.state_tag.items():
             want = enc.encode(it.theta_state[sname])
             if sim.regs[tag_reg] != want:
                 self.mismatches.append(
-                    Mismatch(cycle, f"{tag}tag(state {sname})", it.theta_state[sname], enc.decode(sim.regs[tag_reg]))
+                    Mismatch(
+                        cycle,
+                        f"{tag}tag(state {sname})",
+                        it.theta_state[sname],
+                        enc.decode(sim.regs[tag_reg]),
+                    )
                 )
         for sname, fall_reg in design.fall_reg.items():
             child = it.rho[sname]
             want = design.state_code[child] if child is not None else 0
             if sim.regs[fall_reg] != want:
-                self.mismatches.append(Mismatch(cycle, f"{tag}rho({sname})", child, sim.regs[fall_reg]))
+                self.mismatches.append(
+                    Mismatch(cycle, f"{tag}rho({sname})", child, sim.regs[fall_reg])
+                )
         for name, decl in it.info.arrays.items():
             sim_arr = sim.arrays[name]
             for idx in set(it.arrays[name]) | set(sim_arr):
@@ -143,15 +163,19 @@ class CrossValidation:
                     want_t = it.arr_tag(name, idx)
                     got_t = enc.decode(sim_tags.get(idx, enc.encode(default)))
                     if want_t != got_t:
-                        self.mismatches.append(Mismatch(cycle, f"{tag}tag({name}[{idx}])", want_t, got_t))
+                        self.mismatches.append(
+                            Mismatch(cycle, f"{tag}tag({name}[{idx}])", want_t, got_t)
+                        )
             else:
                 tag_reg = design.arr_tag[name]
                 want_t = it.theta_arr_single[name]
                 got_bits = sim.regs[tag_reg]
                 if enc.encode(want_t) != got_bits:
-                    self.mismatches.append(Mismatch(cycle, f"{tag}tag({name})", want_t, enc.decode(got_bits)))
+                    self.mismatches.append(
+                        Mismatch(cycle, f"{tag}tag({name})", want_t, enc.decode(got_bits))
+                    )
 
-    def run_cycle(self, inputs: Optional[InputSpec] = None) -> None:
+    def run_cycle(self, inputs: InputSpec | None = None) -> None:
         inputs = inputs or {}
         viol_before = len(self.interp.violations)
         it_out = self.interp.run_cycle(inputs)
@@ -162,22 +186,25 @@ class CrossValidation:
             sim_out = sim.step(sim_inputs)
             for port, (value, label) in it_out.items():
                 if sim_out.get(port) != value:
-                    self.mismatches.append(Mismatch(cycle, f"{tag}output {port}", value, sim_out.get(port)))
+                    self.mismatches.append(
+                        Mismatch(cycle, f"{tag}output {port}", value, sim_out.get(port))
+                    )
                 tag_port = f"{port}__tag"
                 if tag_port in sim_out and sim_out[tag_port] != self.design.encoding.encode(label):
                     self.mismatches.append(
                         Mismatch(cycle, f"{tag}output tag {port}", label, sim_out[tag_port])
                     )
-            if bool(sim_out.get("violation", 0)) != violated:
+            got_violation = bool(sim_out.get("violation", 0))
+            if got_violation != violated:
                 self.mismatches.append(
-                    Mismatch(cycle, f"{tag}violation flag", violated, bool(sim_out.get("violation", 0)))
+                    Mismatch(cycle, f"{tag}violation flag", violated, got_violation)
                 )
             self.compare_state(cycle, sim, tag)
 
     def run(
         self,
         cycles: int,
-        stimulus: Optional[Callable[[int], InputSpec]] = None,
+        stimulus: Callable[[int], InputSpec] | None = None,
         stop_on_mismatch: bool = True,
     ) -> list[Mismatch]:
         for cycle in range(cycles):
@@ -191,7 +218,7 @@ def assert_equivalent(
     source: str,
     lattice: Lattice,
     cycles: int,
-    stimulus: Optional[Callable[[int], InputSpec]] = None,
+    stimulus: Callable[[int], InputSpec] | None = None,
 ) -> CrossValidation:
     """Run all three engines (interpreter, raw hardware, optimized
     hardware) and raise ``AssertionError`` on the first divergence."""
@@ -216,11 +243,11 @@ class BatchCrossValidation:
 
     def __init__(
         self,
-        source: Union[str, ProgramInfo],
+        source: str | ProgramInfo,
         lattice: Lattice,
         lanes: int,
         name: str = "design",
-        majority_fraction: Optional[float] = None,
+        majority_fraction: float | None = None,
         engine: str = "swar",
     ):
         """*majority_fraction* (0..1) overrides the batched engine's
@@ -260,7 +287,7 @@ class BatchCrossValidation:
             for lane in range(lanes)
         ]
 
-    def run_cycle(self, lane_inputs: Sequence[Optional[InputSpec]]) -> None:
+    def run_cycle(self, lane_inputs: Sequence[InputSpec | None]) -> None:
         """One cycle of every lane against its interpreter."""
         before = [len(it.violations) for it in self.interps]
         outs = self.batch.step(
@@ -295,7 +322,7 @@ class BatchCrossValidation:
     def run(
         self,
         cycles: int,
-        stimulus: Optional[Callable[[int, int], InputSpec]] = None,
+        stimulus: Callable[[int, int], InputSpec] | None = None,
         stop_on_mismatch: bool = True,
     ) -> list[Mismatch]:
         """*stimulus* maps ``(lane, cycle)`` to that lane's inputs."""
@@ -314,7 +341,7 @@ def assert_equivalent_suite(
     cycles: int,
     stimuli: Sequence[Callable[[int], InputSpec]],
     name: str = "design",
-    majority_fraction: Optional[float] = None,
+    majority_fraction: float | None = None,
     engine: str = "swar",
 ) -> BatchCrossValidation:
     """Run a suite of stimulus traces as lanes of one batched machine,

@@ -30,7 +30,6 @@ Every ``if`` receives a unique ProgramLabel (``if0``, ``if1``, ...);
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 from repro.sapper import ast
 from repro.sapper.errors import SapperSyntaxError
@@ -94,7 +93,7 @@ class _Parser:
     # -- program ------------------------------------------------------------
 
     def parse_program(self) -> ast.Program:
-        decls: list[Union[ast.RegDecl, ast.ArrDecl]] = []
+        decls: list[ast.RegDecl | ast.ArrDecl] = []
         while self.peek().text in ("reg", "wire", "input", "output", "mem"):
             decls.extend(self.parse_decl())
         states: list[ast.StateDef] = []
@@ -107,7 +106,7 @@ class _Parser:
             raise SapperSyntaxError("a Sapper program needs at least one state")
         return ast.Program(tuple(decls), tuple(states), name=self.name)
 
-    def parse_decl(self) -> list[Union[ast.RegDecl, ast.ArrDecl]]:
+    def parse_decl(self) -> list[ast.RegDecl | ast.ArrDecl]:
         kind = self.advance().text
         width = self.parse_width()
         if kind == "mem":
@@ -136,7 +135,7 @@ class _Parser:
             raise SapperSyntaxError(f"declaration widths must be [N:0], got [{hi}:{lo}]")
         return hi + 1
 
-    def parse_opt_label(self) -> Optional[str]:
+    def parse_opt_label(self) -> str | None:
         if self.accept(":"):
             return self.expect_ident()
         return None

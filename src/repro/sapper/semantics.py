@@ -46,7 +46,6 @@ verifies mechanically):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
 
 from repro.lattice import Lattice, encode
 from repro.sapper import ast
@@ -68,7 +67,7 @@ class Violation:
 class _CycleEnd(Exception):
     """Internal control-flow signal: the current cycle is over."""
 
-    def __init__(self, goto: Optional[tuple[str, str, str]] = None):
+    def __init__(self, goto: tuple[str, str, str] | None = None):
         #: (source state, target state, context at the goto) or None
         self.goto = goto
         super().__init__()
@@ -123,7 +122,7 @@ class Interpreter:
         self.theta_state: dict[str, str] = {
             name: info.initial_state_tag(name, lattice) for name in info.states
         }
-        self.rho: dict[str, Optional[str]] = dict(info.default_child)
+        self.rho: dict[str, str | None] = dict(info.default_child)
         self.delta = 0
         self.stack: list[str] = []
         self.violations: list[Violation] = []
@@ -448,7 +447,7 @@ class Interpreter:
     # -- cycles ------------------------------------------------------------------------
 
     def run_cycle(
-        self, inputs: Optional[dict[str, Union[int, tuple[int, str]]]] = None
+        self, inputs: dict[str, int | tuple[int, str]] | None = None
     ) -> dict[str, tuple[int, str]]:
         """Execute one clock cycle.
 
@@ -485,7 +484,7 @@ class Interpreter:
                 self.sigma[name] = _mask(value, decl.width)
 
         self.stack = [self.theta_state[ast.ROOT]]
-        pending_goto: Optional[tuple[str, str, str]] = None
+        pending_goto: tuple[str, str, str] | None = None
         try:
             self.exec_cmd(self.info.root.body, ast.ROOT)
         except _CycleEnd as end:

@@ -12,8 +12,10 @@ and answering newline-delimited JSON requests over TCP or stdio::
     -> {"id": 2, "ok": true, "result": {"cycles": 100, ...}}
 
 Request ops: ``ping``, ``compile``, ``verilog``, ``synth``,
-``simulate``, ``fleet`` (a workload suite on the multiprocess fleet
-scheduler, sharded over the server's artifact store), ``verify``
+``simulate``, ``check`` (the static design-lint + information-flow
+report of ``python -m repro check``, as JSON), ``fleet`` (a workload
+suite on the multiprocess fleet scheduler, sharded over the server's
+artifact store), ``verify``
 (three-way interpreter/raw/optimized cross-validation), ``stats``
 (server + toolchain + store counters), ``shutdown``.  Errors come back as ``{"ok": false, "error": ...}`` --
 a malformed line, an unknown op, or a Sapper compile error never tears
@@ -42,7 +44,7 @@ import hashlib
 import json
 import sys
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Optional, TextIO, Union
+from typing import Any, TextIO
 
 from repro.lattice import Lattice, LatticeError, diamond, from_order, powerset, two_level
 from repro.sapper.errors import SapperError
@@ -90,7 +92,7 @@ WARM_FAMILY = ("two", "diamond", "powerset")
 class ReproServer:
     """One toolchain, many concurrent NDJSON clients."""
 
-    def __init__(self, toolchain: Optional[Toolchain] = None, max_workers: int = 4):
+    def __init__(self, toolchain: Toolchain | None = None, max_workers: int = 4):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.tc = toolchain if toolchain is not None else Toolchain()
@@ -159,7 +161,7 @@ class ReproServer:
         elif "source_path" in req:
             path = self._field(req, "source_path", str)
             try:
-                with open(path, "r") as fh:
+                with open(path) as fh:
                     source = fh.read()
             except OSError as exc:
                 raise ServerError(f"cannot read source_path {path!r}: {exc}")
@@ -265,7 +267,7 @@ class ReproServer:
         inputs = req.get("inputs", {})
         if not isinstance(inputs, dict):
             raise ServerError("field 'inputs' must be an object of port drives")
-        drives: dict[str, Union[int, list[int]]] = {}
+        drives: dict[str, int | list[int]] = {}
         for port, value in inputs.items():
             if isinstance(value, int) and not isinstance(value, bool):
                 drives[port] = value
@@ -324,6 +326,12 @@ class ReproServer:
             "violations": violations,
             "outputs": final,
         }
+
+    async def _op_check(self, req: dict) -> dict:
+        """Static design-lint + taint analysis (``repro check`` as JSON)."""
+        design, _module, digest = await self._built(req)
+        report = await self._in_pool(self.tc.analyze, design)
+        return {"key": digest, **report.to_json()}
 
     async def _op_verify(self, req: dict) -> dict:
         """Three-way cross-validation (reference interpreter vs raw vs
@@ -438,6 +446,7 @@ class ReproServer:
         "verilog": _op_verilog,
         "synth": _op_synth,
         "simulate": _op_simulate,
+        "check": _op_check,
         "fleet": _op_fleet,
         "verify": _op_verify,
         "stats": _op_stats,
@@ -530,8 +539,8 @@ class ReproServer:
     async def run_stdio(
         self,
         warm: bool = False,
-        stdin: Optional[TextIO] = None,
-        stdout: Optional[TextIO] = None,
+        stdin: TextIO | None = None,
+        stdout: TextIO | None = None,
     ) -> None:
         """Serve one client over stdin/stdout (testing, CI, inetd-style)."""
         stdin = stdin if stdin is not None else sys.stdin

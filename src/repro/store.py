@@ -53,7 +53,8 @@ import tempfile
 import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator, Optional, Union
+from collections.abc import Iterator
+from typing import Any
 
 
 class StoreError(Exception):
@@ -106,7 +107,7 @@ def _canon(obj: Any, out: list[bytes]) -> None:
     elif isinstance(obj, int):
         out.append(b"i%d;" % obj)
     elif isinstance(obj, str):
-        enc = obj.encode("utf-8")
+        enc = obj.encode()
         out.append(b"s%d:" % len(enc))
         out.append(enc)
     elif obj is None:
@@ -151,7 +152,7 @@ def _pickle_guard() -> Iterator[None]:
 class ArtifactStore:
     """A content-addressed, crash-safe artifact cache rooted at *root*."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: str | Path):
         self.root = Path(root)
         self._lock = threading.Lock()
         self.counters: dict[str, int] = {
@@ -219,7 +220,7 @@ class ArtifactStore:
         self._bump("hits")
         return value
 
-    def _check(self, blob: bytes, path: Path) -> Optional[bytes]:
+    def _check(self, blob: bytes, path: Path) -> bytes | None:
         """Validate header + integrity; quarantine and return None on failure."""
         if len(blob) < _HEADER.size:
             self._quarantine(path, "corrupt")
@@ -300,7 +301,7 @@ class ArtifactStore:
         return snap
 
 
-def coerce_store(store: Union["ArtifactStore", str, Path, None]) -> Optional["ArtifactStore"]:
+def coerce_store(store: ArtifactStore | str | Path | None) -> ArtifactStore | None:
     """Normalize the *store* argument every multi-process entry point
     accepts: an :class:`ArtifactStore` passes through, a path opens (or
     creates) one rooted there, ``None`` stays ``None``.  Fleet workers

@@ -32,8 +32,15 @@ import os
 import sys
 import threading
 from collections import OrderedDict
-from typing import Callable, Optional, TypeVar, Union
+from collections.abc import Callable
+from typing import TypeVar
 
+from repro.analyze import (
+    ANALYSIS_VERSION,
+    AnalysisReport,
+    analyze_design,
+    analyze_module,
+)
 from repro.hdl import (
     BatchSimulator,
     Simulator,
@@ -52,8 +59,8 @@ from repro.store import MISS, ArtifactStore, StoreError, UnstableKey, persistabl
 
 T = TypeVar("T")
 
-Source = Union[str, ast.Program, ProgramInfo]
-Design = Union[CompiledDesign, Module]
+Source = str | ast.Program | ProgramInfo
+Design = CompiledDesign | Module
 
 #: Lane count from which automatic engine selection prefers the NumPy
 #: vector tier: measured on the secure processor, the ufunc-amortized
@@ -127,7 +134,7 @@ class Toolchain:
         self,
         opt_level: int = MAX_OPT_LEVEL,
         max_entries: int = 128,
-        store: Optional[ArtifactStore] = None,
+        store: ArtifactStore | None = None,
     ):
         self.opt_level = opt_level
         self.max_entries = max_entries
@@ -222,13 +229,49 @@ class Toolchain:
             lambda: parse_program(source, name),
         )
 
-    def analyze(self, source: Source, lattice: Lattice, name: str = "design") -> ProgramInfo:
+    def analyze(
+        self,
+        source: Source | Design,
+        lattice: Lattice | None = None,
+        name: str = "design",
+    ) -> ProgramInfo | AnalysisReport:
+        """Two analysis stages share this entry point.
+
+        Given program source (text/AST) and a lattice: the front-end
+        name/state-tree analysis, returning a
+        :class:`~repro.sapper.analysis.ProgramInfo` (as before).
+
+        Given a compiled design or raw module: the static back-end
+        analysis of :mod:`repro.analyze` -- lint rules plus the taint
+        certificate -- returning an
+        :class:`~repro.analyze.AnalysisReport`.  Cached like every
+        other stage and persisted in the artifact store under the
+        design's structural key (``analyze`` counters beside
+        compile/optimize).
+        """
+        if isinstance(source, (CompiledDesign, Module)):
+            return self._analyze_design(source)
+        if lattice is None:
+            raise TypeError("analyze() of program source requires a lattice")
         if isinstance(source, ProgramInfo):
             return source
         key = ("analyze", source_key(source), lattice_key(lattice), name)
         if isinstance(source, str):
             return self.cached(key, lambda: analyze(self.parse(source, name), lattice))
         return self.cached(key, lambda: analyze(source, lattice), pin=source)
+
+    def _analyze_design(self, design: Design) -> AnalysisReport:
+        module = self._module(design)
+        if isinstance(design, CompiledDesign):
+            producer = lambda: analyze_design(design)
+        else:
+            producer = lambda: analyze_module(module)
+        tail = self._structural_tail(design)
+        if tail is None:
+            key = ("check", UnstableKey(module), ANALYSIS_VERSION)
+        else:
+            key = ("check", *tail, ANALYSIS_VERSION)
+        return self.cached(key, producer, pin=module, persist=True)
 
     def compile(
         self,
@@ -259,7 +302,7 @@ class Toolchain:
         return design.module if isinstance(design, CompiledDesign) else design
 
     @staticmethod
-    def _structural_tail(design: Design) -> Optional[tuple]:
+    def _structural_tail(design: Design) -> tuple | None:
         """The persistable key tail of a toolchain-compiled design."""
         tail = getattr(design, "_structural_key", None)
         if tail is not None and persistable_key(tail):
@@ -292,9 +335,9 @@ class Toolchain:
         design: Design,
         lanes: int,
         swar: bool = True,
-        retire_when: Optional[Callable[[BatchSimulator, int], bool]] = None,
+        retire_when: Callable[[BatchSimulator, int], bool] | None = None,
         majority: bool = True,
-        engine: Optional[str] = None,
+        engine: str | None = None,
     ) -> BatchSimulator:
         """A fresh-state *lane-batched* simulator over the (shared)
         optimized module: one vectorized step advances *lanes* independent
@@ -366,7 +409,7 @@ class Toolchain:
 
 
 #: Process-wide default toolchain instance.
-_DEFAULT: Optional[Toolchain] = None
+_DEFAULT: Toolchain | None = None
 
 
 def get_toolchain() -> Toolchain:
@@ -390,7 +433,7 @@ def get_toolchain() -> Toolchain:
     return _DEFAULT
 
 
-def set_toolchain(toolchain: Optional[Toolchain]) -> None:
+def set_toolchain(toolchain: Toolchain | None) -> None:
     """Replace the process-wide default (``None`` resets to a fresh one)."""
     global _DEFAULT
     _DEFAULT = toolchain

@@ -5,7 +5,7 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.mips import softfloat as sf
 

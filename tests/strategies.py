@@ -104,7 +104,9 @@ def plain_commands(draw, labeller, widths: dict[str, int], depth: int = 0) -> as
 
 
 @st.composite
-def terminators(draw, labeller, widths: dict[str, int], siblings: list[str], can_fall: bool) -> ast.Cmd:
+def terminators(
+    draw, labeller, widths: dict[str, int], siblings: list[str], can_fall: bool
+) -> ast.Cmd:
     """A command that always ends in goto/fall, possibly conditionally."""
     targets = st.sampled_from(siblings)
     shape = draw(st.sampled_from(["goto", "goto", "fall", "cond"]))

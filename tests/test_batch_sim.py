@@ -484,7 +484,7 @@ class TestLaneCompaction:
         assert batch.active_lanes == [0, 2] and len(out) == 2
         # surviving lanes saw their own stimulus throughout
         sims = [Simulator(module) for _ in range(3)]
-        for cycle in range(12):
+        for _cycle in range(12):
             for lane, sim in enumerate(sims):
                 sim.step(lane_inputs[lane])
         for pos, orig in enumerate(batch.active_lanes):

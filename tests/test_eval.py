@@ -50,7 +50,12 @@ class TestFig9:
 
     def test_ordering(self, rows):
         base = rows["Base Processor"]
-        assert rows["GLIFT"].area_um2 > rows["Caisson"].area_um2 > rows["Sapper"].area_um2 > base.area_um2
+        assert (
+            rows["GLIFT"].area_um2
+            > rows["Caisson"].area_um2
+            > rows["Sapper"].area_um2
+            > base.area_um2
+        )
 
     def test_sapper_close_to_base(self, rows):
         base = rows["Base Processor"]

@@ -90,18 +90,33 @@ class TestSoftFloat:
         assert sf.fgt(f32(-1.0), f32(-2.0)) == 1
         assert sf.fle(f32(-5.0), f32(-5.0)) == 1
 
-    @given(st.floats(min_value=-2.0**96, max_value=2.0**96, allow_nan=False, allow_subnormal=False, width=32),
-           st.floats(min_value=-2.0**96, max_value=2.0**96, allow_nan=False, allow_subnormal=False, width=32))
+    @given(
+        st.floats(
+            min_value=-2.0**96, max_value=2.0**96, allow_nan=False, allow_subnormal=False, width=32
+        ),
+        st.floats(
+            min_value=-2.0**96, max_value=2.0**96, allow_nan=False, allow_subnormal=False, width=32
+        ),
+    )
     def test_add_close_to_ieee(self, a, b):
         result = sf.to_python(sf.fadd(f32(a), f32(b)))
         expect = struct.unpack("<f", struct.pack("<f", a + b))[0]
         if abs(expect) < 1e-35:
             assert abs(result) < 1e-30 or abs(result - expect) <= abs(expect)
         else:
-            assert result == pytest.approx(expect, rel=4e-7) or abs(result - expect) <= abs(expect) * 4e-7 + 1e-30
+            assert (
+                result == pytest.approx(expect, rel=4e-7)
+                or abs(result - expect) <= abs(expect) * 4e-7 + 1e-30
+            )
 
-    @given(st.floats(min_value=-2.0**48, max_value=2.0**48, allow_nan=False, allow_subnormal=False, width=32),
-           st.floats(min_value=-2.0**48, max_value=2.0**48, allow_nan=False, allow_subnormal=False, width=32))
+    @given(
+        st.floats(
+            min_value=-2.0**48, max_value=2.0**48, allow_nan=False, allow_subnormal=False, width=32
+        ),
+        st.floats(
+            min_value=-2.0**48, max_value=2.0**48, allow_nan=False, allow_subnormal=False, width=32
+        ),
+    )
     def test_mul_close_to_ieee(self, a, b):
         result = sf.to_python(sf.fmul(f32(a), f32(b)))
         expect = a * b

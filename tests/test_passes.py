@@ -366,7 +366,9 @@ class TestGliftInvariance:
     @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(
         st.lists(
-            st.tuples(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255), st.integers(0, 255)),
+            st.tuples(
+                st.integers(0, 255), st.integers(0, 255), st.integers(0, 255), st.integers(0, 255)
+            ),
             min_size=1,
             max_size=8,
         ),
